@@ -1,0 +1,307 @@
+//! ASCII charts: bar charts (Fig. 6), heat maps (Fig. 2c) and box plots
+//! (Fig. 2a) rendered for the terminal.
+
+/// A horizontal bar chart with labeled, optionally stacked bars.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    /// (label, segments, annotation); segments stack left to right.
+    bars: Vec<(String, Vec<f64>, String)>,
+    segment_chars: Vec<char>,
+}
+
+impl BarChart {
+    /// Creates a chart `width` characters wide for the longest bar.
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        assert!(width >= 10, "chart too narrow to read");
+        Self {
+            title: title.into(),
+            width,
+            bars: Vec::new(),
+            segment_chars: vec!['#', '=', '.', '+', '~'],
+        }
+    }
+
+    /// Adds a stacked bar. Segment values must be non-negative and finite.
+    pub fn bar(
+        &mut self,
+        label: impl Into<String>,
+        segments: Vec<f64>,
+        annotation: impl Into<String>,
+    ) -> &mut Self {
+        assert!(
+            segments.iter().all(|&s| s >= 0.0 && s.is_finite()),
+            "segments must be finite and non-negative"
+        );
+        self.bars.push((label.into(), segments, annotation.into()));
+        self
+    }
+
+    /// Renders the chart; bars are scaled so the largest total fills the
+    /// width.
+    pub fn render(&self) -> String {
+        let max_total: f64 = self
+            .bars
+            .iter()
+            .map(|(_, segs, _)| segs.iter().sum::<f64>())
+            .fold(0.0, f64::max);
+        let label_w = self
+            .bars
+            .iter()
+            .map(|(l, _, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let mut out = format!("{}\n", self.title);
+        for (label, segs, ann) in &self.bars {
+            let mut bar = String::new();
+            if max_total > 0.0 {
+                for (i, &s) in segs.iter().enumerate() {
+                    let chars = (s / max_total * self.width as f64).round() as usize;
+                    let c = self.segment_chars[i % self.segment_chars.len()];
+                    bar.push_str(&c.to_string().repeat(chars));
+                }
+            }
+            out.push_str(&format!(
+                "{:<label_w$} |{:<width$}| {}\n",
+                label,
+                bar,
+                ann,
+                label_w = label_w,
+                width = self.width
+            ));
+        }
+        out
+    }
+}
+
+/// A shaded heat map over a 2-D grid (Fig. 2c).
+#[derive(Debug, Clone)]
+pub struct HeatMap {
+    title: String,
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+    /// Row-major values.
+    values: Vec<f64>,
+}
+
+/// Shade ramp from low to high.
+const SHADES: [char; 8] = [' ', '.', ':', '-', '=', '+', '*', '#'];
+
+impl HeatMap {
+    /// Creates a heat map; `values` is row-major with
+    /// `rows.len() × cols.len()` entries.
+    pub fn new(
+        title: impl Into<String>,
+        row_labels: Vec<String>,
+        col_labels: Vec<String>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            values.len(),
+            row_labels.len() * col_labels.len(),
+            "values must fill the grid"
+        );
+        assert!(values.iter().all(|v| v.is_finite()));
+        Self {
+            title: title.into(),
+            row_labels,
+            col_labels,
+            values,
+        }
+    }
+
+    /// Renders with one shaded cell per column.
+    pub fn render(&self) -> String {
+        let lo = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(f64::EPSILON);
+        let label_w = self
+            .row_labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let cols = self.col_labels.len();
+        let mut out = format!("{}  (min {:.3e}, max {:.3e})\n", self.title, lo, hi);
+        for (r, rl) in self.row_labels.iter().enumerate() {
+            let mut line = format!("{rl:<label_w$} |");
+            for c in 0..cols {
+                let v = self.values[r * cols + c];
+                let idx = (((v - lo) / span) * (SHADES.len() - 1) as f64).round() as usize;
+                let ch = SHADES[idx.min(SHADES.len() - 1)];
+                line.push(ch);
+                line.push(ch);
+            }
+            line.push('|');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:label_w$}  cols: {}\n",
+            "",
+            self.col_labels.join(", ")
+        ));
+        out
+    }
+
+    /// The value at `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.values[row * self.col_labels.len() + col]
+    }
+}
+
+/// A labeled ASCII box plot series (Fig. 2a).
+#[derive(Debug, Clone)]
+pub struct BoxPlotChart {
+    title: String,
+    width: usize,
+    /// (label, whisker_lo, q1, median, q3, whisker_hi, annotation)
+    entries: Vec<(String, [f64; 5], String)>,
+}
+
+impl BoxPlotChart {
+    /// Creates a box-plot chart of the given rendering width.
+    pub fn new(title: impl Into<String>, width: usize) -> Self {
+        assert!(width >= 20);
+        Self {
+            title: title.into(),
+            width,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds one box: `[whisker_lo, q1, median, q3, whisker_hi]` must be
+    /// non-decreasing.
+    pub fn entry(
+        &mut self,
+        label: impl Into<String>,
+        five: [f64; 5],
+        annotation: impl Into<String>,
+    ) -> &mut Self {
+        assert!(
+            five.windows(2).all(|w| w[0] <= w[1]),
+            "box-plot five-number summary must be sorted"
+        );
+        self.entries.push((label.into(), five, annotation.into()));
+        self
+    }
+
+    /// Renders all boxes on a common axis.
+    pub fn render(&self) -> String {
+        let lo = self
+            .entries
+            .iter()
+            .map(|(_, f, _)| f[0])
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .entries
+            .iter()
+            .map(|(_, f, _)| f[4])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(f64::EPSILON);
+        let label_w = self
+            .entries
+            .iter()
+            .map(|(l, _, _)| l.chars().count())
+            .max()
+            .unwrap_or(0);
+        let pos = |v: f64| -> usize {
+            (((v - lo) / span) * (self.width - 1) as f64).round() as usize
+        };
+        let mut out = format!("{}  (axis {:.1} .. {:.1})\n", self.title, lo, hi);
+        for (label, five, ann) in &self.entries {
+            let mut line: Vec<char> = vec![' '; self.width];
+            let (wl, q1, med, q3, wh) = (pos(five[0]), pos(five[1]), pos(five[2]), pos(five[3]), pos(five[4]));
+            for cell in line.iter_mut().take(q1).skip(wl) {
+                *cell = '-';
+            }
+            for cell in line.iter_mut().take(wh + 1).skip(q3) {
+                *cell = '-';
+            }
+            for cell in line.iter_mut().take(q3 + 1).skip(q1) {
+                *cell = '=';
+            }
+            line[wl] = '|';
+            line[wh.min(self.width - 1)] = '|';
+            line[med.min(self.width - 1)] = 'M';
+            let bar: String = line.into_iter().collect();
+            out.push_str(&format!("{label:<label_w$} {bar} {ann}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barchart_scales_to_longest_bar() {
+        let mut c = BarChart::new("overheads", 20);
+        c.bar("B", vec![10.0], "10h");
+        c.bar("P2", vec![5.0], "5h");
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains(&"#".repeat(20)));
+        assert!(lines[2].contains(&"#".repeat(10)));
+        assert!(!lines[2].contains(&"#".repeat(11)));
+    }
+
+    #[test]
+    fn barchart_stacks_segments() {
+        let mut c = BarChart::new("stacked", 10);
+        c.bar("x", vec![5.0, 5.0], "");
+        let s = c.render();
+        assert!(s.contains("#####====="));
+    }
+
+    #[test]
+    fn barchart_handles_all_zero() {
+        let mut c = BarChart::new("zero", 10);
+        c.bar("x", vec![0.0], "0");
+        let s = c.render();
+        assert!(s.contains("|          |"));
+    }
+
+    #[test]
+    fn heatmap_shades_extremes() {
+        let h = HeatMap::new(
+            "t",
+            vec!["r0".into(), "r1".into()],
+            vec!["c0".into(), "c1".into()],
+            vec![0.0, 1.0, 2.0, 3.0],
+        );
+        let s = h.render();
+        assert!(s.contains("##"), "max cell must use the darkest shade");
+        assert!(s.lines().nth(1).unwrap().contains("  "), "min cell blank");
+        assert_eq!(h.value(1, 1), 3.0);
+    }
+
+    #[test]
+    fn boxplot_orders_glyphs() {
+        let mut b = BoxPlotChart::new("leads", 40);
+        b.entry("seq1", [0.0, 10.0, 20.0, 30.0, 40.0], "n=10");
+        let s = b.render();
+        let line = s.lines().nth(1).unwrap();
+        let bar: &str = &line[5..45];
+        let i_wl = bar.find('|').unwrap();
+        let i_med = bar.find('M').unwrap();
+        let i_wh = bar.rfind('|').unwrap();
+        assert!(i_wl < i_med && i_med < i_wh);
+        assert!(line.ends_with("n=10"));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn boxplot_rejects_unsorted_summary() {
+        let mut b = BoxPlotChart::new("x", 30);
+        b.entry("bad", [5.0, 1.0, 2.0, 3.0, 4.0], "");
+    }
+
+    #[test]
+    #[should_panic(expected = "fill the grid")]
+    fn heatmap_rejects_wrong_size() {
+        let _ = HeatMap::new("t", vec!["r".into()], vec!["c".into()], vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Fixed-width table rendering for the experiment binaries.
+//!
+//! Every `exp_*` binary prints the rows of one paper table/figure; this
+//! module keeps the formatting consistent and tested.
+
+/// Cell alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with column headers; the first column is
+    /// left-aligned, the rest right-aligned (override with
+    /// [`Table::with_aligns`]).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        let mut aligns = vec![Align::Right; headers.len()];
+        aligns[0] = Align::Left;
+        Self {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Overrides the per-column alignment.
+    pub fn with_aligns(mut self, aligns: Vec<Align>) -> Self {
+        assert_eq!(aligns.len(), self.headers.len());
+        self.aligns = aligns;
+        self
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize], aligns: &[Align]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cells[i].chars().count());
+                match aligns[i] {
+                    Align::Left => {
+                        line.push_str(&cells[i]);
+                        line.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(&cells[i]);
+                    }
+                }
+            }
+            while line.ends_with(' ') {
+                line.pop();
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths, &self.aligns));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths, &self.aligns));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats hours with one decimal.
+pub fn hours(h: f64) -> String {
+    format!("{h:.1}h")
+}
+
+/// Formats a ratio with two decimals (the FT-ratio tables).
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["app", "overhead"]);
+        t.row(vec!["CHIMERA", "15.1"]);
+        t.row(vec!["POP", "0.2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "app      overhead");
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert_eq!(lines[2], "CHIMERA      15.1");
+        assert_eq!(lines[3], "POP           0.2");
+    }
+
+    #[test]
+    fn title_precedes_table() {
+        let mut t = Table::new(vec!["x"]).with_title("Table II");
+        t.row(vec!["1"]);
+        assert!(t.render().starts_with("Table II\n"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.423), "42.3%");
+        assert_eq!(hours(15.06), "15.1h");
+        assert_eq!(ratio(0.846), "0.85");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t =
+            Table::new(vec!["a", "b"]).with_aligns(vec![Align::Right, Align::Left]);
+        t.row(vec!["1", "x"]);
+        t.row(vec!["22", "yy"]);
+        let s = t.render();
+        assert!(s.contains(" 1  x"));
+        assert!(s.contains("22  yy"));
+    }
+}

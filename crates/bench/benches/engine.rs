@@ -1,0 +1,143 @@
+//! Criterion benchmarks of the simulation substrate: event queue
+//! throughput, process-world scheduling, and fluid-flow link churn.
+//!
+//! These establish that the DES engine is fast enough for the paper's
+//! 1000-run Monte-Carlo campaigns (one CHIMERA run handles a few thousand
+//! events; the engine sustains millions per second).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pckpt_desim::process::{ProcCtx, Process, ProcessWorld, Step, Wake};
+use pckpt_desim::{Ctx, EventQueue, FlowLink, Model, SimDuration, SimTime, Simulation};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    // Pseudo-random times to exercise heap reordering.
+                    let t = (i.wrapping_mul(2_654_435_761)) % 1_000_000;
+                    q.schedule_at(SimTime::from_nanos(t + 1_000_000), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("schedule_cancel_half_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                let ids: Vec<_> = (0..10_000u64)
+                    .map(|i| q.schedule_at(SimTime::from_nanos(i + 1), i))
+                    .collect();
+                for id in ids.iter().step_by(2) {
+                    q.cancel(*id);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// A self-rescheduling ticker used to measure raw dispatch throughput.
+struct Ticker {
+    remaining: u32,
+}
+
+impl Model for Ticker {
+    type Event = ();
+
+    fn init(&mut self, ctx: &mut Ctx<'_, ()>) {
+        ctx.schedule_in(SimDuration::from_nanos(1), ());
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _: ()) {
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            ctx.schedule_in(SimDuration::from_nanos(1), ());
+        }
+    }
+}
+
+fn bench_engine_dispatch(c: &mut Criterion) {
+    c.bench_function("engine_dispatch_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Ticker { remaining: 100_000 });
+            sim.run();
+            black_box(sim.events_handled())
+        })
+    });
+}
+
+struct Sleeper {
+    naps: u32,
+}
+
+impl Process<()> for Sleeper {
+    fn resume(&mut self, _s: &mut (), _ctx: &mut ProcCtx<()>, _w: Wake) -> Step {
+        if self.naps == 0 {
+            return Step::Done;
+        }
+        self.naps -= 1;
+        Step::Sleep(SimDuration::from_nanos(10))
+    }
+}
+
+fn bench_process_world(c: &mut Criterion) {
+    c.bench_function("process_world_100_procs_1k_naps", |b| {
+        b.iter(|| {
+            let mut world = ProcessWorld::new(());
+            for _ in 0..100 {
+                world.spawn(Box::new(Sleeper { naps: 1_000 }));
+            }
+            let mut sim = Simulation::new(world);
+            sim.run();
+            black_box(sim.events_handled())
+        })
+    });
+}
+
+fn bench_flow_link(c: &mut Criterion) {
+    c.bench_function("flow_link_churn_1k_transfers", |b| {
+        b.iter(|| {
+            let mut link = FlowLink::with_constant_capacity(1e9);
+            let mut t = 0.0f64;
+            for i in 0..1_000 {
+                link.start(SimTime::from_secs(t), 1e6 + i as f64);
+                t += 1e-4;
+                if let Some(fin) = link.next_completion(SimTime::from_secs(t)) {
+                    if i % 3 == 0 {
+                        t = t.max(fin.as_secs());
+                        black_box(link.take_completed(fin).len());
+                    }
+                }
+            }
+            while let Some(fin) = link.next_completion(SimTime::from_secs(t)) {
+                t = fin.as_secs();
+                if link.take_completed(fin).is_empty() {
+                    break;
+                }
+            }
+            black_box(link.bytes_moved())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_engine_dispatch,
+    bench_process_world,
+    bench_flow_link
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the C/R models themselves: trace generation
+//! and single-run simulation cost per application × model. These numbers
+//! size the Monte-Carlo campaigns (1000 runs × 6 apps × 5 models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pckpt_core::{CrSim, ModelKind, SimParams};
+use pckpt_failure::{FailureTrace, LeadTimeModel, TraceConfig};
+use pckpt_simrng::SimRng;
+use pckpt_workloads::Application;
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let leads = LeadTimeModel::desh_default();
+    let mut group = c.benchmark_group("trace_generation");
+    for name in ["CHIMERA", "POP"] {
+        let app = Application::by_name(name).unwrap();
+        let params = SimParams::paper_defaults(ModelKind::P2, app);
+        let cfg = TraceConfig::new(
+            params.distribution,
+            app.nodes,
+            app.compute_hours * params.horizon_factor,
+        )
+        .with_projection(params.projection);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let mut rng = SimRng::seed_from(7);
+            b.iter(|| {
+                black_box(FailureTrace::generate(
+                    cfg,
+                    &leads,
+                    &params.predictor,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_run(c: &mut Criterion) {
+    let leads = LeadTimeModel::desh_default();
+    let mut group = c.benchmark_group("single_run");
+    for name in ["CHIMERA", "XGC", "POP"] {
+        let app = Application::by_name(name).unwrap();
+        for model in [ModelKind::B, ModelKind::M2, ModelKind::P2] {
+            let params = SimParams::paper_defaults(model, app);
+            let cfg = TraceConfig::new(
+                params.distribution,
+                app.nodes,
+                app.compute_hours * params.horizon_factor,
+            )
+            .with_projection(params.projection);
+            let mut rng = SimRng::seed_from(99);
+            let trace = FailureTrace::generate(&cfg, &leads, &params.predictor, &mut rng);
+            group.bench_function(BenchmarkId::new(name, model.name()), |b| {
+                b.iter(|| {
+                    let sim = CrSim::new(params.clone(), trace.clone(), &leads);
+                    black_box(sim.run())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_generation, bench_single_run);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Ablations of the design choices DESIGN.md calls out — what each
+//! ingredient of (hybrid) p-ckpt is worth.
+//!
+//! 1. **Coordination** (the paper's core idea): prioritized phase-1
+//!    access vs FIFO queueing vs no coordination at all (everyone writes
+//!    at once — safeguard behavior).
+//! 2. **Eq. 2's σ policy**: the paper's lead-time-only estimate vs the
+//!    accuracy-aware future-work variant (Observation 9's proposed fix),
+//!    compared at a high false-negative rate where it matters.
+//! 3. **Dynamic OCI**: the windowed failure-rate estimator vs a static
+//!    Young interval.
+//! 4. **Failure projection**: uniform thinning vs Weibull min-stability
+//!    when both apply.
+
+use pckpt_analysis::Table;
+use pckpt_core::config::CoordinationPolicy;
+use pckpt_core::oci::SigmaPolicy;
+use pckpt_core::{run_models, ModelKind, SimParams};
+use pckpt_failure::{FailureDistribution, LeadTimeModel, Projection};
+use pckpt_workloads::Application;
+
+fn main() {
+    let leads = LeadTimeModel::desh_default();
+    let runner = pckpt_bench::runner();
+    let runs = pckpt_bench::runs();
+
+    // ------------------------------------------------------------------
+    // 1. Coordination policy (P1, large apps — where p-ckpt matters).
+    // ------------------------------------------------------------------
+    let mut t = Table::new(vec!["app", "policy", "FT ratio", "reduction vs B"]).with_title(
+        format!("Ablation 1 — what coordination buys (model P1, {runs} runs)"),
+    );
+    for app_name in ["CHIMERA", "XGC"] {
+        let app = Application::by_name(app_name).unwrap();
+        for (policy, label) in [
+            (CoordinationPolicy::Prioritized, "prioritized (paper)"),
+            (CoordinationPolicy::FifoQueue, "FIFO queue"),
+            (CoordinationPolicy::Uncoordinated, "uncoordinated"),
+        ] {
+            let mut params = SimParams::paper_defaults(ModelKind::B, app);
+            params.coordination = policy;
+            let c = run_models(&params, &[ModelKind::B, ModelKind::P1], &leads, &runner);
+            let p1 = c.get(ModelKind::P1).unwrap();
+            t.row(vec![
+                app_name.to_string(),
+                label.to_string(),
+                format!("{:.2}", p1.ft_ratio_pooled()),
+                format!("{:+.1}%", c.reduction(ModelKind::P1, ModelKind::B).unwrap()),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Expected: removing coordination collapses large-app FT toward M1's ≈0;\n\
+         FIFO vs priority differs only when several nodes are vulnerable at once\n\
+         (rare at these failure rates — the paper's Weibull burstiness is what\n\
+         makes the priority queue worth having at all).\n"
+    );
+
+    // ------------------------------------------------------------------
+    // 2. σ policy under a lossy predictor (Observation 9's future work).
+    // ------------------------------------------------------------------
+    let mut t = Table::new(vec![
+        "app",
+        "sigma policy",
+        "FN rate",
+        "P2 recomp (h)",
+        "P2 total vs B",
+    ])
+    .with_title("Ablation 2 — Eq. 2's σ: lead-time-only (paper) vs accuracy-aware (future work)");
+    for app_name in ["CHIMERA", "XGC"] {
+        let app = Application::by_name(app_name).unwrap();
+        for (policy, label) in [
+            (SigmaPolicy::LeadTimeOnly, "lead-only (paper)"),
+            (SigmaPolicy::AccuracyAware, "accuracy-aware"),
+        ] {
+            for fnr in [0.15, 0.40] {
+                let mut params = SimParams::paper_defaults(ModelKind::B, app);
+                params.sigma_policy = policy;
+                params.predictor = params.predictor.with_false_negative_rate(fnr);
+                let c = run_models(&params, &[ModelKind::B, ModelKind::P2], &leads, &runner);
+                let p2 = c.get(ModelKind::P2).unwrap();
+                t.row(vec![
+                    app_name.to_string(),
+                    label.to_string(),
+                    format!("{:.0}%", fnr * 100.0),
+                    format!("{:.2}", p2.recomp_hours.mean()),
+                    format!("{:+.1}%", c.reduction(ModelKind::P2, ModelKind::B).unwrap()),
+                ]);
+            }
+        }
+    }
+    println!("{t}");
+    println!(
+        "Expected: at 40% FN the accuracy-aware σ shortens the interval back toward\n\
+         Eq. 1 and recovers part of the recomputation loss the paper attributes to\n\
+         Eq. 2's overestimate — the improvement Observation 9 proposes.\n"
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Dynamic vs static OCI (base model, bursty failure process).
+    // ------------------------------------------------------------------
+    let mut t = Table::new(vec!["app", "OCI", "total (h)", "recomp (h)"])
+        .with_title("Ablation 3 — windowed failure-rate estimator vs static Young interval (B)");
+    for app_name in ["CHIMERA", "XGC"] {
+        let app = Application::by_name(app_name).unwrap();
+        for (dynamic, label) in [(true, "dynamic (paper)"), (false, "static")] {
+            let mut params = SimParams::paper_defaults(ModelKind::B, app);
+            params.dynamic_oci = dynamic;
+            let c = run_models(&params, &[ModelKind::B], &leads, &runner);
+            let b = c.get(ModelKind::B).unwrap();
+            t.row(vec![
+                app_name.to_string(),
+                label.to_string(),
+                format!("{:.2}", b.total_hours.mean()),
+                format!("{:.2}", b.recomp_hours.mean()),
+            ]);
+        }
+    }
+    println!("{t}");
+
+    // ------------------------------------------------------------------
+    // 4. Projection strategy (thinning vs min-stability), Titan rows.
+    // ------------------------------------------------------------------
+    let mut t = Table::new(vec!["app", "projection", "failures/run", "B total (h)"])
+        .with_title("Ablation 4 — system→job failure projection (Titan distribution)");
+    for app_name in ["CHIMERA", "POP"] {
+        let app = Application::by_name(app_name).unwrap();
+        for (proj, label) in [
+            (Projection::Thinning, "uniform thinning (paper)"),
+            (Projection::MinStability, "Weibull min-stability"),
+        ] {
+            let mut params = SimParams::with_distribution(
+                ModelKind::B,
+                app,
+                FailureDistribution::OLCF_TITAN,
+            );
+            params.projection = proj;
+            let c = run_models(&params, &[ModelKind::B], &leads, &runner);
+            let b = c.get(ModelKind::B).unwrap();
+            t.row(vec![
+                app_name.to_string(),
+                label.to_string(),
+                format!("{:.2}", b.failures.mean()),
+                format!("{:.2}", b.total_hours.mean()),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Min-stability preserves Weibull burstiness exactly but rates small jobs\n\
+         more gently than uniform thinning (shape < 1); the paper's literal\n\
+         procedure is thinning, which this repository defaults to whenever the\n\
+         job fits inside the source system."
+    );
+}

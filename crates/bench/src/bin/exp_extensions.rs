@@ -1,0 +1,173 @@
+//! Extension studies beyond the paper's evaluation.
+//!
+//! 1. **Background PFS traffic.** The paper assumes an unshared file
+//!    system and notes (Sec. IV) that congestion "will add more overhead
+//!    for the non-frequent and failure prediction driven proactive
+//!    checkpoints (safeguard and p-ckpt) ... but not for the asynchronous
+//!    periodic checkpoints". We sweep the bandwidth share left to the job
+//!    during synchronous PFS operations and measure which models suffer.
+//! 2. **Failure locality.** Production failures concentrate on repeat
+//!    offenders; we compare uniform node selection against a hotspot
+//!    model (5 % of nodes, 20× weight).
+//! 3. **Lead-time estimation error.** The paper assumes the predictor
+//!    reports the exact lead ("we consider the actual lead time of any
+//!    failure during simulation"). With a noisy estimate the C/R model
+//!    can pick a migration that loses its race (overestimate) or fall
+//!    back to p-ckpt needlessly (underestimate).
+
+use pckpt_analysis::Table;
+use pckpt_core::config::BackgroundTraffic;
+use pckpt_core::{run_models, ModelKind, SimParams};
+use pckpt_failure::generator::NodeSelection;
+use pckpt_failure::LeadTimeModel;
+use pckpt_workloads::Application;
+
+fn main() {
+    let leads = LeadTimeModel::desh_default();
+    let runner = pckpt_bench::runner();
+    let runs = pckpt_bench::runs();
+    let models = [ModelKind::B, ModelKind::M1, ModelKind::M2, ModelKind::P1, ModelKind::P2];
+
+    // ------------------------------------------------------------------
+    // Extension 1: background traffic sweep.
+    // ------------------------------------------------------------------
+    let mut t = Table::new(vec![
+        "app",
+        "PFS share",
+        "M1 vs B",
+        "M2 vs B",
+        "P1 vs B",
+        "P2 vs B",
+        "P1 FT",
+    ])
+    .with_title(format!(
+        "Extension 1 — synchronous-PFS congestion ({runs} runs; share = fraction of\n\
+         bandwidth left to the job during proactive commits and recoveries)"
+    ));
+    for app_name in ["CHIMERA", "XGC"] {
+        let app = Application::by_name(app_name).unwrap();
+        for share in [1.0f64, 0.75, 0.5, 0.25] {
+            let mut params = SimParams::paper_defaults(ModelKind::B, app);
+            if share < 1.0 {
+                params.background_traffic = Some(BackgroundTraffic::new(share, 0.1));
+            }
+            let c = run_models(&params, &models, &leads, &runner);
+            let b = c.get(ModelKind::B).unwrap();
+            let red = |m| {
+                format!("{:+.1}%", c.get(m).unwrap().reduction_vs(b))
+            };
+            t.row(vec![
+                app_name.to_string(),
+                format!("{:.0}%", share * 100.0),
+                red(ModelKind::M1),
+                red(ModelKind::M2),
+                red(ModelKind::P1),
+                red(ModelKind::P2),
+                format!("{:.2}", c.get(ModelKind::P1).unwrap().ft_ratio_pooled()),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Expected: B is untouched (its PFS use is asynchronous); LM (M2) is\n\
+         untouched (network path); p-ckpt and safeguard lose FT ratio as their\n\
+         commit windows stretch — but p-ckpt's short phase-1 degrades much more\n\
+         gracefully than the safeguard's full-job commit.\n"
+    );
+
+    // ------------------------------------------------------------------
+    // Extension 2: failure locality.
+    // ------------------------------------------------------------------
+    let mut t = Table::new(vec![
+        "app",
+        "selection",
+        "failures/run",
+        "P2 vs B",
+        "P2 FT",
+        "LM share of mitigations",
+    ])
+    .with_title("Extension 2 — failure locality (hotspots: 5% of nodes, 20x weight)");
+    for app_name in ["CHIMERA", "XGC", "S3D"] {
+        let app = Application::by_name(app_name).unwrap();
+        for (sel, label) in [
+            (NodeSelection::Uniform, "uniform (paper)"),
+            (
+                NodeSelection::Hotspot {
+                    fraction: 0.05,
+                    weight: 20.0,
+                },
+                "hotspot",
+            ),
+        ] {
+            let mut params = SimParams::paper_defaults(ModelKind::B, app);
+            params.node_selection = sel;
+            let c = run_models(&params, &[ModelKind::B, ModelKind::P2], &leads, &runner);
+            let b = c.get(ModelKind::B).unwrap();
+            let p2 = c.get(ModelKind::P2).unwrap();
+            let lm = p2.mitigated_lm.sum();
+            let pc = p2.mitigated_pckpt.sum();
+            let lm_share = if lm + pc > 0.0 { lm / (lm + pc) } else { 0.0 };
+            t.row(vec![
+                app_name.to_string(),
+                label.to_string(),
+                format!("{:.2}", b.failures.mean()),
+                format!("{:+.1}%", p2.reduction_vs(b)),
+                format!("{:.2}", p2.ft_ratio_pooled()),
+                format!("{:.0}%", lm_share * 100.0),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Note: live migration retires the vulnerable node, so under locality a\n\
+         completed LM removes a repeat offender — hotspot runs lean slightly more\n\
+         on LM than the uniform baseline.\n"
+    );
+
+    // ------------------------------------------------------------------
+    // Extension 3: lead-time estimation error.
+    // ------------------------------------------------------------------
+    let mut t = Table::new(vec![
+        "app",
+        "lead error CV",
+        "M2 FT",
+        "P2 FT",
+        "M2 vs B",
+        "P2 vs B",
+    ])
+    .with_title(
+        "Extension 3 — lead-time estimation error (decide on the estimate, fail on schedule)",
+    );
+    for app_name in ["CHIMERA", "XGC"] {
+        let app = Application::by_name(app_name).unwrap();
+        for cv in [0.0f64, 0.2, 0.5, 1.0] {
+            let mut params = SimParams::paper_defaults(ModelKind::B, app);
+            params.lead_error_cv = cv;
+            let c = run_models(
+                &params,
+                &[ModelKind::B, ModelKind::M2, ModelKind::P2],
+                &leads,
+                &runner,
+            );
+            let b = c.get(ModelKind::B).unwrap();
+            let m2 = c.get(ModelKind::M2).unwrap();
+            let p2 = c.get(ModelKind::P2).unwrap();
+            t.row(vec![
+                app_name.to_string(),
+                format!("{cv:.1}"),
+                format!("{:.2}", m2.ft_ratio_pooled()),
+                format!("{:.2}", p2.ft_ratio_pooled()),
+                format!("{:+.1}%", m2.reduction_vs(b)),
+                format!("{:+.1}%", p2.reduction_vs(b)),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Expected: estimation noise hurts LM-only M2 twice over (overestimates lose\n\
+         races, underestimates forgo feasible migrations), while hybrid P2 degrades\n\
+         gently — a wrong LM call usually still leaves time for p-ckpt's short\n\
+         phase-1 commit on the re-arm, and underestimates merely shift work to\n\
+         p-ckpt."
+    );
+}

@@ -1,0 +1,85 @@
+//! Fig. 2a — failure-prediction lead-time distribution.
+//!
+//! Runs the full Desh-style pipeline: generate six months of synthetic
+//! logs for three systems, mine the failure chains, and render one box
+//! plot per sequence with its occurrence count and mean lead time — the
+//! exact contents of the paper's Fig. 2a.
+
+use pckpt_analysis::report::ratio;
+use pckpt_analysis::{BoxPlotChart, Table};
+use pckpt_failure::chains::{ChainAnalyzer, LogGenerator};
+use pckpt_failure::LeadTimeModel;
+use pckpt_simrng::SimRng;
+
+fn main() {
+    let mut rng = SimRng::seed_from(pckpt_bench::seed());
+    let generator = LogGenerator::desh_default();
+    let analyzer = ChainAnalyzer::desh_default();
+    let six_months_secs = 0.5 * 365.25 * 24.0 * 3600.0;
+
+    // Three systems' logs, mined jointly (the paper pools three HPC
+    // systems' logs into one lead-time study).
+    let mut all_chains = Vec::new();
+    for (system, nodes, failures) in [
+        ("system-A", 600u32, 520usize),
+        ("system-B", 450, 400),
+        ("system-C", 300, 280),
+    ] {
+        let (log, truth) = generator.generate(&mut rng, six_months_secs, nodes, failures);
+        let report = analyzer.analyze(&log);
+        println!(
+            "{system}: {} log lines, {} failures planted, {} chains mined",
+            log.len(),
+            truth.len(),
+            report.chains.len()
+        );
+        all_chains.extend(report.chains);
+    }
+
+    let design = LeadTimeModel::desh_default();
+    let mut chart = BoxPlotChart::new("\nFig. 2a — lead time (seconds) per failure sequence", 60);
+    let mut table = Table::new(vec![
+        "seq", "label", "occurrences", "mean(s)", "q1", "median", "q3", "outliers",
+    ])
+    .with_title("\nMined lead-time statistics");
+
+    for stat in design.sequences() {
+        let leads: Vec<f64> = all_chains
+            .iter()
+            .filter(|c| c.sequence_id == stat.id)
+            .map(|c| c.lead_secs())
+            .collect();
+        if leads.len() < 2 {
+            continue;
+        }
+        let plot = pckpt_simrng::BoxPlot::new(&leads);
+        chart.entry(
+            format!("seq{:<2} (n={})", stat.id, leads.len()),
+            [
+                plot.whisker_lo,
+                plot.q1,
+                plot.median,
+                plot.q3,
+                plot.whisker_hi,
+            ],
+            format!("mean {:.0}s", plot.mean),
+        );
+        table.row(vec![
+            format!("{}", stat.id),
+            stat.label.to_string(),
+            format!("{}", leads.len()),
+            format!("{:.1}", plot.mean),
+            ratio(plot.q1),
+            ratio(plot.median),
+            ratio(plot.q3),
+            format!("{}", plot.outliers.len()),
+        ]);
+    }
+    println!("{}", chart.render());
+    println!("{table}");
+    println!(
+        "Design mixture mean: {:.1}s; paper reports second-to-minute scale leads\n\
+         with most mass bounded by the whiskers (seqs 3-4 outlier-heavy).",
+        design.mean_secs()
+    );
+}

@@ -1,0 +1,16 @@
+//! Fig. 6a — fault-tolerance overhead of all five C/R models on all six
+//! applications under OLCF Titan's Weibull failure distribution (the
+//! paper's "Titan's distribution applies to Summit" assumption).
+
+use pckpt_failure::FailureDistribution;
+
+fn main() {
+    pckpt_bench::print_fig6_panel(
+        FailureDistribution::OLCF_TITAN,
+        "Fig. 6a — C/R overhead under OLCF Titan's failure distribution",
+    );
+    println!(
+        "\nPaper reference: P1 reduces total overhead by ≈42-55%, P2 by ≈53-65%;\n\
+         M2 31-61%; M1 provides no benefit for large applications."
+    );
+}

@@ -1,0 +1,55 @@
+//! Fig. 8 — which proactive action dominates inside hybrid p-ckpt (P2)?
+//!
+//! For each application, sweeps the lead scale over ±90 % and prints the
+//! difference between LM's and p-ckpt's shares of mitigated failures,
+//! in percent of all mitigations: positive = LM dominant, negative =
+//! p-ckpt dominant.
+
+use pckpt_analysis::Table;
+use pckpt_bench::campaign;
+use pckpt_core::ModelKind;
+use pckpt_failure::FailureDistribution;
+use pckpt_workloads::TABLE_I;
+
+fn main() {
+    let scales = [0.1f64, 0.4, 0.7, 1.0, 1.3, 1.6, 1.9];
+    let labels = ["-90%", "-60%", "-30%", "0%", "+30%", "+60%", "+90%"];
+    let mut headers: Vec<String> = vec!["app".into()];
+    headers.extend(labels.iter().map(|s| s.to_string()));
+    let mut t = Table::new(headers).with_title(format!(
+        "Fig. 8 — FT-share difference (LM − p-ckpt)/(all mitigations) in P2, % \n\
+         (positive: LM dominant; negative: p-ckpt dominant; {} runs per cell)",
+        pckpt_bench::runs()
+    ));
+    for app in &TABLE_I {
+        let mut row = vec![app.name.to_string()];
+        for &scale in &scales {
+            let c = campaign(
+                *app,
+                &[ModelKind::P2],
+                FailureDistribution::OLCF_TITAN,
+                scale,
+                None,
+                None,
+            );
+            let a = c.get(ModelKind::P2).unwrap();
+            let lm = a.mitigated_lm.sum();
+            let pc = a.mitigated_pckpt.sum();
+            let total = lm + pc;
+            let diff = if total == 0.0 {
+                0.0
+            } else {
+                100.0 * (lm - pc) / total
+            };
+            row.push(format!("{diff:+.0}"));
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!(
+        "Paper shape: small apps stay above +75% across the whole range (LM handles\n\
+         everything); as application size grows the difference shrinks at base leads,\n\
+         and with shrinking leads p-ckpt takes over — earliest for CHIMERA, then XGC,\n\
+         then S3D (Observation 4)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Fluid-PFS fidelity study (extension).
+//!
+//! The paper's simulator computes PFS operation durations in closed form,
+//! implicitly assuming operations never overlap. Fluid mode routes every
+//! PFS byte through a weighted fluid-flow link, so the asynchronous drain
+//! genuinely contends with proactive commits and recovery reads — and the
+//! p-ckpt protocol's coordination (drain suspension) is exercised
+//! literally instead of being assumed.
+//!
+//! This study quantifies how much the closed-form shortcut matters: if
+//! the paper's assumption is sound, the two modes should agree closely —
+//! with the gap concentrated in M1 (the uncoordinated safeguard is the
+//! one model whose commits race its own drain).
+
+use pckpt_analysis::Table;
+use pckpt_core::iosim::PfsMode;
+use pckpt_core::{run_models, ModelKind, SimParams};
+use pckpt_failure::LeadTimeModel;
+use pckpt_workloads::Application;
+
+fn main() {
+    let leads = LeadTimeModel::desh_default();
+    let runner = pckpt_bench::runner();
+    let models = ModelKind::ALL;
+    let mut t = Table::new(vec![
+        "app",
+        "model",
+        "analytic total (h)",
+        "fluid total (h)",
+        "delta",
+        "analytic FT",
+        "fluid FT",
+    ])
+    .with_title(format!(
+        "Fluid vs analytic PFS timing ({} runs, paired traces)",
+        pckpt_bench::runs()
+    ));
+    for app_name in ["CHIMERA", "XGC", "POP"] {
+        let app = Application::by_name(app_name).unwrap();
+        let analytic = run_models(
+            &SimParams::paper_defaults(ModelKind::B, app),
+            &models,
+            &leads,
+            &runner,
+        );
+        let mut pf = SimParams::paper_defaults(ModelKind::B, app);
+        pf.pfs_mode = PfsMode::Fluid;
+        let fluid = run_models(&pf, &models, &leads, &runner);
+        for m in models {
+            let a = analytic.get(m).unwrap();
+            let f = fluid.get(m).unwrap();
+            let at = a.total_hours.mean();
+            let ft = f.total_hours.mean();
+            t.row(vec![
+                app_name.to_string(),
+                m.name().to_string(),
+                format!("{at:.2}"),
+                format!("{ft:.2}"),
+                format!("{:+.1}%", 100.0 * (ft - at) / at.max(1e-9)),
+                format!("{:.2}", a.ft_ratio_pooled()),
+                format!("{:.2}", f.ft_ratio_pooled()),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Reading: small deltas validate the paper's closed-form assumption (the OCI\n\
+         dwarfs the drain window). p-ckpt's FT ratios must be unchanged — the round\n\
+         suspends the drain, reproducing 'contention-free access' literally. Any\n\
+         FT-ratio loss concentrates in M1, whose safeguard commit races the drain."
+    );
+}

@@ -1,0 +1,41 @@
+//! Table IV — FT ratio for P1 and P2 under lead-time variability.
+
+use pckpt_analysis::report::ratio;
+use pckpt_analysis::Table;
+use pckpt_bench::{campaign, figure_apps, LEAD_SCALES, LEAD_SCALE_LABELS};
+use pckpt_core::ModelKind;
+use pckpt_failure::FailureDistribution;
+
+fn main() {
+    let models = [ModelKind::P1, ModelKind::P2];
+    let apps = figure_apps();
+    let mut t = Table::new(vec![
+        "lead", "CHIMERA P1", "CHIMERA P2", "XGC P1", "XGC P2", "POP P1", "POP P2",
+    ])
+    .with_title(format!(
+        "Table IV — FT ratio for applications under P1 and P2 ({} runs)",
+        pckpt_bench::runs()
+    ));
+    for (scale, label) in LEAD_SCALES.iter().zip(LEAD_SCALE_LABELS) {
+        let mut row = vec![label.to_string()];
+        for app in &apps {
+            let c = campaign(
+                *app,
+                &models,
+                FailureDistribution::OLCF_TITAN,
+                *scale,
+                None,
+                None,
+            );
+            for m in models {
+                row.push(ratio(c.get(m).unwrap().ft_ratio_pooled()));
+            }
+        }
+        t.row(row);
+    }
+    println!("{t}");
+    println!(
+        "Paper reference (Table IV): P1 ≈ P2 throughout; CHIMERA 0.70 at base leads\n\
+         degrading to 0.36 at -50%; XGC stable at 0.84; POP 0.85-0.88."
+    );
+}

@@ -1,0 +1,372 @@
+//! Minimal argument parsing (no external parser crates on the approved
+//! dependency list — the grammar is small enough to hand-roll and test).
+
+use pckpt_core::ModelKind;
+use pckpt_failure::FailureDistribution;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+usage:
+  pckpt simulate --app <NAME> --model <B|M1|M2|P1|P2> [common options]
+  pckpt compare  --app <NAME> [common options]
+  pckpt leads
+  pckpt io --app <NAME>
+  pckpt apps
+  pckpt logs generate --out <FILE> [--nodes 400] [--failures 900]
+                      [--months 6] [--seed 42]
+  pckpt logs analyze --in <FILE>
+  pckpt trace --app <NAME> --model <B|M1|M2|P1|P2> [--run 0] [--verbose true]
+              [common options]
+
+common options:
+  --runs <N>          Monte-Carlo runs (default 400)
+  --seed <N>          master seed (default 42)
+  --dist <D>          titan | lanl8 | lanl18 (default titan)
+  --lead-scale <F>    lead-time scaling, e.g. 0.5 = -50% (default 1.0)
+  --fn-rate <F>       predictor false-negative rate (default 0.15)
+  --alpha <F>         LM transfer factor (default 3.0)";
+
+/// Options shared by the simulation subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Application name (Table I).
+    pub app: String,
+    /// Monte-Carlo runs.
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Failure distribution.
+    pub dist: FailureDistribution,
+    /// Lead-time scaling factor.
+    pub lead_scale: f64,
+    /// False-negative rate.
+    pub fn_rate: f64,
+    /// LM transfer factor α.
+    pub alpha: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            app: String::new(),
+            runs: 400,
+            seed: 42,
+            dist: FailureDistribution::OLCF_TITAN,
+            lead_scale: 1.0,
+            fn_rate: 0.15,
+            alpha: 3.0,
+        }
+    }
+}
+
+/// Options for `logs generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogGenOptions {
+    /// Output path.
+    pub out: String,
+    /// Node count of the synthetic system.
+    pub nodes: u32,
+    /// Failures to plant.
+    pub failures: usize,
+    /// Log window length in months.
+    pub months: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// One model on one application.
+    Simulate(ModelKind, SimOptions),
+    /// All five models, paired traces.
+    Compare(SimOptions),
+    /// Print the lead-time model.
+    Leads,
+    /// Print derived I/O latencies for one app.
+    Io(String),
+    /// Print Table I.
+    Apps,
+    /// Generate a synthetic log file.
+    LogsGenerate(LogGenOptions),
+    /// Narrate one run of one model (run index, verbose flag).
+    Trace(ModelKind, SimOptions, usize, bool),
+    /// Mine failure chains from a log file.
+    LogsAnalyze(String),
+}
+
+/// Parses an argument vector into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    match sub.as_str() {
+        "leads" => expect_end(it).map(|()| Command::Leads),
+        "apps" => expect_end(it).map(|()| Command::Apps),
+        "io" => {
+            let (opts, extra) = parse_options(it)?;
+            if let Some(k) = extra.first() {
+                return Err(format!("unexpected option {k}"));
+            }
+            if opts.app.is_empty() {
+                return Err("io requires --app".into());
+            }
+            Ok(Command::Io(opts.app))
+        }
+        "simulate" => {
+            let (opts, extra) = parse_options(it)?;
+            let model = extract_model(&extra)?;
+            if opts.app.is_empty() {
+                return Err("simulate requires --app".into());
+            }
+            Ok(Command::Simulate(model, opts))
+        }
+        "compare" => {
+            let (opts, extra) = parse_options(it)?;
+            if let Some(k) = extra.first() {
+                return Err(format!("unexpected option {k}"));
+            }
+            if opts.app.is_empty() {
+                return Err("compare requires --app".into());
+            }
+            Ok(Command::Compare(opts))
+        }
+        "logs" => parse_logs(it),
+        "trace" => {
+            let (opts, extra) = parse_options(it)?;
+            let model = extract_model(&extra)?;
+            if opts.app.is_empty() {
+                return Err("trace requires --app".into());
+            }
+            let run = extract_kv(&extra, "--run")?.unwrap_or(0);
+            let verbose = extract_kv::<bool>(&extra, "--verbose")?.unwrap_or(false);
+            Ok(Command::Trace(model, opts, run, verbose))
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn parse_logs<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Command, String> {
+    let action = it.next().ok_or("logs requires generate|analyze")?;
+    match action.as_str() {
+        "generate" => {
+            let mut opts = LogGenOptions {
+                out: String::new(),
+                nodes: 400,
+                failures: 900,
+                months: 6.0,
+                seed: 42,
+            };
+            while let Some(key) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option {key} requires a value"))?;
+                match key.as_str() {
+                    "--out" => opts.out = value.clone(),
+                    "--nodes" => opts.nodes = parse_num(key, value)?,
+                    "--failures" => opts.failures = parse_num(key, value)?,
+                    "--months" => opts.months = parse_float(key, value, 0.1, 120.0)?,
+                    "--seed" => opts.seed = parse_num(key, value)?,
+                    other => return Err(format!("unknown option {other:?}")),
+                }
+            }
+            if opts.out.is_empty() {
+                return Err("logs generate requires --out".into());
+            }
+            if opts.nodes == 0 || opts.failures == 0 {
+                return Err("--nodes and --failures must be positive".into());
+            }
+            Ok(Command::LogsGenerate(opts))
+        }
+        "analyze" => {
+            let mut input = String::new();
+            while let Some(key) = it.next() {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("option {key} requires a value"))?;
+                match key.as_str() {
+                    "--in" => input = value.clone(),
+                    other => return Err(format!("unknown option {other:?}")),
+                }
+            }
+            if input.is_empty() {
+                return Err("logs analyze requires --in".into());
+            }
+            Ok(Command::LogsAnalyze(input))
+        }
+        other => Err(format!("unknown logs action {other:?}")),
+    }
+}
+
+fn expect_end<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), String> {
+    match it.next() {
+        None => Ok(()),
+        Some(x) => Err(format!("unexpected argument {x:?}")),
+    }
+}
+
+/// Parses `--key value` pairs; returns options plus any `--model` pair
+/// left for the caller.
+fn parse_options<'a>(
+    mut it: impl Iterator<Item = &'a String>,
+) -> Result<(SimOptions, Vec<String>), String> {
+    let mut opts = SimOptions::default();
+    let mut extra = Vec::new();
+    while let Some(key) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("option {key} requires a value"))?;
+        match key.as_str() {
+            "--app" => opts.app = value.clone(),
+            "--runs" => opts.runs = parse_num(key, value)?,
+            "--seed" => opts.seed = parse_num(key, value)?,
+            "--lead-scale" => opts.lead_scale = parse_float(key, value, 0.01, 10.0)?,
+            "--fn-rate" => opts.fn_rate = parse_float(key, value, 0.0, 1.0)?,
+            "--alpha" => opts.alpha = parse_float(key, value, 0.1, 100.0)?,
+            "--dist" => {
+                opts.dist = match value.to_ascii_lowercase().as_str() {
+                    "titan" => FailureDistribution::OLCF_TITAN,
+                    "lanl8" => FailureDistribution::LANL_SYSTEM_8,
+                    "lanl18" => FailureDistribution::LANL_SYSTEM_18,
+                    other => return Err(format!("unknown distribution {other:?}")),
+                }
+            }
+            "--model" | "--run" | "--verbose" => {
+                extra.push(key.clone());
+                extra.push(value.clone());
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if opts.runs == 0 {
+        return Err("--runs must be at least 1".into());
+    }
+    Ok((opts, extra))
+}
+
+/// Pulls an optional `--key value` pair out of the passthrough list.
+fn extract_kv<T: std::str::FromStr>(extra: &[String], key: &str) -> Result<Option<T>, String> {
+    match extra.iter().position(|k| k == key) {
+        None => Ok(None),
+        Some(pos) => extra[pos + 1]
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{key}: cannot parse {:?}", extra[pos + 1])),
+    }
+}
+
+fn extract_model(extra: &[String]) -> Result<ModelKind, String> {
+    let pos = extra
+        .iter()
+        .position(|k| k == "--model")
+        .ok_or("simulate requires --model")?;
+    let value = &extra[pos + 1];
+    ModelKind::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(value))
+        .ok_or_else(|| format!("unknown model {value:?} (use B, M1, M2, P1 or P2)"))
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{key}: cannot parse {value:?}"))
+}
+
+fn parse_float(key: &str, value: &str, lo: f64, hi: f64) -> Result<f64, String> {
+    let x: f64 = parse_num(key, value)?;
+    if !(lo..=hi).contains(&x) {
+        return Err(format!("{key}: {x} out of range [{lo}, {hi}]"));
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_simulate() {
+        let cmd = parse(&v(&[
+            "simulate", "--app", "XGC", "--model", "p2", "--runs", "10", "--lead-scale", "0.5",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate(model, opts) => {
+                assert_eq!(model, ModelKind::P2);
+                assert_eq!(opts.app, "XGC");
+                assert_eq!(opts.runs, 10);
+                assert_eq!(opts.lead_scale, 0.5);
+                assert_eq!(opts.seed, 42, "default seed");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_compare_with_distribution() {
+        let cmd = parse(&v(&["compare", "--app", "POP", "--dist", "lanl18"])).unwrap();
+        match cmd {
+            Command::Compare(opts) => {
+                assert_eq!(opts.dist, FailureDistribution::LANL_SYSTEM_18)
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bare_subcommands() {
+        assert_eq!(parse(&v(&["leads"])).unwrap(), Command::Leads);
+        assert_eq!(parse(&v(&["apps"])).unwrap(), Command::Apps);
+        assert_eq!(
+            parse(&v(&["io", "--app", "S3D"])).unwrap(),
+            Command::Io("S3D".into())
+        );
+    }
+
+    #[test]
+    fn parses_logs_subcommands() {
+        let cmd = parse(&v(&[
+            "logs", "generate", "--out", "/tmp/x.log", "--nodes", "64", "--failures", "50",
+            "--months", "1", "--seed", "7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::LogsGenerate(o) => {
+                assert_eq!(o.out, "/tmp/x.log");
+                assert_eq!(o.nodes, 64);
+                assert_eq!(o.failures, 50);
+                assert_eq!(o.months, 1.0);
+                assert_eq!(o.seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(
+            parse(&v(&["logs", "analyze", "--in", "f.log"])).unwrap(),
+            Command::LogsAnalyze("f.log".into())
+        );
+        assert!(parse(&v(&["logs"])).is_err());
+        assert!(parse(&v(&["logs", "generate"])).is_err()); // no --out
+        assert!(parse(&v(&["logs", "analyze"])).is_err()); // no --in
+        assert!(parse(&v(&["logs", "prune"])).is_err());
+        assert!(parse(&v(&["logs", "generate", "--out", "x", "--nodes", "0"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&v(&[])).is_err());
+        assert!(parse(&v(&["nope"])).is_err());
+        assert!(parse(&v(&["simulate", "--app", "XGC"])).is_err()); // no model
+        assert!(parse(&v(&["simulate", "--model", "P2"])).is_err()); // no app
+        assert!(parse(&v(&["simulate", "--app", "XGC", "--model", "Z9"])).is_err());
+        assert!(parse(&v(&["compare", "--app", "XGC", "--runs"])).is_err()); // dangling
+        assert!(parse(&v(&["compare", "--app", "XGC", "--runs", "0"])).is_err());
+        assert!(parse(&v(&["compare", "--app", "XGC", "--fn-rate", "1.5"])).is_err());
+        assert!(parse(&v(&["compare", "--app", "XGC", "--dist", "cori"])).is_err());
+        assert!(parse(&v(&["leads", "extra"])).is_err());
+        assert!(parse(&v(&["compare", "--app", "X", "--model", "P1"])).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Command implementations.
+
+use pckpt_analysis::Table;
+use pckpt_core::{run_models, Aggregate, ModelKind, RunnerConfig, SimParams};
+use pckpt_failure::LeadTimeModel;
+use pckpt_workloads::{Application, TABLE_I};
+
+use crate::args::{Command, LogGenOptions, SimOptions};
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Simulate(model, opts) => simulate(&[model], &opts),
+        Command::Compare(opts) => simulate(&ModelKind::ALL, &opts),
+        Command::Leads => leads(),
+        Command::Io(app) => io(&app),
+        Command::Apps => apps(),
+        Command::LogsGenerate(opts) => logs_generate(&opts),
+        Command::LogsAnalyze(path) => logs_analyze(&path),
+        Command::Trace(model, opts, run, verbose) => trace_run(model, &opts, run, verbose),
+    }
+}
+
+fn trace_run(model: ModelKind, opts: &SimOptions, run: usize, verbose: bool) -> Result<(), String> {
+    use pckpt_core::CrSim;
+    use pckpt_failure::{FailureTrace, TraceConfig};
+    use pckpt_simrng::SimRng;
+    let mut params = build_params(opts)?;
+    params.model = model;
+    let leads = LeadTimeModel::desh_default();
+    // Reconstruct exactly the trace that run `run` of a campaign with
+    // this seed would see.
+    let mut rng = SimRng::seed_from(opts.seed).split(run as u64);
+    let cfg = TraceConfig::new(
+        params.distribution,
+        params.app.nodes,
+        params.app.compute_hours * params.horizon_factor,
+    )
+    .with_lead_scale(params.lead_scale)
+    .with_projection(params.projection)
+    .with_node_selection(params.node_selection);
+    let failure_trace = FailureTrace::generate(&cfg, &leads, &params.predictor, &mut rng);
+    println!(
+        "run {run} of {} under {} (seed {}): {} failures, {} false alarms\n",
+        params.app.name,
+        model.name(),
+        opts.seed,
+        failure_trace.failure_count(),
+        failure_trace.false_positives.len()
+    );
+    let (result, story) = CrSim::new(params, failure_trace, &leads).run_traced();
+    print!("{}", story.render(verbose));
+    println!(
+        "\nwall {:.1} h (ideal {:.0} h) | ckpt {:.2} h, recomp {:.2} h, recovery {:.2} h | FT {:.2}",
+        result.wall_secs / 3600.0,
+        result.ideal_secs / 3600.0,
+        result.ledger.ckpt_bucket_secs() / 3600.0,
+        result.ledger.recomp_secs / 3600.0,
+        result.ledger.recovery_secs / 3600.0,
+        result.ledger.ft_ratio(),
+    );
+    Ok(())
+}
+
+fn logs_generate(opts: &LogGenOptions) -> Result<(), String> {
+    use pckpt_failure::chains::{write_log, LogGenerator};
+    use pckpt_simrng::SimRng;
+    let mut rng = SimRng::seed_from(opts.seed);
+    let window_secs = opts.months / 12.0 * 365.25 * 24.0 * 3600.0;
+    let (log, truth) =
+        LogGenerator::desh_default().generate(&mut rng, window_secs, opts.nodes, opts.failures);
+    let file = std::fs::File::create(&opts.out)
+        .map_err(|e| format!("cannot create {}: {e}", opts.out))?;
+    let mut w = std::io::BufWriter::new(file);
+    write_log(&mut w, &log).map_err(|e| format!("write failed: {e}"))?;
+    std::io::Write::flush(&mut w).map_err(|e| format!("flush failed: {e}"))?;
+    println!(
+        "wrote {} log lines ({} planted failures over {:.1} months on {} nodes) to {}",
+        log.len(),
+        truth.len(),
+        opts.months,
+        opts.nodes,
+        opts.out
+    );
+    Ok(())
+}
+
+fn logs_analyze(path: &str) -> Result<(), String> {
+    use pckpt_failure::chains::{read_log, ChainAnalyzer};
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let r = std::io::BufReader::new(file);
+    let log = read_log(r)?;
+    let report = ChainAnalyzer::desh_default().analyze(&log);
+    println!("{}: {} lines, {} failure chains mined", path, log.len(), report.chains.len());
+    let mut t = Table::new(vec!["seq", "instances", "mean lead (s)", "q1", "median", "q3"]);
+    for (id, n, plot) in report.boxplots() {
+        t.row(vec![
+            format!("{id}"),
+            format!("{n}"),
+            format!("{:.1}", plot.mean),
+            format!("{:.1}", plot.q1),
+            format!("{:.1}", plot.median),
+            format!("{:.1}", plot.q3),
+        ]);
+    }
+    println!("{t}");
+    let labels: Vec<(u32, &'static str)> = LeadTimeModel::desh_default()
+        .sequences()
+        .iter()
+        .map(|s| (s.id, s.label))
+        .collect();
+    let mined = report.to_leadtime_model(&labels);
+    println!(
+        "mined lead-time model: {} sequences, mixture mean {:.1}s",
+        mined.len(),
+        mined.mean_secs()
+    );
+    Ok(())
+}
+
+fn lookup(app: &str) -> Result<Application, String> {
+    Application::by_name(app).ok_or_else(|| {
+        format!(
+            "unknown application {app:?}; known: {}",
+            TABLE_I.map(|a| a.name).join(", ")
+        )
+    })
+}
+
+fn build_params(opts: &SimOptions) -> Result<SimParams, String> {
+    let app = lookup(&opts.app)?;
+    let mut params = SimParams::with_distribution(ModelKind::B, app, opts.dist);
+    params.lead_scale = opts.lead_scale;
+    params.lm_transfer_factor = opts.alpha;
+    params.predictor = params.predictor.with_false_negative_rate(opts.fn_rate);
+    Ok(params)
+}
+
+fn simulate(models: &[ModelKind], opts: &SimOptions) -> Result<(), String> {
+    let params = build_params(opts)?;
+    let leads = LeadTimeModel::desh_default();
+    println!(
+        "{} on {} ({} nodes), {} runs, seed {}, leads x{:.2}, FN {:.0}%, alpha {:.1}",
+        opts.dist.name,
+        params.app.name,
+        params.app.nodes,
+        opts.runs,
+        opts.seed,
+        opts.lead_scale,
+        opts.fn_rate * 100.0,
+        opts.alpha,
+    );
+    let campaign = run_models(
+        &params,
+        models,
+        &leads,
+        &RunnerConfig::new(opts.runs, opts.seed),
+    );
+    let base = campaign.get(ModelKind::B);
+    let mut t = Table::new(vec![
+        "model",
+        "ckpt (h)",
+        "recomp (h)",
+        "recovery (h)",
+        "total (h)",
+        "vs B",
+        "FT ratio",
+    ]);
+    for (model, agg) in campaign.models.iter().zip(&campaign.aggregates) {
+        t.row(vec![
+            model.name().to_string(),
+            format!("{:.2}", agg.ckpt_hours.mean()),
+            format!("{:.2}", agg.recomp_hours.mean()),
+            format!("{:.2}", agg.recovery_hours.mean()),
+            format!("{:.2}", agg.total_hours.mean()),
+            match base {
+                Some(b) if !std::ptr::eq(agg as *const Aggregate, b as *const Aggregate) => {
+                    format!("{:+.1}%", agg.reduction_vs(b))
+                }
+                _ => "-".to_string(),
+            },
+            format!("{:.2}", agg.ft_ratio_pooled()),
+        ]);
+    }
+    println!("{t}");
+    let first = &campaign.aggregates[0];
+    println!(
+        "{:.2} failures per run on average; wall time {:.1} h (ideal {:.0} h).",
+        first.failures.mean(),
+        first.wall_hours.mean(),
+        params.app.compute_hours,
+    );
+    Ok(())
+}
+
+fn leads() -> Result<(), String> {
+    let model = LeadTimeModel::desh_default();
+    let mut t = Table::new(vec!["seq", "label", "mean (s)", "sd (s)", "occurrences"])
+        .with_title("Lead-time model (Desh-calibrated, Fig. 2a)");
+    for s in model.sequences() {
+        t.row(vec![
+            format!("{}", s.id),
+            s.label.to_string(),
+            format!("{:.0}", s.mean_secs),
+            format!("{:.0}", s.sd_secs),
+            format!("{}", s.occurrences),
+        ]);
+    }
+    println!("{t}");
+    println!("Mixture mean: {:.1} s", model.mean_secs());
+    for threshold in [10.0, 30.0, 60.0, 120.0, 240.0] {
+        println!(
+            "  P(lead > {threshold:>5.0} s) = {:.3}",
+            model.survival(threshold)
+        );
+    }
+    Ok(())
+}
+
+fn io(app: &str) -> Result<(), String> {
+    let app = lookup(app)?;
+    let params = SimParams::paper_defaults(ModelKind::P2, app);
+    let per_node = params.per_node_bytes();
+    let pfs = &params.io.pfs;
+    println!("{} — derived I/O latencies (Summit hierarchy)", app.name);
+    println!("  checkpoint per node     : {:>10.2} GB", per_node / 1e9);
+    println!("  BB write (periodic ckpt): {:>10.2} s", params.bb_write_secs());
+    println!("  BB read  (recovery)     : {:>10.2} s", params.io.bb.read_secs(per_node));
+    println!(
+        "  PFS 1-node write (p-ckpt phase 1): {:>10.2} s",
+        pfs.single_node_write_secs(per_node)
+    );
+    println!(
+        "  PFS all-nodes write (safeguard)  : {:>10.2} s",
+        pfs.write_secs(app.nodes, per_node)
+    );
+    println!(
+        "  PFS all-nodes read (recovery)    : {:>10.2} s",
+        pfs.read_secs(app.nodes, per_node)
+    );
+    println!("  LM transfer theta                : {:>10.2} s", params.theta_secs());
+    println!(
+        "  OCI (Eq. 1, Titan rates)         : {:>10.2} h",
+        pckpt_core::oci::young_oci_secs(
+            params.bb_write_secs(),
+            params.distribution.job_rate(app.nodes)
+        ) / 3600.0
+    );
+    Ok(())
+}
+
+fn apps() -> Result<(), String> {
+    let mut t = Table::new(vec![
+        "application",
+        "nodes",
+        "ckpt total (GB)",
+        "ckpt/node (GB)",
+        "compute (h)",
+    ])
+    .with_title("Table I — workload characteristics");
+    for app in &TABLE_I {
+        t.row(vec![
+            app.name.to_string(),
+            format!("{}", app.nodes),
+            format!("{:.1}", app.checkpoint_total / 1e9),
+            format!("{:.2}", app.checkpoint_per_node_gb()),
+            format!("{:.0}", app.compute_hours),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::SimOptions;
+
+    #[test]
+    fn build_params_applies_overrides() {
+        let opts = SimOptions {
+            app: "XGC".into(),
+            lead_scale: 0.5,
+            alpha: 2.0,
+            fn_rate: 0.4,
+            ..Default::default()
+        };
+        let p = build_params(&opts).unwrap();
+        assert_eq!(p.app.name, "XGC");
+        assert_eq!(p.lead_scale, 0.5);
+        assert_eq!(p.lm_transfer_factor, 2.0);
+        assert!((p.predictor.recall() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_app_is_reported() {
+        let opts = SimOptions {
+            app: "NOPE".into(),
+            ..Default::default()
+        };
+        let err = build_params(&opts).unwrap_err();
+        assert!(err.contains("unknown application"));
+        assert!(err.contains("CHIMERA"));
+    }
+
+    #[test]
+    fn informational_commands_run() {
+        leads().unwrap();
+        io("POP").unwrap();
+        apps().unwrap();
+        assert!(io("NOPE").is_err());
+    }
+
+    #[test]
+    fn logs_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("pckpt-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("synthetic.log");
+        let path_str = path.to_str().unwrap().to_string();
+        logs_generate(&LogGenOptions {
+            out: path_str.clone(),
+            nodes: 64,
+            failures: 80,
+            months: 1.0,
+            seed: 9,
+        })
+        .unwrap();
+        logs_analyze(&path_str).unwrap();
+        assert!(logs_analyze("/nonexistent/file.log").is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_small_campaign_runs() {
+        let opts = SimOptions {
+            app: "VULCAN".into(),
+            runs: 2,
+            ..Default::default()
+        };
+        simulate(&[ModelKind::B], &opts).unwrap();
+        simulate(&ModelKind::ALL, &opts).unwrap();
+    }
+}

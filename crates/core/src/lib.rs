@@ -1,0 +1,45 @@
+//! `pckpt-core` — the paper's contribution: five C/R models and the
+//! coordinated prioritized checkpointing (p-ckpt) protocol.
+//!
+//! The crate simulates an HPC application running under one of five
+//! checkpoint/restart models (Secs. V & VII of the paper):
+//!
+//! | Model | Ingredients |
+//! |-------|-------------|
+//! | **B**  | periodic BB checkpointing + async PFS drain (no prediction) |
+//! | **M1** | B + failure prediction + *safeguard* checkpoints (all nodes → PFS just-in-time) |
+//! | **M2** | B + failure prediction + *live migration* (LM-C/R) |
+//! | **P1** | B + failure prediction + **p-ckpt** (coordinated prioritized checkpointing) |
+//! | **P2** | B + failure prediction + p-ckpt + LM (**hybrid p-ckpt**) |
+//!
+//! Module map:
+//!
+//! * [`config`] — model selection and all tunable parameters;
+//! * [`oci`] — optimal checkpoint intervals: Young's formula (Eq. 1) and
+//!   the LM-adjusted variant (Eq. 2) with the σ lead-time analysis;
+//! * [`protocol`] — the p-ckpt round state machine: node-local priority
+//!   queue (least lead time first), phase-1 prioritized vulnerable-node
+//!   commits, phase-2 collective commit (Fig. 5);
+//! * [`sim`] — the discrete-event C/R simulation of one run, built on
+//!   `pckpt-desim`;
+//! * [`metrics`] — the overhead ledger (checkpoint / recomputation /
+//!   recovery), FT-ratio accounting, and cross-run aggregation;
+//! * [`runner`] — Monte-Carlo driver: paired failure traces across
+//!   models, deterministic per-run RNG streams, thread-parallel
+//!   execution.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod iosim;
+pub mod metrics;
+pub mod oci;
+pub mod protocol;
+pub mod runner;
+pub mod sim;
+pub mod tracer;
+
+pub use config::{ModelKind, SimParams};
+pub use metrics::{Aggregate, OverheadLedger, RunResult};
+pub use runner::{run_many, run_models, CampaignResult, RunnerConfig};
+pub use sim::CrSim;

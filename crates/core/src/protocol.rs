@@ -1,0 +1,311 @@
+//! The p-ckpt round state machine (Sec. VI, Fig. 5).
+//!
+//! A *round* is one coordinated prioritized checkpoint:
+//!
+//! 1. a vulnerable node broadcasts a p-ckpt request; every node blocks;
+//! 2. **phase 1** — vulnerable nodes commit to the PFS one at a time,
+//!    ordered by a priority queue keyed on their lead-time deadline
+//!    (earliest predicted failure first: "a lower lead time implies a
+//!    higher priority"). Nodes predicted to fail while the round is
+//!    running join the queue;
+//! 3. **phase 2** — after the last vulnerable commit (the `pfs-commit`
+//!    broadcast), the remaining healthy nodes commit collectively.
+//!
+//! This type is pure bookkeeping — the simulator supplies all timing — so
+//! the protocol logic is unit-testable in isolation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pckpt_desim::SimTime;
+
+/// A vulnerable node queued in (or served by) a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vulnerable {
+    /// Job-local node index.
+    pub node: u32,
+    /// Predicted failure time (the priority key; earlier = served first).
+    pub deadline: SimTime,
+    /// Index of the genuine failure this prediction belongs to, or `None`
+    /// for a false positive.
+    pub fail_idx: Option<usize>,
+}
+
+/// Which phase the round is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Vulnerable nodes committing one at a time by priority.
+    Phase1,
+    /// Healthy nodes committing collectively.
+    Phase2,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct QueueEntry {
+    deadline: SimTime,
+    seq: u64,
+    entry: Vulnerable,
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// One coordinated prioritized checkpoint in progress.
+#[derive(Debug)]
+pub struct PckptRound {
+    level_secs: f64,
+    started: SimTime,
+    phase: Phase,
+    queue: BinaryHeap<Reverse<QueueEntry>>,
+    writer: Option<Vulnerable>,
+    committed: Vec<Vulnerable>,
+    phase2_joiners: Vec<Vulnerable>,
+    next_seq: u64,
+}
+
+impl PckptRound {
+    /// Opens a round checkpointing the application state at `level_secs`
+    /// of completed work, at wall time `started`.
+    pub fn new(level_secs: f64, started: SimTime) -> Self {
+        Self {
+            level_secs,
+            started,
+            phase: Phase::Phase1,
+            queue: BinaryHeap::new(),
+            writer: None,
+            committed: Vec::new(),
+            phase2_joiners: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The work level this round snapshots.
+    pub fn level_secs(&self) -> f64 {
+        self.level_secs
+    }
+
+    /// When the round started (its blocking time is `now − started`).
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Registers a vulnerable node.
+    ///
+    /// During phase 1 it joins the priority queue. During phase 2 its data
+    /// is already being written collectively, so it is recorded as covered
+    /// by the round's completion instead.
+    pub fn enqueue(&mut self, entry: Vulnerable) {
+        match self.phase {
+            Phase::Phase1 => {
+                self.queue.push(Reverse(QueueEntry {
+                    deadline: entry.deadline,
+                    seq: self.next_seq,
+                    entry,
+                }));
+                self.next_seq += 1;
+            }
+            Phase::Phase2 => self.phase2_joiners.push(entry),
+        }
+    }
+
+    /// Pops the highest-priority vulnerable node and makes it the current
+    /// phase-1 writer. Returns `None` when the queue is empty (time for
+    /// phase 2). Panics if called while a writer is active or in phase 2.
+    pub fn next_writer(&mut self) -> Option<Vulnerable> {
+        assert_eq!(self.phase, Phase::Phase1, "no phase-1 writers in phase 2");
+        assert!(self.writer.is_none(), "a writer is already active");
+        let next = self.queue.pop().map(|Reverse(q)| q.entry);
+        self.writer = next;
+        next
+    }
+
+    /// Marks the current writer's PFS commit complete (the mitigation
+    /// point for its failure). Returns the committed entry.
+    pub fn writer_committed(&mut self) -> Vulnerable {
+        let w = self.writer.take().expect("writer_committed without writer");
+        self.committed.push(w);
+        w
+    }
+
+    /// Transitions to phase 2 (the `pfs-commit` broadcast moment).
+    /// Panics if a writer is still active or the queue is non-empty.
+    pub fn begin_phase2(&mut self) {
+        assert_eq!(self.phase, Phase::Phase1);
+        assert!(self.writer.is_none(), "phase 2 with an active writer");
+        assert!(self.queue.is_empty(), "phase 2 with queued vulnerable nodes");
+        self.phase = Phase::Phase2;
+    }
+
+    /// Number of vulnerable nodes that committed in phase 1.
+    pub fn committed_count(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// True if `node` committed its checkpoint in phase 1 of this round.
+    pub fn is_committed(&self, node: u32) -> bool {
+        self.committed.iter().any(|v| v.node == node)
+    }
+
+    /// All failure indices covered once the round *completes*: phase-1
+    /// commits plus phase-2 joiners.
+    pub fn covered_fail_idxs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.committed
+            .iter()
+            .chain(&self.phase2_joiners)
+            .filter_map(|v| v.fail_idx)
+    }
+
+    /// Failure indices of phase-1 commits only (covered as soon as the
+    /// commit lands, even before the round completes).
+    pub fn committed_fail_idxs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.committed.iter().filter_map(|v| v.fail_idx)
+    }
+
+    /// True if phase 1 has no queued nodes and no active writer.
+    pub fn phase1_drained(&self) -> bool {
+        self.queue.is_empty() && self.writer.is_none()
+    }
+
+    /// Vulnerable entries still queued (for re-arming after an abort).
+    pub fn drain_queue(&mut self) -> Vec<Vulnerable> {
+        let mut out: Vec<Vulnerable> = self.queue.drain().map(|Reverse(q)| q.entry).collect();
+        out.sort_by_key(|v| v.deadline);
+        if let Some(w) = self.writer.take() {
+            out.insert(0, w);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn v(node: u32, deadline: f64, idx: Option<usize>) -> Vulnerable {
+        Vulnerable {
+            node,
+            deadline: t(deadline),
+            fail_idx: idx,
+        }
+    }
+
+    #[test]
+    fn writers_served_by_earliest_deadline() {
+        let mut r = PckptRound::new(100.0, t(0.0));
+        r.enqueue(v(1, 50.0, Some(0)));
+        r.enqueue(v(2, 20.0, Some(1)));
+        r.enqueue(v(3, 80.0, Some(2)));
+        assert_eq!(r.next_writer().unwrap().node, 2);
+        r.writer_committed();
+        assert_eq!(r.next_writer().unwrap().node, 1);
+        r.writer_committed();
+        assert_eq!(r.next_writer().unwrap().node, 3);
+        r.writer_committed();
+        assert!(r.next_writer().is_none());
+        assert_eq!(r.committed_count(), 3);
+    }
+
+    #[test]
+    fn fifo_between_equal_deadlines() {
+        let mut r = PckptRound::new(0.0, t(0.0));
+        r.enqueue(v(7, 10.0, None));
+        r.enqueue(v(8, 10.0, None));
+        assert_eq!(r.next_writer().unwrap().node, 7);
+        r.writer_committed();
+        assert_eq!(r.next_writer().unwrap().node, 8);
+    }
+
+    #[test]
+    fn late_arrival_with_shorter_deadline_jumps_queue() {
+        let mut r = PckptRound::new(0.0, t(0.0));
+        r.enqueue(v(1, 100.0, Some(0)));
+        r.enqueue(v(2, 200.0, Some(1)));
+        // Node 1 starts writing.
+        assert_eq!(r.next_writer().unwrap().node, 1);
+        // A new prediction with a very short lead arrives mid-write.
+        r.enqueue(v(3, 10.0, Some(2)));
+        r.writer_committed();
+        // Node 3 overtakes node 2.
+        assert_eq!(r.next_writer().unwrap().node, 3);
+    }
+
+    #[test]
+    fn phase_transitions_and_coverage() {
+        let mut r = PckptRound::new(42.0, t(1.0));
+        r.enqueue(v(1, 30.0, Some(5)));
+        r.next_writer();
+        r.writer_committed();
+        assert!(r.phase1_drained());
+        r.begin_phase2();
+        assert_eq!(r.phase(), Phase::Phase2);
+        // A prediction arriving in phase 2 is covered by round completion.
+        r.enqueue(v(9, 60.0, Some(6)));
+        let covered: Vec<usize> = r.covered_fail_idxs().collect();
+        assert_eq!(covered, vec![5, 6]);
+        let committed: Vec<usize> = r.committed_fail_idxs().collect();
+        assert_eq!(committed, vec![5]);
+        assert!(r.is_committed(1));
+        assert!(!r.is_committed(9));
+        assert_eq!(r.level_secs(), 42.0);
+        assert_eq!(r.started(), t(1.0));
+    }
+
+    #[test]
+    fn false_positives_carry_no_fail_idx() {
+        let mut r = PckptRound::new(0.0, t(0.0));
+        r.enqueue(v(1, 10.0, None));
+        r.next_writer();
+        r.writer_committed();
+        assert_eq!(r.covered_fail_idxs().count(), 0);
+        assert_eq!(r.committed_count(), 1);
+    }
+
+    #[test]
+    fn drain_queue_returns_writer_first_then_deadline_order() {
+        let mut r = PckptRound::new(0.0, t(0.0));
+        r.enqueue(v(1, 30.0, Some(0)));
+        r.enqueue(v(2, 10.0, Some(1)));
+        r.enqueue(v(3, 20.0, Some(2)));
+        let w = r.next_writer().unwrap();
+        assert_eq!(w.node, 2);
+        let drained = r.drain_queue();
+        let nodes: Vec<u32> = drained.iter().map(|e| e.node).collect();
+        assert_eq!(nodes, vec![2, 3, 1]);
+        assert!(r.phase1_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "phase 2 with queued")]
+    fn phase2_requires_drained_queue() {
+        let mut r = PckptRound::new(0.0, t(0.0));
+        r.enqueue(v(1, 10.0, None));
+        r.begin_phase2();
+    }
+
+    #[test]
+    #[should_panic(expected = "a writer is already active")]
+    fn single_writer_invariant() {
+        let mut r = PckptRound::new(0.0, t(0.0));
+        r.enqueue(v(1, 10.0, None));
+        r.enqueue(v(2, 20.0, None));
+        r.next_writer();
+        r.next_writer();
+    }
+}

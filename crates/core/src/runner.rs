@@ -1,0 +1,252 @@
+//! Monte-Carlo campaign driver.
+//!
+//! The paper averages every reported number over 1000 simulation runs
+//! (Sec. V). This module provides:
+//!
+//! * [`run_many`] — N runs of one configuration, aggregated;
+//! * [`run_models`] — N runs of *several models over identical failure
+//!   traces* (paired comparison: every model faces the same fates, which
+//!   removes between-model sampling noise from Figs. 6–8);
+//!
+//! both thread-parallel with deterministic per-run RNG streams: run *i*
+//! always draws from `master.split(i)` regardless of thread count, so
+//! results are bit-identical from laptop to CI.
+
+use std::thread;
+
+use pckpt_failure::{FailureTrace, LeadTimeModel, TraceConfig};
+use pckpt_simrng::SimRng;
+
+use crate::config::{ModelKind, SimParams};
+use crate::metrics::Aggregate;
+use crate::sim::CrSim;
+
+/// Campaign size and execution parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Number of Monte-Carlo runs.
+    pub runs: usize,
+    /// Master seed; run *i* uses stream `split(i)`.
+    pub base_seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl RunnerConfig {
+    /// `runs` runs from a seed, auto-threaded.
+    pub fn new(runs: usize, base_seed: u64) -> Self {
+        Self {
+            runs,
+            base_seed,
+            threads: 0,
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        let t = if self.threads == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.max(1).min(self.runs.max(1))
+    }
+}
+
+/// Results of a multi-model campaign over paired traces.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The models, in the order requested.
+    pub models: Vec<ModelKind>,
+    /// One aggregate per model (index-aligned with `models`).
+    pub aggregates: Vec<Aggregate>,
+}
+
+impl CampaignResult {
+    /// The aggregate for `model`, if it was part of the campaign.
+    pub fn get(&self, model: ModelKind) -> Option<&Aggregate> {
+        self.models
+            .iter()
+            .position(|&m| m == model)
+            .map(|i| &self.aggregates[i])
+    }
+
+    /// Overhead reduction (%) of `model` relative to `base`.
+    pub fn reduction(&self, model: ModelKind, base: ModelKind) -> Option<f64> {
+        Some(self.get(model)?.reduction_vs(self.get(base)?))
+    }
+}
+
+fn trace_config(params: &SimParams) -> TraceConfig {
+    TraceConfig::new(
+        params.distribution,
+        params.app.nodes,
+        params.app.compute_hours * params.horizon_factor,
+    )
+    .with_lead_scale(params.lead_scale)
+    .with_projection(params.projection)
+    .with_node_selection(params.node_selection)
+    .with_lead_error(params.lead_error_cv)
+}
+
+/// Runs one configuration `config.runs` times and aggregates.
+pub fn run_many(params: &SimParams, leads: &LeadTimeModel, config: &RunnerConfig) -> Aggregate {
+    let campaign = run_models(params, &[params.model], leads, config);
+    campaign.aggregates.into_iter().next().expect("one model")
+}
+
+/// Runs several models over paired failure traces.
+///
+/// `base_params.model` is ignored; each entry of `models` is simulated
+/// with otherwise identical parameters. Trace generation consumes the
+/// run's RNG stream once, so every model sees the same failures, leads,
+/// prediction outcomes and false positives.
+pub fn run_models(
+    base_params: &SimParams,
+    models: &[ModelKind],
+    leads: &LeadTimeModel,
+    config: &RunnerConfig,
+) -> CampaignResult {
+    assert!(!models.is_empty(), "at least one model required");
+    assert!(config.runs > 0, "at least one run required");
+    let master = SimRng::seed_from(config.base_seed);
+    let threads = config.effective_threads();
+    let tcfg = trace_config(base_params);
+
+    // Workers ship per-run results home; the fold happens on the main
+    // thread in run order, so the aggregate is *bit-identical* for any
+    // thread count (float accumulation is order-sensitive at the ulp
+    // level, and "same seed, same numbers" is part of this crate's
+    // contract).
+    let per_run: Vec<Vec<crate::metrics::RunResult>> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let master = master.clone();
+            let handle = scope.spawn(move || {
+                let mut out: Vec<(usize, Vec<crate::metrics::RunResult>)> = Vec::new();
+                let mut run = worker;
+                while run < config.runs {
+                    let mut rng = master.split(run as u64);
+                    let trace =
+                        FailureTrace::generate(&tcfg, leads, &base_params.predictor, &mut rng);
+                    // Every model of this run sees the same background-
+                    // traffic stream (paired comparison).
+                    let bg_rng = rng.split(0xB6);
+                    let results: Vec<crate::metrics::RunResult> = models
+                        .iter()
+                        .map(|&model| {
+                            let mut p = base_params.clone();
+                            p.model = model;
+                            CrSim::new(p, trace.clone(), leads)
+                                .with_bg_rng(bg_rng.clone())
+                                .run()
+                        })
+                        .collect();
+                    out.push((run, results));
+                    run += threads;
+                }
+                out
+            });
+            handles.push(handle);
+        }
+        let mut indexed: Vec<Option<Vec<crate::metrics::RunResult>>> =
+            (0..config.runs).map(|_| None).collect();
+        for handle in handles {
+            for (run, results) in handle.join().expect("worker panicked") {
+                indexed[run] = Some(results);
+            }
+        }
+        indexed
+            .into_iter()
+            .map(|r| r.expect("every run produced"))
+            .collect()
+    });
+    let mut aggregates: Vec<Aggregate> = models.iter().map(|_| Aggregate::new()).collect();
+    for results in &per_run {
+        for (agg, result) in aggregates.iter_mut().zip(results) {
+            agg.push(result);
+        }
+    }
+
+    CampaignResult {
+        models: models.to_vec(),
+        aggregates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pckpt_workloads::Application;
+
+    fn app_params(model: ModelKind, app: &str) -> SimParams {
+        SimParams::paper_defaults(model, Application::by_name(app).unwrap())
+    }
+
+    #[test]
+    fn run_many_aggregates_requested_runs() {
+        let leads = LeadTimeModel::desh_default();
+        let agg = run_many(
+            &app_params(ModelKind::B, "POP"),
+            &leads,
+            &RunnerConfig::new(8, 42),
+        );
+        assert_eq!(agg.runs(), 8);
+        assert!(agg.total_hours.mean() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_regardless_of_thread_count() {
+        let leads = LeadTimeModel::desh_default();
+        let mut one = RunnerConfig::new(6, 7);
+        one.threads = 1;
+        let mut four = RunnerConfig::new(6, 7);
+        four.threads = 4;
+        let a = run_many(&app_params(ModelKind::P2, "XGC"), &leads, &one);
+        let b = run_many(&app_params(ModelKind::P2, "XGC"), &leads, &four);
+        assert_eq!(a.runs(), b.runs());
+        assert!((a.total_hours.mean() - b.total_hours.mean()).abs() < 1e-9);
+        assert!((a.ft_ratio_mean() - b.ft_ratio_mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paired_campaign_shares_traces() {
+        let leads = LeadTimeModel::desh_default();
+        // XGC sees ~2.7 failures per 240 h run under Titan thinning —
+        // enough for the paired comparison to be meaningful at 20 runs.
+        let campaign = run_models(
+            &app_params(ModelKind::B, "XGC"),
+            &[ModelKind::B, ModelKind::P2],
+            &leads,
+            &RunnerConfig::new(20, 11),
+        );
+        let b = campaign.get(ModelKind::B).unwrap();
+        let p2 = campaign.get(ModelKind::P2).unwrap();
+        // Identical traces → identical failure counts.
+        assert_eq!(b.failures.mean(), p2.failures.mean());
+        assert!(b.failures.mean() > 1.0, "need failures for the comparison");
+        assert!(campaign.get(ModelKind::M1).is_none());
+        // P2 mitigates; B does not.
+        assert!(p2.ft_ratio_mean() > b.ft_ratio_mean());
+        let red = campaign.reduction(ModelKind::P2, ModelKind::B).unwrap();
+        assert!(red > 0.0, "P2 must reduce overhead vs B, got {red}%");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let leads = LeadTimeModel::desh_default();
+        let a = run_many(
+            &app_params(ModelKind::B, "XGC"),
+            &leads,
+            &RunnerConfig::new(5, 1),
+        );
+        let b = run_many(
+            &app_params(ModelKind::B, "XGC"),
+            &leads,
+            &RunnerConfig::new(5, 2),
+        );
+        assert!(
+            (a.failures.mean() - b.failures.mean()).abs() > 0.0
+                || (a.total_hours.mean() - b.total_hours.mean()).abs() > 1e-12
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Run tracing: the story of one simulated run.
+//!
+//! Aggregated metrics say *how much* overhead a model paid; a trace says
+//! *what happened* — when predictions arrived, which proactive action was
+//! chosen, how the race against each failure went. Enable with
+//! [`crate::sim::CrSim::run_traced`], or from the command line:
+//!
+//! ```text
+//! pckpt trace --app CHIMERA --model P2 --seed 7
+//! ```
+
+use pckpt_desim::SimTime;
+
+/// One recorded occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The trace alphabet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// The application state machine moved.
+    State(&'static str),
+    /// A prediction was delivered (node, usable lead seconds, genuine).
+    Prediction {
+        /// Predicted-to-fail node.
+        node: u32,
+        /// Usable lead time, seconds.
+        lead_secs: f64,
+        /// False for false positives.
+        genuine: bool,
+    },
+    /// A live migration started on a node.
+    LmStart(u32),
+    /// A live migration completed; the failure (if genuine) is avoided.
+    LmDone(u32),
+    /// A live migration was aborted in favour of p-ckpt.
+    LmAbort(u32),
+    /// A p-ckpt round opened.
+    RoundStart,
+    /// A vulnerable node's phase-1 commit landed.
+    Phase1Commit(u32),
+    /// The round's phase-2 collective commit finished (durable ckpt).
+    RoundComplete,
+    /// A safeguard commit started.
+    SafeguardStart,
+    /// The safeguard commit finished.
+    SafeguardDone,
+    /// A periodic checkpoint reached the burst buffers.
+    BbCkpt,
+    /// An asynchronous drain made a checkpoint PFS-durable.
+    DrainDone,
+    /// A failure struck (node, whether it was mitigated).
+    Failure {
+        /// Failing node.
+        node: u32,
+        /// True when a proactive mechanism covered it.
+        mitigated: bool,
+    },
+    /// Recovery began (work-seconds rolled back).
+    RecoveryStart {
+        /// Lost work being recomputed, seconds.
+        lost_secs: f64,
+    },
+    /// Recovery finished; computation resumes.
+    RecoveryDone,
+    /// The application completed its work.
+    Complete,
+}
+
+/// An append-only run trace.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl RunTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an event (monotone timestamps enforced in debug builds).
+    pub fn push(&mut self, at: SimTime, kind: TraceKind) {
+        debug_assert!(
+            self.events.last().map(|e| e.at <= at).unwrap_or(true),
+            "trace must be recorded in time order"
+        );
+        self.events.push(TraceEvent { at, kind });
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Renders the trace as a one-line-per-event narrative.
+    ///
+    /// `verbose = false` skips the periodic checkpoint/drain heartbeat and
+    /// keeps the fault-tolerance story (predictions, actions, failures).
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            let line = match &ev.kind {
+                TraceKind::BbCkpt | TraceKind::DrainDone | TraceKind::State(_) if !verbose => {
+                    continue
+                }
+                TraceKind::State(s) => format!("state → {s}"),
+                TraceKind::Prediction {
+                    node,
+                    lead_secs,
+                    genuine,
+                } => format!(
+                    "prediction: node {node} fails in {lead_secs:.1}s{}",
+                    if *genuine { "" } else { " [false alarm]" }
+                ),
+                TraceKind::LmStart(n) => format!("live migration started (node {n})"),
+                TraceKind::LmDone(n) => format!("live migration complete — node {n} vacated"),
+                TraceKind::LmAbort(n) => {
+                    format!("live migration ABORTED (node {n}) — p-ckpt takes over")
+                }
+                TraceKind::RoundStart => "p-ckpt round: all nodes freeze".to_string(),
+                TraceKind::Phase1Commit(n) => {
+                    format!("  phase 1: node {n} committed to PFS (mitigation point)")
+                }
+                TraceKind::RoundComplete => {
+                    "  phase 2 complete: checkpoint durable, computing resumes".to_string()
+                }
+                TraceKind::SafeguardStart => "safeguard commit: all nodes → PFS".to_string(),
+                TraceKind::SafeguardDone => "safeguard commit complete".to_string(),
+                TraceKind::BbCkpt => "periodic checkpoint → burst buffers".to_string(),
+                TraceKind::DrainDone => "async drain complete (ckpt now PFS-durable)".to_string(),
+                TraceKind::Failure { node, mitigated } => format!(
+                    "FAILURE on node {node} — {}",
+                    if *mitigated { "MITIGATED" } else { "unmitigated" }
+                ),
+                TraceKind::RecoveryStart { lost_secs } => {
+                    format!("recovery begins ({lost_secs:.0}s of work lost)")
+                }
+                TraceKind::RecoveryDone => "recovery complete".to_string(),
+                TraceKind::Complete => "application complete".to_string(),
+            };
+            out.push_str(&format!("[{:>10.1}h] {}\n", ev.at.as_hours(), line));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(h: f64) -> SimTime {
+        SimTime::from_hours(h)
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut tr = RunTrace::new();
+        tr.push(t(0.0), TraceKind::State("Computing"));
+        tr.push(t(1.0), TraceKind::BbCkpt);
+        tr.push(
+            t(2.0),
+            TraceKind::Prediction {
+                node: 3,
+                lead_secs: 60.0,
+                genuine: true,
+            },
+        );
+        tr.push(t(2.01), TraceKind::RoundStart);
+        tr.push(t(2.02), TraceKind::Phase1Commit(3));
+        tr.push(
+            t(2.03),
+            TraceKind::Failure {
+                node: 3,
+                mitigated: true,
+            },
+        );
+        assert_eq!(tr.len(), 6);
+        assert_eq!(tr.count(|k| matches!(k, TraceKind::Phase1Commit(_))), 1);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn render_filters_heartbeat_unless_verbose() {
+        let mut tr = RunTrace::new();
+        tr.push(t(0.5), TraceKind::BbCkpt);
+        tr.push(
+            t(1.0),
+            TraceKind::Failure {
+                node: 1,
+                mitigated: false,
+            },
+        );
+        let quiet = tr.render(false);
+        assert!(!quiet.contains("burst buffers"));
+        assert!(quiet.contains("FAILURE on node 1 — unmitigated"));
+        let loud = tr.render(true);
+        assert!(loud.contains("burst buffers"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time order")]
+    fn rejects_time_travel() {
+        let mut tr = RunTrace::new();
+        tr.push(t(2.0), TraceKind::BbCkpt);
+        tr.push(t(1.0), TraceKind::BbCkpt);
+    }
+}

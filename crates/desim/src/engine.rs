@@ -1,0 +1,355 @@
+//! The event-driven simulation loop.
+//!
+//! A model implements [`Model`] over its own event type; [`Simulation`]
+//! owns the event queue and drives `handle` until the queue drains, a time
+//! horizon is reached, or the model calls [`Ctx::stop`]. The model receives
+//! a [`Ctx`] giving it scheduling, cancellation, and clock access — but not
+//! access to the loop itself, so models cannot corrupt the causal order.
+//!
+//! ```
+//! use pckpt_desim::{Ctx, Model, SimDuration, Simulation};
+//!
+//! /// Emits one event per second and counts them.
+//! struct Heartbeat {
+//!     beats: u32,
+//! }
+//!
+//! impl Model for Heartbeat {
+//!     type Event = ();
+//!     fn init(&mut self, ctx: &mut Ctx<'_, ()>) {
+//!         ctx.schedule_in(SimDuration::from_secs(1.0), ());
+//!     }
+//!     fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _ev: ()) {
+//!         self.beats += 1;
+//!         if self.beats < 5 {
+//!             ctx.schedule_in(SimDuration::from_secs(1.0), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Heartbeat { beats: 0 });
+//! sim.run();
+//! assert_eq!(sim.model().beats, 5);
+//! assert_eq!(sim.now().as_secs(), 5.0);
+//! ```
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// Why the simulation loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No live events remained.
+    Drained,
+    /// The configured horizon was reached before the queue drained.
+    Horizon,
+    /// The model requested a stop via [`Ctx::stop`].
+    Requested,
+    /// The configured event budget was exhausted (runaway protection).
+    EventBudget,
+}
+
+/// Scheduling context handed to [`Model::handle`].
+pub struct Ctx<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedules an event after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.schedule_in(delay, event)
+    }
+
+    /// Schedules an event at absolute time `at` (must not be in the past).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        self.queue.schedule_at(at, event)
+    }
+
+    /// Schedules an event to fire immediately (at the current time, after
+    /// all events already scheduled for this instant).
+    pub fn schedule_now(&mut self, event: E) -> EventId {
+        self.queue.schedule_at(self.queue.now(), event)
+    }
+
+    /// Cancels a pending event; `true` if it was still live.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Requests the loop to stop after the current event is handled.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+
+    /// Number of live pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A discrete-event model: typed events plus a handler.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Called once before the first event, to seed the queue.
+    fn init(&mut self, ctx: &mut Ctx<'_, Self::Event>);
+
+    /// Handles one event at its scheduled time.
+    fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
+}
+
+/// Owns the queue and runs a [`Model`] to completion.
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    events_handled: u64,
+    event_budget: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation around `model`. `init` has not run yet; it runs
+    /// on the first call to a `run*` method.
+    pub fn new(model: M) -> Self {
+        Self {
+            model,
+            queue: EventQueue::new(),
+            events_handled: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Caps the total number of handled events (default: unlimited). A
+    /// safety net for property tests over adversarial inputs.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Runs until the queue drains or the model stops. Returns why.
+    pub fn run(&mut self) -> StopReason {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until `horizon` (inclusive), the queue drains, or the model
+    /// stops.
+    pub fn run_until(&mut self, horizon: SimTime) -> StopReason {
+        let mut stop = false;
+        if self.events_handled == 0 {
+            let mut ctx = Ctx {
+                queue: &mut self.queue,
+                stop: &mut stop,
+            };
+            self.model.init(&mut ctx);
+            if stop {
+                return StopReason::Requested;
+            }
+        }
+        loop {
+            if self.events_handled >= self.event_budget {
+                return StopReason::EventBudget;
+            }
+            match self.queue.peek_time() {
+                None => return StopReason::Drained,
+                Some(t) if t > horizon => return StopReason::Horizon,
+                Some(_) => {}
+            }
+            let (_, _, event) = self.queue.pop().expect("peeked event exists");
+            self.events_handled += 1;
+            let mut ctx = Ctx {
+                queue: &mut self.queue,
+                stop: &mut stop,
+            };
+            self.model.handle(&mut ctx, event);
+            if stop {
+                return StopReason::Requested;
+            }
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to read out metrics between
+    /// phased `run_until` calls).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that re-schedules itself `n` times at a fixed period.
+    struct Ticker {
+        period: SimDuration,
+        remaining: u32,
+        fire_times: Vec<SimTime>,
+    }
+
+    impl Model for Ticker {
+        type Event = ();
+
+        fn init(&mut self, ctx: &mut Ctx<'_, ()>) {
+            if self.remaining > 0 {
+                ctx.schedule_in(self.period, ());
+            }
+        }
+
+        fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _: ()) {
+            self.fire_times.push(ctx.now());
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.schedule_in(self.period, ());
+            }
+        }
+    }
+
+    #[test]
+    fn ticker_fires_periodically_and_drains() {
+        let mut sim = Simulation::new(Ticker {
+            period: SimDuration::from_secs(2.0),
+            remaining: 3,
+            fire_times: Vec::new(),
+        });
+        assert_eq!(sim.run(), StopReason::Drained);
+        assert_eq!(
+            sim.model().fire_times,
+            vec![
+                SimTime::from_secs(2.0),
+                SimTime::from_secs(4.0),
+                SimTime::from_secs(6.0)
+            ]
+        );
+        assert_eq!(sim.events_handled(), 3);
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let mut sim = Simulation::new(Ticker {
+            period: SimDuration::from_secs(10.0),
+            remaining: 100,
+            fire_times: Vec::new(),
+        });
+        assert_eq!(sim.run_until(SimTime::from_secs(35.0)), StopReason::Horizon);
+        assert_eq!(sim.model().fire_times.len(), 3);
+        // Resuming continues from where we left off.
+        assert_eq!(sim.run_until(SimTime::from_secs(55.0)), StopReason::Horizon);
+        assert_eq!(sim.model().fire_times.len(), 5);
+    }
+
+    struct Stopper;
+    impl Model for Stopper {
+        type Event = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            for i in 0..10 {
+                ctx.schedule_in(SimDuration::from_secs(i as f64 + 1.0), i);
+            }
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+            if ev == 2 {
+                ctx.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn model_can_stop_the_loop() {
+        let mut sim = Simulation::new(Stopper);
+        assert_eq!(sim.run(), StopReason::Requested);
+        assert_eq!(sim.events_handled(), 3);
+        assert_eq!(sim.now(), SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    fn event_budget_guards_runaway_models() {
+        let mut sim = Simulation::new(Ticker {
+            period: SimDuration::from_secs(1.0),
+            remaining: u32::MAX,
+            fire_times: Vec::new(),
+        })
+        .with_event_budget(50);
+        assert_eq!(sim.run(), StopReason::EventBudget);
+        assert_eq!(sim.events_handled(), 50);
+    }
+
+    struct CancelModel {
+        victim: Option<crate::queue::EventId>,
+        handled: Vec<&'static str>,
+    }
+    impl Model for CancelModel {
+        type Event = &'static str;
+        fn init(&mut self, ctx: &mut Ctx<'_, &'static str>) {
+            ctx.schedule_in(SimDuration::from_secs(1.0), "canceller");
+            self.victim = Some(ctx.schedule_in(SimDuration::from_secs(2.0), "victim"));
+            ctx.schedule_in(SimDuration::from_secs(3.0), "survivor");
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_, &'static str>, ev: &'static str) {
+            self.handled.push(ev);
+            if ev == "canceller" {
+                assert!(ctx.cancel(self.victim.take().unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn events_cancelled_from_handlers_never_fire() {
+        let mut sim = Simulation::new(CancelModel {
+            victim: None,
+            handled: Vec::new(),
+        });
+        sim.run();
+        assert_eq!(sim.model().handled, vec!["canceller", "survivor"]);
+    }
+
+    struct NowScheduler {
+        order: Vec<u32>,
+    }
+    impl Model for NowScheduler {
+        type Event = u32;
+        fn init(&mut self, ctx: &mut Ctx<'_, u32>) {
+            ctx.schedule_in(SimDuration::from_secs(1.0), 0);
+        }
+        fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+            self.order.push(ev);
+            if ev == 0 {
+                // Same-timestamp events run after already-queued peers, in
+                // scheduling order.
+                ctx.schedule_now(1);
+                ctx.schedule_now(2);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_now_preserves_fifo_at_same_instant() {
+        let mut sim = Simulation::new(NowScheduler { order: Vec::new() });
+        sim.run();
+        assert_eq!(sim.model().order, vec![0, 1, 2]);
+        assert_eq!(sim.now(), SimTime::from_secs(1.0));
+    }
+}

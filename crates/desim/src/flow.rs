@@ -1,0 +1,483 @@
+//! Fluid-flow model of a shared transfer link.
+//!
+//! Checkpoint traffic in the paper is bulk data movement over shared media
+//! (burst-buffer device, node NIC, the PFS as a whole). Simulating
+//! individual I/O requests would be both slow and spuriously precise;
+//! instead, each medium is a [`FlowLink`]: concurrent transfers progress
+//! simultaneously, each receiving an equal share of an aggregate capacity
+//! that may itself depend on how many transfers are active (this is how the
+//! weak-scaling GPFS matrix of Fig. 2c enters the simulation — aggregate
+//! bandwidth is *not* proportional to writer count).
+//!
+//! The link is passive: it never touches the event queue. The owning model
+//! asks [`FlowLink::next_completion`] after every mutation and (re)schedules
+//! its own completion event. Stale completion events are detected with
+//! [`FlowLink::epoch`], which increments on every state change.
+//!
+//! ```
+//! use pckpt_desim::{FlowLink, SimTime};
+//!
+//! // A 100 B/s link carrying two equal transfers: each gets 50 B/s.
+//! let mut link = FlowLink::with_constant_capacity(100.0);
+//! let t0 = SimTime::ZERO;
+//! link.start(t0, 100.0);
+//! link.start(t0, 100.0);
+//! let done_at = link.next_completion(t0).unwrap();
+//! assert_eq!(done_at.as_secs(), 2.0);
+//! assert_eq!(link.take_completed(done_at).len(), 2);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies one in-flight transfer on a [`FlowLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransferId(u64);
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining: f64, // bytes
+    started: SimTime,
+    total: f64,
+    weight: f64,
+}
+
+/// A shared link carrying concurrent fluid transfers.
+///
+/// Transfers can be *weighted*: a transfer of weight `w` receives
+/// `w / W_total` of the capacity, and the capacity function is consulted
+/// with the total active weight. This models per-node fair sharing on a
+/// parallel file system — a 512-node drain and a single-node commit are
+/// one transfer each, but the drain holds 512× the bandwidth share and
+/// the aggregate capacity curve sees 513 writers.
+pub struct FlowLink {
+    /// Aggregate capacity (bytes/sec) as a function of the total active
+    /// weight (= writer count for node-weighted transfers). Must be
+    /// strictly positive for any non-zero weight.
+    capacity: Box<dyn Fn(usize) -> f64 + Send>,
+    flows: HashMap<TransferId, Flow>,
+    last_advance: SimTime,
+    next_id: u64,
+    epoch: u64,
+    bytes_moved: f64,
+}
+
+impl std::fmt::Debug for FlowLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowLink")
+            .field("active", &self.flows.len())
+            .field("last_advance", &self.last_advance)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+/// Base completion threshold: a flow with less than this many bytes left
+/// is done. The effective threshold is rate-aware — simulation time has
+/// nanosecond resolution, so at rate `r` a completion instant can be off
+/// by up to ~1 ns, leaving `r × 1e-9` bytes (≈13 bytes at 13 GB/s).
+const DONE_EPSILON: f64 = 1.0;
+
+/// Effective completion threshold for a flow moving at `rate` bytes/sec.
+fn done_threshold(rate: f64) -> f64 {
+    DONE_EPSILON + rate * 2e-9
+}
+
+impl FlowLink {
+    /// Creates a link with a constant aggregate capacity in bytes/sec.
+    pub fn with_constant_capacity(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "link capacity must be > 0");
+        Self::with_capacity_fn(move |_| bytes_per_sec)
+    }
+
+    /// Creates a link whose aggregate capacity depends on the number of
+    /// active transfers (e.g. the GPFS weak-scaling matrix).
+    pub fn with_capacity_fn(f: impl Fn(usize) -> f64 + Send + 'static) -> Self {
+        Self {
+            capacity: Box::new(f),
+            flows: HashMap::new(),
+            last_advance: SimTime::ZERO,
+            next_id: 0,
+            epoch: 0,
+            bytes_moved: 0.0,
+        }
+    }
+
+    /// Total active weight.
+    fn total_weight(&self) -> f64 {
+        self.flows.values().map(|f| f.weight).sum()
+    }
+
+    /// Bandwidth of one unit of weight at the current membership.
+    fn rate_per_weight(&self) -> f64 {
+        let w = self.total_weight();
+        if w <= 0.0 {
+            return 0.0;
+        }
+        let writers = w.ceil() as usize;
+        let cap = (self.capacity)(writers);
+        assert!(
+            cap > 0.0 && cap.is_finite(),
+            "capacity function returned {cap} for weight {w}"
+        );
+        cap / w
+    }
+
+    /// Advances all flows to `now`. Must be called (and is called by every
+    /// mutating method) with a monotonically non-decreasing `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_advance,
+            "FlowLink time went backwards: {now} < {}",
+            self.last_advance
+        );
+        let dt = now.since(self.last_advance).as_secs();
+        if dt > 0.0 && !self.flows.is_empty() {
+            let rpw = self.rate_per_weight();
+            for flow in self.flows.values_mut() {
+                let step = (rpw * flow.weight * dt).min(flow.remaining);
+                flow.remaining -= step;
+                self.bytes_moved += step;
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Starts a transfer of `bytes` with unit weight at time `now`.
+    /// Zero-byte transfers are legal and complete at the next
+    /// [`FlowLink::take_completed`] call.
+    pub fn start(&mut self, now: SimTime, bytes: f64) -> TransferId {
+        self.start_weighted(now, bytes, 1.0)
+    }
+
+    /// Starts a transfer of `bytes` carrying `weight` units of bandwidth
+    /// share (e.g. the number of nodes writing collectively).
+    pub fn start_weighted(&mut self, now: SimTime, bytes: f64, weight: f64) -> TransferId {
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "transfer size must be finite and non-negative, got {bytes}"
+        );
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "transfer weight must be positive, got {weight}"
+        );
+        self.advance(now);
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.epoch += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                remaining: bytes,
+                started: now,
+                total: bytes,
+                weight,
+            },
+        );
+        id
+    }
+
+    /// Aborts a transfer, returning the bytes it still had left, or `None`
+    /// if it was not active (already completed or cancelled).
+    pub fn cancel(&mut self, now: SimTime, id: TransferId) -> Option<f64> {
+        self.advance(now);
+        let flow = self.flows.remove(&id)?;
+        self.epoch += 1;
+        Some(flow.remaining)
+    }
+
+    /// When, at current rates, will the earliest active transfer finish?
+    ///
+    /// Returns `None` if no transfers are active. The returned time is the
+    /// moment the first flow's remaining volume reaches zero; the owner
+    /// should schedule a completion event there and call
+    /// [`FlowLink::take_completed`] when it fires.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        debug_assert!(now >= self.last_advance);
+        let already = now.since(self.last_advance).as_secs();
+        let rpw = self.rate_per_weight();
+        let min_dt = self
+            .flows
+            .values()
+            .map(|f| {
+                let rate = rpw * f.weight;
+                let outstanding = (f.remaining - already * rate).max(0.0);
+                if outstanding <= done_threshold(rate) {
+                    0.0
+                } else {
+                    outstanding / rate
+                }
+            })
+            .fold(f64::INFINITY, f64::min);
+        // Round *up* to the next nanosecond so the scheduled instant never
+        // undershoots the completion (undershooting by even 1 ns leaves
+        // bytes at multi-GB/s rates).
+        Some(now + SimDuration::from_nanos((min_dt * 1e9).ceil() as u64))
+    }
+
+    /// Advances to `now` and removes every transfer that has finished,
+    /// returning `(id, total_bytes, started_at)` for each in start order.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<(TransferId, f64, SimTime)> {
+        self.advance(now);
+        let rpw = self.rate_per_weight();
+        let mut done: Vec<(TransferId, f64, SimTime)> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= done_threshold(rpw * f.weight))
+            .map(|(&id, f)| (id, f.total, f.started))
+            .collect();
+        done.sort_by_key(|&(id, _, _)| id);
+        for &(id, _, _) in &done {
+            let f = self.flows.remove(&id).expect("listed as done");
+            // Account the rounding remainder so bytes_moved stays exact.
+            self.bytes_moved += f.remaining;
+        }
+        if !done.is_empty() {
+            self.epoch += 1;
+        }
+        done
+    }
+
+    /// Monotone counter incremented on every membership change. Owners
+    /// stamp their scheduled completion events with this and discard stale
+    /// ones.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of active transfers.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if no transfers are in flight.
+    pub fn is_idle(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Total bytes delivered since construction.
+    pub fn bytes_moved(&self) -> f64 {
+        self.bytes_moved
+    }
+
+    /// Remaining bytes of an active transfer (as of the last advance).
+    pub fn remaining(&self, id: TransferId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_transfer_takes_bytes_over_capacity() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        link.start(t(0.0), 500.0);
+        let finish = link.next_completion(t(0.0)).unwrap();
+        assert!((finish.as_secs() - 5.0).abs() < 1e-6);
+        let done = link.take_completed(finish);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, 500.0);
+        assert!(link.is_idle());
+        assert!((link.bytes_moved() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_equal_transfers_share_fairly() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        link.start(t(0.0), 100.0);
+        link.start(t(0.0), 100.0);
+        // Each gets 50 B/s → both finish at t=2.
+        let finish = link.next_completion(t(0.0)).unwrap();
+        assert!((finish.as_secs() - 2.0).abs() < 1e-6);
+        let done = link.take_completed(finish);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn late_joiner_slows_existing_transfer() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        let a = link.start(t(0.0), 100.0);
+        // At t=0.5, A has 50 B left; B joins with 100 B.
+        let b = link.start(t(0.5), 100.0);
+        // Shares are 50 B/s each → A finishes at t=1.5, B at t=2.5.
+        let fin_a = link.next_completion(t(0.5)).unwrap();
+        assert!((fin_a.as_secs() - 1.5).abs() < 1e-6);
+        let done = link.take_completed(fin_a);
+        assert_eq!(done[0].0, a);
+        // A gone → B back to full rate with 50 B left → t=2.0.
+        let fin_b = link.next_completion(fin_a).unwrap();
+        assert!((fin_b.as_secs() - 2.0).abs() < 1e-6);
+        let done = link.take_completed(fin_b);
+        assert_eq!(done[0].0, b);
+    }
+
+    #[test]
+    fn cancel_returns_remaining_and_restores_rate() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        let a = link.start(t(0.0), 1000.0);
+        link.start(t(0.0), 1000.0);
+        let rem = link.cancel(t(4.0), a).unwrap();
+        // 4 s at 50 B/s each → 200 drained, 800 left.
+        assert!((rem - 800.0).abs() < 1e-6);
+        assert!(link.cancel(t(4.0), a).is_none(), "double cancel is None");
+        // Survivor now drains at 100 B/s with 800 left → t=12.
+        let fin = link.next_completion(t(4.0)).unwrap();
+        assert!((fin.as_secs() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn load_dependent_capacity_is_consulted() {
+        // Aggregate capacity saturates: 100 for one flow, 150 for two.
+        let mut link = FlowLink::with_capacity_fn(|n| if n <= 1 { 100.0 } else { 150.0 });
+        link.start(t(0.0), 100.0);
+        link.start(t(0.0), 100.0);
+        // Each gets 75 B/s → finish at t≈1.333.
+        let fin = link.next_completion(t(0.0)).unwrap();
+        assert!((fin.as_secs() - 100.0 / 75.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_transfer_completes_immediately() {
+        let mut link = FlowLink::with_constant_capacity(10.0);
+        let id = link.start(t(1.0), 0.0);
+        let fin = link.next_completion(t(1.0)).unwrap();
+        assert_eq!(fin, t(1.0));
+        let done = link.take_completed(t(1.0));
+        assert_eq!(done[0].0, id);
+    }
+
+    #[test]
+    fn epoch_increments_on_membership_changes_only() {
+        let mut link = FlowLink::with_constant_capacity(10.0);
+        let e0 = link.epoch();
+        let id = link.start(t(0.0), 10.0);
+        assert!(link.epoch() > e0);
+        let e1 = link.epoch();
+        link.advance(t(0.5));
+        assert_eq!(link.epoch(), e1, "advance must not bump the epoch");
+        link.cancel(t(0.5), id);
+        assert!(link.epoch() > e1);
+    }
+
+    #[test]
+    fn next_completion_accounts_for_time_since_last_advance() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        link.start(t(0.0), 100.0);
+        // Asking at t=0.75 without advancing must still answer t=1.0.
+        let fin = link.next_completion(t(0.75)).unwrap();
+        assert!((fin.as_secs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn remaining_tracks_progress() {
+        let mut link = FlowLink::with_constant_capacity(10.0);
+        let id = link.start(t(0.0), 100.0);
+        link.advance(t(3.0));
+        assert!((link.remaining(id).unwrap() - 70.0).abs() < 1e-6);
+        assert_eq!(link.remaining(TransferId(999)), None);
+    }
+
+    #[test]
+    fn conservation_of_bytes_across_churn() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        let mut injected = 0.0;
+        let mut returned = 0.0;
+        let mut clock = 0.0;
+        let mut ids = Vec::new();
+        for i in 0..20 {
+            let bytes = 50.0 + i as f64 * 10.0;
+            injected += bytes;
+            ids.push(link.start(t(clock), bytes));
+            clock += 0.3;
+            if i % 3 == 0 {
+                if let Some(rem) = link.cancel(t(clock), ids[i / 2]) {
+                    returned += rem;
+                }
+            }
+            for (_, _, _) in link.take_completed(t(clock)) {}
+            clock += 0.1;
+        }
+        // Drain everything that's left.
+        while let Some(fin) = link.next_completion(t(clock)) {
+            clock = fin.as_secs();
+            link.take_completed(fin);
+        }
+        let moved = link.bytes_moved();
+        assert!(
+            (injected - returned - moved).abs() < 1e-3,
+            "injected {injected} = returned {returned} + moved {moved}"
+        );
+    }
+
+    #[test]
+    fn weighted_transfers_share_proportionally() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        // A 3-weight drain and a 1-weight commit: 75 vs 25 B/s.
+        let heavy = link.start_weighted(t(0.0), 300.0, 3.0);
+        let light = link.start_weighted(t(0.0), 100.0, 1.0);
+        // Both finish at t=4 (300/75 = 100/25).
+        let fin = link.next_completion(t(0.0)).unwrap();
+        assert!((fin.as_secs() - 4.0).abs() < 1e-6);
+        let done = link.take_completed(fin);
+        assert_eq!(done.len(), 2);
+        let _ = (heavy, light);
+    }
+
+    #[test]
+    fn weighted_capacity_fn_sees_total_weight() {
+        // Capacity grows with writer count: 100·writers^0.5.
+        let mut link = FlowLink::with_capacity_fn(|w| 100.0 * (w as f64).sqrt());
+        link.start_weighted(t(0.0), 1_000.0, 4.0);
+        // Total weight 4 → capacity 200, all of it to this flow → t=5.
+        let fin = link.next_completion(t(0.0)).unwrap();
+        assert!((fin.as_secs() - 5.0).abs() < 1e-6, "fin = {fin}");
+        // Add a unit-weight flow: weight 5 → capacity 100·√5 ≈ 223.6;
+        // heavy gets 4/5 ≈ 178.9 B/s, light 44.7 B/s.
+        link.advance(t(1.0));
+        link.start_weighted(t(1.0), 44.7, 1.0);
+        let fin2 = link.next_completion(t(1.0)).unwrap();
+        assert!((fin2.as_secs() - 2.0).abs() < 0.01, "fin2 = {fin2}");
+    }
+
+    #[test]
+    fn weighted_early_finisher_frees_share() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        let small = link.start_weighted(t(0.0), 25.0, 1.0);
+        let big = link.start_weighted(t(0.0), 300.0, 3.0);
+        // small at 25 B/s finishes at t=1; big has 225 left, then runs at
+        // the full 100 B/s → finishes at t = 1 + 2.25.
+        let f1 = link.next_completion(t(0.0)).unwrap();
+        assert!((f1.as_secs() - 1.0).abs() < 1e-6);
+        let done = link.take_completed(f1);
+        assert_eq!(done[0].0, small);
+        let f2 = link.next_completion(f1).unwrap();
+        assert!((f2.as_secs() - 3.25).abs() < 1e-6, "f2 = {f2}");
+        let done = link.take_completed(f2);
+        assert_eq!(done[0].0, big);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let mut link = FlowLink::with_constant_capacity(10.0);
+        link.start_weighted(t(0.0), 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rewinding_time_panics() {
+        let mut link = FlowLink::with_constant_capacity(10.0);
+        link.advance(t(5.0));
+        link.advance(t(4.0));
+    }
+}

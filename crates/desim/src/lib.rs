@@ -1,0 +1,45 @@
+//! `pckpt-desim` — a discrete-event simulation engine.
+//!
+//! The paper evaluates its C/R models with SimPy, a process-based
+//! discrete-event simulation framework. This crate is the Rust substrate
+//! playing that role. It provides two complementary programming models:
+//!
+//! 1. **Event-driven** ([`engine`], [`queue`]): a model implements
+//!    [`engine::Model`] and handles typed events popped from a cancellable
+//!    priority queue. This is the style the p-ckpt C/R simulator uses —
+//!    coordination protocols with aborts (live migration cancelled by a
+//!    higher-priority prediction) map naturally onto explicit state
+//!    machines plus event cancellation.
+//! 2. **Process-based** ([`process`], [`resource`]): SimPy-flavored
+//!    cooperative processes that `sleep`, wait on [`process::SignalId`]s,
+//!    acquire prioritized [`resource::Resource`] slots, and can be
+//!    interrupted. Processes are poll-style state machines (stable Rust has
+//!    no coroutines), resumed with a [`process::Wake`] describing why they
+//!    ran.
+//!
+//! On top of both sits [`flow`], a fluid-flow model of shared links:
+//! concurrent transfers progress simultaneously at a fair share of a
+//! (possibly load-dependent) capacity, which is how the PFS and burst
+//! buffer bandwidth contention of the paper's I/O model is simulated
+//! without simulating individual I/O requests.
+//!
+//! Determinism: ties in event time are broken by schedule order (a
+//! monotone sequence number), so a simulation is a pure function of its
+//! inputs and RNG seed.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod flow;
+pub mod monitor;
+pub mod process;
+pub mod queue;
+pub mod resource;
+pub mod store;
+pub mod time;
+
+pub use engine::{Ctx, Model, Simulation};
+pub use flow::{FlowLink, TransferId};
+pub use monitor::{Counter, TimeSeries, TimeWeighted};
+pub use queue::{EventId, EventQueue};
+pub use time::{SimDuration, SimTime};

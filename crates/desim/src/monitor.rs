@@ -1,0 +1,200 @@
+//! Measurement instruments for simulations.
+//!
+//! The C/R metrics of the paper (checkpoint, recomputation and recovery
+//! overheads; FT ratios) are accumulated with these small instruments so
+//! that the accounting logic is testable in isolation from the models.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotone named counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Time-weighted statistics of a piecewise-constant signal (e.g. number of
+/// nodes draining to the PFS, length of the vulnerable-node queue).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    observed: SimDuration,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Creates the instrument with an initial value at t = 0.
+    pub fn new(initial: f64) -> Self {
+        Self {
+            value: initial,
+            last_change: SimTime::ZERO,
+            weighted_sum: 0.0,
+            observed: SimDuration::ZERO,
+            max: initial,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.since(self.last_change);
+        self.weighted_sum += self.value * dt.as_secs();
+        self.observed += dt;
+        self.last_change = now;
+        self.value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Adds `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// The signal's current value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Maximum value ever observed.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted mean over `[0, now]`.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let dt = now.since(self.last_change);
+        let total = self.observed + dt;
+        if total.is_zero() {
+            return self.value;
+        }
+        (self.weighted_sum + self.value * dt.as_secs()) / total.as_secs()
+    }
+}
+
+/// An append-only series of `(time, value)` samples.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Panics if `now` precedes the last sample.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(now >= last, "TimeSeries must be recorded in time order");
+        }
+        self.points.push((now, value));
+    }
+
+    /// All recorded samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Values only (times discarded).
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn time_weighted_mean_of_step_signal() {
+        let mut w = TimeWeighted::new(0.0);
+        w.set(t(10.0), 4.0); // 0 for 10 s
+        w.set(t(20.0), 2.0); // 4 for 10 s
+        // mean over [0, 30]: (0·10 + 4·10 + 2·10) / 30 = 2
+        assert!((w.mean(t(30.0)) - 2.0).abs() < 1e-12);
+        assert_eq!(w.current(), 2.0);
+        assert_eq!(w.max(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_deltas() {
+        let mut w = TimeWeighted::new(1.0);
+        w.add(t(5.0), 2.0);
+        assert_eq!(w.current(), 3.0);
+        w.add(t(10.0), -3.0);
+        assert_eq!(w.current(), 0.0);
+        // mean over [0,10]: (1·5 + 3·5)/10 = 2
+        assert!((w.mean(t(10.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_at_zero_observation() {
+        let w = TimeWeighted::new(7.0);
+        assert_eq!(w.mean(SimTime::ZERO), 7.0);
+    }
+
+    #[test]
+    fn timeseries_records_in_order() {
+        let mut s = TimeSeries::new();
+        s.record(t(1.0), 10.0);
+        s.record(t(1.0), 11.0); // same instant is fine
+        s.record(t(2.0), 12.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.values(), vec![10.0, 11.0, 12.0]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn timeseries_rejects_out_of_order() {
+        let mut s = TimeSeries::new();
+        s.record(t(2.0), 1.0);
+        s.record(t(1.0), 2.0);
+    }
+}

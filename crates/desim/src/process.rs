@@ -1,0 +1,814 @@
+//! SimPy-style cooperative processes.
+//!
+//! The paper's simulator is written against SimPy's process abstraction:
+//! each application is "a SimPy process performing computation and periodic
+//! checkpointing iteratively", interrupted by injected failures. This
+//! module recreates that abstraction on stable Rust.
+//!
+//! A process is a poll-style state machine implementing [`Process`]: the
+//! world resumes it with a [`Wake`] describing why it ran, and it returns a
+//! [`Step`] describing what to block on next. Between those two points the
+//! process may mutate the world's shared state and issue commands (emit a
+//! signal, interrupt a peer, release a resource, spawn a child) through
+//! [`ProcCtx`]. Commands are applied by the world *after* the resume call
+//! returns, which sidesteps the re-entrancy that makes naive
+//! actor-calls-actor designs unsound.
+//!
+//! Supported blocking steps mirror SimPy: `timeout` ([`Step::Sleep`]),
+//! `event` ([`Step::WaitSignal`], with an optional timeout), resource
+//! `request` ([`Step::Acquire`], prioritized), passive wait ([`Step::Hold`])
+//! and termination ([`Step::Done`]). Any blocked process can be
+//! [`interrupted`](ProcCtx::interrupt), exactly like SimPy's
+//! `process.interrupt()` — that is how failure injection reaches the
+//! application processes.
+
+use std::collections::HashMap;
+
+use crate::engine::{Ctx, Model};
+use crate::queue::EventId;
+use crate::resource::{Acquire, Resource};
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a process within a [`ProcessWorld`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub usize);
+
+/// Identifies a broadcast signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(pub usize);
+
+/// Identifies a counting resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(pub usize);
+
+/// Why a process was resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// First resumption after spawn.
+    Started,
+    /// A [`Step::Sleep`] elapsed.
+    TimerFired,
+    /// A signal the process waited on was emitted.
+    Signal(SignalId),
+    /// The timeout of a [`Step::WaitSignalTimeout`] elapsed first.
+    TimedOut,
+    /// A requested resource slot was granted.
+    Acquired(ResourceId),
+    /// Another process interrupted this one with a reason code.
+    Interrupted(u64),
+}
+
+/// What a process blocks on next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Resume after a delay ([`Wake::TimerFired`]).
+    Sleep(SimDuration),
+    /// Resume when the signal fires ([`Wake::Signal`]).
+    WaitSignal(SignalId),
+    /// Resume on signal or after the timeout, whichever is first.
+    WaitSignalTimeout(SignalId, SimDuration),
+    /// Resume when a slot of the resource is granted; lower priority value
+    /// is served first ([`Wake::Acquired`]).
+    Acquire(ResourceId, i64),
+    /// Block until interrupted.
+    Hold,
+    /// Terminate. Held resource slots are released automatically.
+    Done,
+}
+
+/// A cooperative process over shared state `S`.
+pub trait Process<S> {
+    /// Runs the process until its next blocking point.
+    fn resume(&mut self, shared: &mut S, ctx: &mut ProcCtx<S>, wake: Wake) -> Step;
+}
+
+enum Command<S> {
+    Emit(SignalId),
+    Interrupt(Pid, u64),
+    Release(ResourceId, Pid),
+    Spawn(Pid, Box<dyn Process<S>>),
+}
+
+/// Command buffer and clock access handed to a resuming process.
+pub struct ProcCtx<S> {
+    now: SimTime,
+    me: Pid,
+    commands: Vec<Command<S>>,
+    next_pid: usize,
+}
+
+impl<S> ProcCtx<S> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the resuming process.
+    pub fn me(&self) -> Pid {
+        self.me
+    }
+
+    /// Emits a signal, waking every process currently waiting on it.
+    pub fn emit(&mut self, signal: SignalId) {
+        self.commands.push(Command::Emit(signal));
+    }
+
+    /// Interrupts another process: whatever it is blocked on is cancelled
+    /// and it resumes with [`Wake::Interrupted`] carrying `reason`.
+    /// Interrupting a finished or never-spawned pid is a no-op.
+    pub fn interrupt(&mut self, target: Pid, reason: u64) {
+        self.commands.push(Command::Interrupt(target, reason));
+    }
+
+    /// Releases one slot of `resource` held by this process.
+    pub fn release(&mut self, resource: ResourceId) {
+        let me = self.me;
+        self.commands.push(Command::Release(resource, me));
+    }
+
+    /// Spawns a child process; it resumes with [`Wake::Started`] at the
+    /// current time, after the caller blocks.
+    pub fn spawn(&mut self, process: Box<dyn Process<S>>) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.commands.push(Command::Spawn(pid, process));
+        pid
+    }
+}
+
+/// What a live process is currently blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Transient marker while the process is being resumed.
+    Running,
+    Sleeping(EventId),
+    WaitingSignal(SignalId, Option<EventId>),
+    WaitingResource(ResourceId),
+    Holding,
+}
+
+struct Entry<S> {
+    process: Box<dyn Process<S>>,
+    blocked: Blocked,
+    held: Vec<ResourceId>,
+}
+
+/// Engine event type used by [`ProcessWorld`].
+#[derive(Debug, Clone, Copy)]
+pub struct Resume(Pid, Wake);
+
+/// A [`Model`] hosting cooperative processes over shared state `S`.
+pub struct ProcessWorld<S> {
+    shared: S,
+    procs: HashMap<Pid, Entry<S>>,
+    next_pid: usize,
+    signals: Vec<Vec<Pid>>,
+    resources: Vec<Resource<Pid>>,
+    start_queue: Vec<Pid>,
+    finished: u64,
+}
+
+impl<S> ProcessWorld<S> {
+    /// Creates a world around shared state.
+    pub fn new(shared: S) -> Self {
+        Self {
+            shared,
+            procs: HashMap::new(),
+            next_pid: 0,
+            signals: Vec::new(),
+            resources: Vec::new(),
+            start_queue: Vec::new(),
+            finished: 0,
+        }
+    }
+
+    /// Registers a broadcast signal.
+    pub fn add_signal(&mut self) -> SignalId {
+        self.signals.push(Vec::new());
+        SignalId(self.signals.len() - 1)
+    }
+
+    /// Registers a counting resource with `capacity` slots.
+    pub fn add_resource(&mut self, capacity: usize) -> ResourceId {
+        self.resources.push(Resource::new(capacity));
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Registers a process before the simulation starts. It will resume
+    /// with [`Wake::Started`] at t = 0.
+    pub fn spawn(&mut self, process: Box<dyn Process<S>>) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            Entry {
+                process,
+                blocked: Blocked::Running,
+                held: Vec::new(),
+            },
+        );
+        self.start_queue.push(pid);
+        pid
+    }
+
+    /// Shared state, immutable.
+    pub fn shared(&self) -> &S {
+        &self.shared
+    }
+
+    /// Shared state, mutable (between runs).
+    pub fn shared_mut(&mut self) -> &mut S {
+        &mut self.shared
+    }
+
+    /// Number of processes still alive.
+    pub fn alive(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number of processes that have completed.
+    pub fn finished(&self) -> u64 {
+        self.finished
+    }
+
+    /// True if `pid` is still alive.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.procs.contains_key(&pid)
+    }
+
+    /// Interrupts a process from outside the simulation loop is not
+    /// supported; interruption is a process-level command. This helper
+    /// exists for models embedding a world that need to inject an
+    /// interrupt at event-handling time.
+    pub fn inject_interrupt(&mut self, ctx: &mut Ctx<'_, Resume>, target: Pid, reason: u64) {
+        self.unblock(ctx, target);
+        if self.procs.contains_key(&target) {
+            ctx.schedule_now(Resume(target, Wake::Interrupted(reason)));
+        }
+    }
+
+    /// Detaches `pid` from whatever it is blocked on (cancel timers, leave
+    /// wait lists / resource queues). The process stays alive, marked
+    /// Running; the caller must schedule its resumption or drop it.
+    fn unblock(&mut self, ctx: &mut Ctx<'_, Resume>, pid: Pid) {
+        let Some(entry) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        match entry.blocked {
+            Blocked::Running | Blocked::Holding => {}
+            Blocked::Sleeping(ev) => {
+                ctx.cancel(ev);
+            }
+            Blocked::WaitingSignal(sig, timeout) => {
+                if let Some(ev) = timeout {
+                    ctx.cancel(ev);
+                }
+                self.signals[sig.0].retain(|&p| p != pid);
+            }
+            Blocked::WaitingResource(rid) => {
+                self.resources[rid.0].cancel_wait(|&p| p == pid);
+            }
+        }
+        if let Some(entry) = self.procs.get_mut(&pid) {
+            entry.blocked = Blocked::Running;
+        }
+    }
+
+    /// Resumes `pid` with `wake`, then keeps stepping it while its steps
+    /// complete immediately (e.g. an uncontended `Acquire`).
+    fn drive(&mut self, ctx: &mut Ctx<'_, Resume>, pid: Pid, wake: Wake) {
+        let mut wake = wake;
+        loop {
+            let Some(entry) = self.procs.get_mut(&pid) else {
+                return; // interrupted/finished concurrently
+            };
+            entry.blocked = Blocked::Running;
+            let mut pctx = ProcCtx {
+                now: ctx.now(),
+                me: pid,
+                commands: Vec::new(),
+                next_pid: self.next_pid,
+            };
+            let step = entry.process.resume(&mut self.shared, &mut pctx, wake);
+            self.next_pid = pctx.next_pid;
+            let commands = pctx.commands;
+            self.apply_commands(ctx, commands);
+            // The process may have interrupted *itself* indirectly? No —
+            // commands affect others; `pid`'s own state is decided here.
+            let Some(entry) = self.procs.get_mut(&pid) else {
+                return;
+            };
+            match step {
+                Step::Sleep(d) => {
+                    let ev = ctx.schedule_in(d, Resume(pid, Wake::TimerFired));
+                    entry.blocked = Blocked::Sleeping(ev);
+                    return;
+                }
+                Step::WaitSignal(sig) => {
+                    assert!(sig.0 < self.signals.len(), "unknown signal {sig:?}");
+                    entry.blocked = Blocked::WaitingSignal(sig, None);
+                    self.signals[sig.0].push(pid);
+                    return;
+                }
+                Step::WaitSignalTimeout(sig, d) => {
+                    assert!(sig.0 < self.signals.len(), "unknown signal {sig:?}");
+                    let ev = ctx.schedule_in(d, Resume(pid, Wake::TimedOut));
+                    entry.blocked = Blocked::WaitingSignal(sig, Some(ev));
+                    self.signals[sig.0].push(pid);
+                    return;
+                }
+                Step::Acquire(rid, priority) => {
+                    assert!(rid.0 < self.resources.len(), "unknown resource {rid:?}");
+                    match self.resources[rid.0].acquire(pid, priority) {
+                        Acquire::Granted => {
+                            entry.held.push(rid);
+                            wake = Wake::Acquired(rid);
+                            continue; // run on without an event round-trip
+                        }
+                        Acquire::Queued => {
+                            entry.blocked = Blocked::WaitingResource(rid);
+                            return;
+                        }
+                    }
+                }
+                Step::Hold => {
+                    entry.blocked = Blocked::Holding;
+                    return;
+                }
+                Step::Done => {
+                    let entry = self.procs.remove(&pid).expect("alive");
+                    self.finished += 1;
+                    for rid in entry.held {
+                        self.do_release(ctx, rid);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn do_release(&mut self, ctx: &mut Ctx<'_, Resume>, rid: ResourceId) {
+        if let Some(next) = self.resources[rid.0].release() {
+            if let Some(e) = self.procs.get_mut(&next) {
+                e.held.push(rid);
+                e.blocked = Blocked::Running;
+                ctx.schedule_now(Resume(next, Wake::Acquired(rid)));
+            } else {
+                // The waiter died between queueing and grant; pass the slot
+                // on (or free it if nobody else waits).
+                self.do_release(ctx, rid);
+            }
+        }
+    }
+
+    fn apply_commands(&mut self, ctx: &mut Ctx<'_, Resume>, commands: Vec<Command<S>>) {
+        for cmd in commands {
+            match cmd {
+                Command::Emit(sig) => {
+                    let waiters = std::mem::take(&mut self.signals[sig.0]);
+                    for pid in waiters {
+                        if let Some(entry) = self.procs.get_mut(&pid) {
+                            if let Blocked::WaitingSignal(_, Some(timeout)) = entry.blocked {
+                                ctx.cancel(timeout);
+                            }
+                            entry.blocked = Blocked::Running;
+                            ctx.schedule_now(Resume(pid, Wake::Signal(sig)));
+                        }
+                    }
+                }
+                Command::Interrupt(target, reason) => {
+                    self.inject_interrupt(ctx, target, reason);
+                }
+                Command::Release(rid, holder) => {
+                    if let Some(e) = self.procs.get_mut(&holder) {
+                        let pos = e
+                            .held
+                            .iter()
+                            .position(|&r| r == rid)
+                            .expect("release of a resource not held");
+                        e.held.swap_remove(pos);
+                    }
+                    self.do_release(ctx, rid);
+                }
+                Command::Spawn(pid, process) => {
+                    self.procs.insert(
+                        pid,
+                        Entry {
+                            process,
+                            blocked: Blocked::Running,
+                            held: Vec::new(),
+                        },
+                    );
+                    ctx.schedule_now(Resume(pid, Wake::Started));
+                }
+            }
+        }
+    }
+}
+
+impl<S> Model for ProcessWorld<S> {
+    type Event = Resume;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, Resume>) {
+        for pid in std::mem::take(&mut self.start_queue) {
+            ctx.schedule_now(Resume(pid, Wake::Started));
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Resume>, Resume(pid, wake): Resume) {
+        // Stale wakeups for dead processes are dropped in drive().
+        match wake {
+            Wake::TimedOut => {
+                // Leave the signal wait list before resuming.
+                if let Some(entry) = self.procs.get(&pid) {
+                    if let Blocked::WaitingSignal(sig, _) = entry.blocked {
+                        self.signals[sig.0].retain(|&p| p != pid);
+                    }
+                }
+                self.drive(ctx, pid, wake);
+            }
+            _ => self.drive(ctx, pid, wake),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+
+    /// Shared scratch state for the tests.
+    #[derive(Default)]
+    struct Log {
+        lines: Vec<(f64, String)>,
+    }
+
+    impl Log {
+        fn push(&mut self, now: SimTime, s: impl Into<String>) {
+            self.lines.push((now.as_secs(), s.into()));
+        }
+    }
+
+    /// Sleeps twice, logging each wake.
+    struct Sleeper {
+        name: &'static str,
+        naps: u32,
+    }
+
+    impl Process<Log> for Sleeper {
+        fn resume(&mut self, shared: &mut Log, ctx: &mut ProcCtx<Log>, wake: Wake) -> Step {
+            shared.push(ctx.now(), format!("{} {:?}", self.name, wake));
+            if self.naps == 0 {
+                return Step::Done;
+            }
+            self.naps -= 1;
+            Step::Sleep(SimDuration::from_secs(1.0))
+        }
+    }
+
+    #[test]
+    fn sleeping_process_lifecycle() {
+        let mut world = ProcessWorld::new(Log::default());
+        world.spawn(Box::new(Sleeper { name: "s", naps: 2 }));
+        let mut sim = Simulation::new(world);
+        sim.run();
+        let w = sim.model();
+        assert_eq!(w.alive(), 0);
+        assert_eq!(w.finished(), 1);
+        let lines: Vec<&str> = w.shared().lines.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            lines,
+            vec!["s Started", "s TimerFired", "s TimerFired"]
+        );
+        assert_eq!(w.shared().lines[2].0, 2.0);
+    }
+
+    /// One process emits a signal after a delay; others wait for it.
+    struct Announcer {
+        signal: SignalId,
+        delay: SimDuration,
+        fired: bool,
+    }
+    impl Process<Log> for Announcer {
+        fn resume(&mut self, shared: &mut Log, ctx: &mut ProcCtx<Log>, _wake: Wake) -> Step {
+            if !self.fired {
+                self.fired = true;
+                return Step::Sleep(self.delay);
+            }
+            shared.push(ctx.now(), "announce");
+            ctx.emit(self.signal);
+            Step::Done
+        }
+    }
+    struct Listener {
+        signal: SignalId,
+        waiting: bool,
+    }
+    impl Process<Log> for Listener {
+        fn resume(&mut self, shared: &mut Log, ctx: &mut ProcCtx<Log>, wake: Wake) -> Step {
+            if !self.waiting {
+                self.waiting = true;
+                return Step::WaitSignal(self.signal);
+            }
+            shared.push(ctx.now(), format!("heard {wake:?}"));
+            Step::Done
+        }
+    }
+
+    #[test]
+    fn signal_wakes_all_waiters() {
+        let mut world = ProcessWorld::new(Log::default());
+        let sig = world.add_signal();
+        world.spawn(Box::new(Listener {
+            signal: sig,
+            waiting: false,
+        }));
+        world.spawn(Box::new(Listener {
+            signal: sig,
+            waiting: false,
+        }));
+        world.spawn(Box::new(Announcer {
+            signal: sig,
+            delay: SimDuration::from_secs(3.0),
+            fired: false,
+        }));
+        let mut sim = Simulation::new(world);
+        sim.run();
+        let heard: Vec<&(f64, String)> = sim
+            .model()
+            .shared()
+            .lines
+            .iter()
+            .filter(|(_, s)| s.starts_with("heard"))
+            .collect();
+        assert_eq!(heard.len(), 2);
+        assert!(heard.iter().all(|(t, _)| *t == 3.0));
+    }
+
+    /// Waits with a timeout shorter than the signal delay.
+    struct ImpatientListener {
+        signal: SignalId,
+        waiting: bool,
+    }
+    impl Process<Log> for ImpatientListener {
+        fn resume(&mut self, shared: &mut Log, ctx: &mut ProcCtx<Log>, wake: Wake) -> Step {
+            if !self.waiting {
+                self.waiting = true;
+                return Step::WaitSignalTimeout(self.signal, SimDuration::from_secs(1.0));
+            }
+            shared.push(ctx.now(), format!("{wake:?}"));
+            Step::Done
+        }
+    }
+
+    #[test]
+    fn wait_with_timeout_times_out() {
+        let mut world = ProcessWorld::new(Log::default());
+        let sig = world.add_signal();
+        world.spawn(Box::new(ImpatientListener {
+            signal: sig,
+            waiting: false,
+        }));
+        world.spawn(Box::new(Announcer {
+            signal: sig,
+            delay: SimDuration::from_secs(5.0),
+            fired: false,
+        }));
+        let mut sim = Simulation::new(world);
+        sim.run();
+        let lines = &sim.model().shared().lines;
+        assert!(lines.iter().any(|(t, s)| *t == 1.0 && s == "TimedOut"));
+        // After timing out, the listener must not be woken again at t=5.
+        assert_eq!(
+            lines.iter().filter(|(_, s)| s.contains("Signal")).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn wait_with_timeout_signal_cancels_timer() {
+        let mut world = ProcessWorld::new(Log::default());
+        let sig = world.add_signal();
+        world.spawn(Box::new(ImpatientListener {
+            signal: sig,
+            waiting: false,
+        }));
+        world.spawn(Box::new(Announcer {
+            signal: sig,
+            delay: SimDuration::from_secs(0.5),
+            fired: false,
+        }));
+        let mut sim = Simulation::new(world);
+        sim.run();
+        let lines = &sim.model().shared().lines;
+        assert!(lines
+            .iter()
+            .any(|(t, s)| *t == 0.5 && s.starts_with("Signal")));
+        assert!(!lines.iter().any(|(_, s)| s == "TimedOut"));
+    }
+
+    /// Acquires a 1-slot resource, holds it for a second, releases.
+    struct Worker {
+        rid: ResourceId,
+        priority: i64,
+        phase: u8,
+    }
+    impl Process<Log> for Worker {
+        fn resume(&mut self, shared: &mut Log, ctx: &mut ProcCtx<Log>, _wake: Wake) -> Step {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Step::Acquire(self.rid, self.priority)
+                }
+                1 => {
+                    shared.push(ctx.now(), format!("got p{}", self.priority));
+                    self.phase = 2;
+                    Step::Sleep(SimDuration::from_secs(1.0))
+                }
+                _ => {
+                    ctx.release(self.rid);
+                    Step::Done
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resource_serves_by_priority() {
+        let mut world = ProcessWorld::new(Log::default());
+        let rid = world.add_resource(1);
+        // Spawn in an order different from priority order.
+        for p in [5i64, 1, 3] {
+            world.spawn(Box::new(Worker {
+                rid,
+                priority: p,
+                phase: 0,
+            }));
+        }
+        let mut sim = Simulation::new(world);
+        sim.run();
+        let order: Vec<&str> = sim
+            .model()
+            .shared()
+            .lines
+            .iter()
+            .map(|(_, s)| s.as_str())
+            .collect();
+        // First spawned (p5) grabs the free slot at t=0; the queue then
+        // serves p1 before p3.
+        assert_eq!(order, vec!["got p5", "got p1", "got p3"]);
+    }
+
+    #[test]
+    fn resources_release_on_done_automatically() {
+        struct Hog {
+            rid: ResourceId,
+            phase: u8,
+        }
+        impl Process<Log> for Hog {
+            fn resume(&mut self, _s: &mut Log, _ctx: &mut ProcCtx<Log>, _w: Wake) -> Step {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Step::Acquire(self.rid, 0)
+                    }
+                    // Terminates while holding the slot.
+                    _ => Step::Done,
+                }
+            }
+        }
+        let mut world = ProcessWorld::new(Log::default());
+        let rid = world.add_resource(1);
+        world.spawn(Box::new(Hog { rid, phase: 0 }));
+        world.spawn(Box::new(Worker {
+            rid,
+            priority: 9,
+            phase: 0,
+        }));
+        let mut sim = Simulation::new(world);
+        sim.run();
+        assert!(sim
+            .model()
+            .shared()
+            .lines
+            .iter()
+            .any(|(_, s)| s == "got p9"));
+    }
+
+    /// Holds forever until interrupted; logs the reason.
+    struct Passive;
+    impl Process<Log> for Passive {
+        fn resume(&mut self, shared: &mut Log, ctx: &mut ProcCtx<Log>, wake: Wake) -> Step {
+            match wake {
+                Wake::Started => Step::Hold,
+                Wake::Interrupted(code) => {
+                    shared.push(ctx.now(), format!("interrupted {code}"));
+                    Step::Done
+                }
+                other => panic!("unexpected wake {other:?}"),
+            }
+        }
+    }
+    struct Interrupter {
+        target: Pid,
+        fired: bool,
+    }
+    impl Process<Log> for Interrupter {
+        fn resume(&mut self, _s: &mut Log, ctx: &mut ProcCtx<Log>, _w: Wake) -> Step {
+            if !self.fired {
+                self.fired = true;
+                return Step::Sleep(SimDuration::from_secs(2.0));
+            }
+            ctx.interrupt(self.target, 42);
+            Step::Done
+        }
+    }
+
+    #[test]
+    fn interrupt_wakes_holding_process() {
+        let mut world = ProcessWorld::new(Log::default());
+        let target = world.spawn(Box::new(Passive));
+        world.spawn(Box::new(Interrupter {
+            target,
+            fired: false,
+        }));
+        let mut sim = Simulation::new(world);
+        sim.run();
+        let lines = &sim.model().shared().lines;
+        assert!(lines.iter().any(|(t, s)| *t == 2.0 && s == "interrupted 42"));
+    }
+
+    #[test]
+    fn interrupt_cancels_pending_sleep() {
+        struct SleepThenLog {
+            started: bool,
+        }
+        impl Process<Log> for SleepThenLog {
+            fn resume(&mut self, shared: &mut Log, ctx: &mut ProcCtx<Log>, wake: Wake) -> Step {
+                if !self.started {
+                    self.started = true;
+                    return Step::Sleep(SimDuration::from_secs(100.0));
+                }
+                shared.push(ctx.now(), format!("{wake:?}"));
+                Step::Done
+            }
+        }
+        let mut world = ProcessWorld::new(Log::default());
+        let target = world.spawn(Box::new(SleepThenLog { started: false }));
+        world.spawn(Box::new(Interrupter {
+            target,
+            fired: false,
+        }));
+        let mut sim = Simulation::new(world);
+        sim.run();
+        let lines = &sim.model().shared().lines;
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0], (2.0, "Interrupted(42)".to_string()));
+        // The 100 s timer must have been cancelled, so the run ends at t=2.
+        assert_eq!(sim.now(), SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn interrupting_dead_process_is_noop() {
+        let mut world = ProcessWorld::new(Log::default());
+        let target = world.spawn(Box::new(Sleeper { name: "x", naps: 0 }));
+        world.spawn(Box::new(Interrupter {
+            target,
+            fired: false,
+        }));
+        let mut sim = Simulation::new(world);
+        sim.run(); // must not panic
+        assert_eq!(sim.model().finished(), 2);
+    }
+
+    /// Parent spawns a child at runtime.
+    struct Parent {
+        spawned: bool,
+    }
+    impl Process<Log> for Parent {
+        fn resume(&mut self, shared: &mut Log, ctx: &mut ProcCtx<Log>, _w: Wake) -> Step {
+            if !self.spawned {
+                self.spawned = true;
+                let child = ctx.spawn(Box::new(Sleeper {
+                    name: "child",
+                    naps: 1,
+                }));
+                shared.push(ctx.now(), format!("spawned {child:?}"));
+                return Step::Sleep(SimDuration::from_secs(10.0));
+            }
+            Step::Done
+        }
+    }
+
+    #[test]
+    fn runtime_spawn_runs_child() {
+        let mut world = ProcessWorld::new(Log::default());
+        world.spawn(Box::new(Parent { spawned: false }));
+        let mut sim = Simulation::new(world);
+        sim.run();
+        let lines = &sim.model().shared().lines;
+        assert!(lines.iter().any(|(_, s)| s == "child Started"));
+        assert!(lines.iter().any(|(t, s)| *t == 1.0 && s == "child TimerFired"));
+        assert_eq!(sim.model().finished(), 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! The pending-event set: a cancellable, deterministic priority queue.
+//!
+//! Cancellation is first-class because the C/R models revoke scheduled
+//! futures all the time: a pending failure event is cancelled when live
+//! migration moves the process off the vulnerable node; an LM-completion
+//! event is cancelled when a shorter-lead prediction aborts the migration
+//! (Fig. 5 of the paper). Cancellation is *lazy*: entries stay in the heap
+//! and are dropped when popped, which keeps both `schedule` and `cancel`
+//! O(log n) / O(1) amortized.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+// Ordering for the min-heap: earliest time first, FIFO within a timestamp.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic pending-event set.
+///
+/// Events are `(time, payload)` pairs; simultaneous events pop in the order
+/// they were scheduled. Any event can be cancelled by its [`EventId`] until
+/// it has been popped.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<EventId>,
+    now: SimTime,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at t = 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// Panics if `at` is in the past — an event scheduled behind the clock
+    /// is always a model bug, and silently reordering it would corrupt
+    /// causality.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past ({at} < now {})",
+            self.now
+        );
+        let id = EventId(self.next_seq);
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq: self.next_seq,
+            id,
+            payload,
+        }));
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        id
+    }
+
+    /// Schedules `payload` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, payload)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event was still
+    /// pending (and is now guaranteed never to fire), `false` if it had
+    /// already fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false; // never issued
+        }
+        // Membership in the heap is not tracked directly; inserting into
+        // `cancelled` is harmless for already-popped ids because pop()
+        // removes ids from the set when it skips them, and popped ids are
+        // never re-issued.
+        if self.is_pending(id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_pending(&self, id: EventId) -> bool {
+        // O(n) scan; only used on the cancel path which is rare compared to
+        // schedule/pop. (The C/R models cancel a handful of events per
+        // failure, and failures are sparse.)
+        !self.cancelled.contains(&id) && self.heap.iter().any(|Reverse(e)| e.id == id)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    /// Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue; // tombstone
+            }
+            debug_assert!(entry.time >= self.now, "heap returned a past event");
+            self.now = entry.time;
+            return Some((entry.time, entry.id, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop leading tombstones so the peek is accurate.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled (monotone; for metrics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(secs(3.0), "c");
+        q.schedule_at(secs(1.0), "a");
+        q.schedule_at(secs(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), secs(3.0));
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(secs(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration::from_secs(2.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop().unwrap();
+        assert_eq!(q.now(), secs(2.0));
+        q.schedule_in(SimDuration::from_secs(1.0), ());
+        let (t, _, _) = q.pop().unwrap();
+        assert_eq!(t, secs(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(secs(2.0), ());
+        q.pop().unwrap();
+        q.schedule_at(secs(1.0), ());
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(secs(1.0), "a");
+        q.schedule_at(secs(2.0), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        let (_, _, p) = q.pop().unwrap();
+        assert_eq!(p, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_rejects_fired_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(secs(1.0), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "second cancel must report failure");
+        let b = q.schedule_at(secs(2.0), ());
+        q.pop().unwrap();
+        assert!(!q.cancel(b), "cannot cancel an event that already fired");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_safe() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(12345)));
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(secs(1.0), "a");
+        q.schedule_at(secs(2.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(secs(2.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..5).map(|i| q.schedule_at(secs(i as f64 + 1.0), i)).collect();
+        assert_eq!(q.len(), 5);
+        q.cancel(ids[1]);
+        q.cancel(ids[3]);
+        assert_eq!(q.len(), 3);
+        let survivors: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(survivors, vec![0, 2, 4]);
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 5);
+    }
+}

@@ -1,0 +1,181 @@
+//! A bounded FIFO item store (SimPy's `Store`).
+//!
+//! Producers deposit items, consumers withdraw them; both sides can block
+//! — producers when the buffer is full, consumers when it is empty. Like
+//! [`crate::resource::Resource`], the structure is engine-agnostic: it
+//! tracks *caller tokens* for both wait lists and leaves the wake-up
+//! scheduling to its owner (a model, or shared state behind a
+//! [`crate::process::ProcessWorld`] paired with signals).
+//!
+//! The C/R stack uses it in tests and examples (e.g. a Spectral-style
+//! drain pipeline where checkpoint fragments queue for a limited set of
+//! PFS movers).
+
+use std::collections::VecDeque;
+
+/// Outcome of a put attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Put {
+    /// The item was deposited.
+    Stored,
+    /// The buffer was full; the producer token was queued.
+    Blocked,
+}
+
+/// A bounded FIFO store with blocking semantics on both sides.
+#[derive(Debug)]
+pub struct Store<T, W> {
+    capacity: usize,
+    items: VecDeque<T>,
+    /// Consumers waiting for an item (FIFO).
+    getters: VecDeque<W>,
+    /// Producers waiting for space, with the item they want to deposit
+    /// (FIFO).
+    putters: VecDeque<(W, T)>,
+}
+
+impl<T, W> Store<T, W> {
+    /// Creates a store holding at most `capacity` items (> 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "store capacity must be > 0");
+        Self {
+            capacity,
+            items: VecDeque::new(),
+            getters: VecDeque::new(),
+            putters: VecDeque::new(),
+        }
+    }
+
+    /// Deposits `item`, or queues `(token, item)` if the buffer is full.
+    ///
+    /// Returns the outcome plus, when an item was stored while a consumer
+    /// was waiting, the consumer token to wake (the item passes through
+    /// the buffer to them: call [`Store::get`] on their behalf when they
+    /// resume, or use the returned token's wake to re-poll).
+    pub fn put(&mut self, token: W, item: T) -> (Put, Option<W>) {
+        if self.items.len() < self.capacity {
+            self.items.push_back(item);
+            let wake = self.getters.pop_front();
+            (Put::Stored, wake)
+        } else {
+            self.putters.push_back((token, item));
+            (Put::Blocked, None)
+        }
+    }
+
+    /// Withdraws the oldest item, or queues `token` if empty.
+    ///
+    /// On success, also returns the producer token to wake when a blocked
+    /// producer's item could now be admitted (its item is moved into the
+    /// buffer as part of this call).
+    pub fn get(&mut self, token: W) -> (Option<T>, Option<W>) {
+        match self.items.pop_front() {
+            Some(item) => {
+                let wake = if let Some((producer, queued_item)) = self.putters.pop_front() {
+                    self.items.push_back(queued_item);
+                    Some(producer)
+                } else {
+                    None
+                };
+                (Some(item), wake)
+            }
+            None => {
+                self.getters.push_back(token);
+                (None, None)
+            }
+        }
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Capacity of the buffer.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Consumers currently blocked.
+    pub fn waiting_getters(&self) -> usize {
+        self.getters.len()
+    }
+
+    /// Producers currently blocked.
+    pub fn waiting_putters(&self) -> usize {
+        self.putters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get_fifo() {
+        let mut s: Store<&str, u32> = Store::new(4);
+        assert_eq!(s.put(1, "a"), (Put::Stored, None));
+        assert_eq!(s.put(2, "b"), (Put::Stored, None));
+        assert_eq!(s.get(10), (Some("a"), None));
+        assert_eq!(s.get(11), (Some("b"), None));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn get_on_empty_blocks_and_wakes_on_put() {
+        let mut s: Store<i32, &str> = Store::new(2);
+        assert_eq!(s.get("consumer"), (None, None));
+        assert_eq!(s.waiting_getters(), 1);
+        // The producer's put reports the waiting consumer to wake.
+        let (outcome, wake) = s.put("producer", 7);
+        assert_eq!(outcome, Put::Stored);
+        assert_eq!(wake, Some("consumer"));
+        // The woken consumer re-polls and finds the item.
+        assert_eq!(s.get("consumer"), (Some(7), None));
+    }
+
+    #[test]
+    fn put_on_full_blocks_and_wakes_on_get() {
+        let mut s: Store<i32, &str> = Store::new(1);
+        assert_eq!(s.put("p1", 1), (Put::Stored, None));
+        assert_eq!(s.put("p2", 2), (Put::Blocked, None));
+        assert_eq!(s.waiting_putters(), 1);
+        // A get admits the queued item and reports the producer to wake.
+        let (item, wake) = s.get("c");
+        assert_eq!(item, Some(1));
+        assert_eq!(wake, Some("p2"));
+        assert_eq!(s.len(), 1, "the blocked item moved into the buffer");
+        assert_eq!(s.get("c"), (Some(2), None));
+    }
+
+    #[test]
+    fn many_blocked_producers_admitted_in_order() {
+        let mut s: Store<i32, u32> = Store::new(1);
+        s.put(0, 10);
+        for (tok, item) in [(1u32, 11), (2, 12), (3, 13)] {
+            assert_eq!(s.put(tok, item), (Put::Blocked, None));
+        }
+        let mut admitted = Vec::new();
+        let mut woken = Vec::new();
+        for _ in 0..4 {
+            let (item, wake) = s.get(99);
+            admitted.push(item.unwrap());
+            if let Some(w) = wake {
+                woken.push(w);
+            }
+        }
+        assert_eq!(admitted, vec![10, 11, 12, 13]);
+        assert_eq!(woken, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be > 0")]
+    fn zero_capacity_rejected() {
+        let _: Store<(), ()> = Store::new(0);
+    }
+}

@@ -1,0 +1,664 @@
+//! Desh-style failure-chain mining over (synthetic) system logs.
+//!
+//! Desh characterizes failures as *chains*: recurring sequences of log
+//! phrases that culminate in a failure. The time between the first phrase
+//! of a chain and the failure is the prediction lead time; mining a
+//! machine's logs yields the per-chain lead-time distributions of Fig. 2a.
+//!
+//! The production logs Desh was trained on are proprietary, so this module
+//! implements the *whole pipeline* synthetically (DESIGN.md §3):
+//!
+//! * [`LogGenerator`] plants phrase chains into a stream of background
+//!   noise — for each generated failure it picks a chain template, samples
+//!   the failure's lead time, and spreads the template's phrases over that
+//!   interval on the failing node;
+//! * [`ChainAnalyzer`] mines a log the way Desh does: per-node cursors
+//!   advance through each known template as its phrases appear, and a
+//!   completed match records `lead = t(last phrase) − t(first phrase)`;
+//! * [`AnalysisReport`] aggregates mined instances per sequence and can be
+//!   converted back into a [`LeadTimeModel`], closing the loop: the
+//!   simulation's lead times come from *mined* statistics, not directly
+//!   from the generator's ground truth.
+
+use crate::leadtime::{LeadTimeModel, SequenceStats};
+use pckpt_simrng::dist::{Distribution, TruncatedNormal, Uniform};
+use pckpt_simrng::stats::{BoxPlot, Summary};
+use pckpt_simrng::SimRng;
+
+/// One line of a (synthetic) system log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEvent {
+    /// Seconds since the start of the log window.
+    pub time_secs: f64,
+    /// Node the line was emitted by.
+    pub node: u32,
+    /// The log phrase (already normalized, as after Desh's tokenization).
+    pub message: String,
+}
+
+impl LogEvent {
+    /// Serializes to the on-disk line format:
+    /// `<seconds>\t<node>\t<message>`.
+    pub fn to_line(&self) -> String {
+        format!("{:.3}\t{}\t{}", self.time_secs, self.node, self.message)
+    }
+
+    /// Parses one line of the on-disk format.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let mut parts = line.splitn(3, '\t');
+        let time: f64 = parts
+            .next()
+            .ok_or("missing timestamp")?
+            .parse()
+            .map_err(|e| format!("bad timestamp: {e}"))?;
+        if !time.is_finite() || time < 0.0 {
+            return Err(format!("timestamp {time} out of range"));
+        }
+        let node: u32 = parts
+            .next()
+            .ok_or("missing node")?
+            .parse()
+            .map_err(|e| format!("bad node: {e}"))?;
+        let message = parts.next().ok_or("missing message")?.to_string();
+        Ok(Self {
+            time_secs: time,
+            node,
+            message,
+        })
+    }
+}
+
+/// Writes a log to `w`, one event per line.
+pub fn write_log(w: &mut impl std::io::Write, log: &[LogEvent]) -> std::io::Result<()> {
+    for ev in log {
+        writeln!(w, "{}", ev.to_line())?;
+    }
+    Ok(())
+}
+
+/// Reads a log written by [`write_log`]. Blank lines and `#` comments are
+/// skipped; any malformed line aborts with its line number.
+pub fn read_log(r: impl std::io::BufRead) -> Result<Vec<LogEvent>, String> {
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(LogEvent::from_line(trimmed).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// An ordered phrase chain that culminates in a failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainTemplate {
+    /// Sequence id (matches [`SequenceStats::id`]).
+    pub sequence_id: u32,
+    /// Ordered phrases; the final phrase is the failure itself. At least
+    /// two phrases (otherwise there is no lead time to speak of).
+    pub phrases: Vec<&'static str>,
+}
+
+/// The ten chain templates paired with the default lead-time statistics.
+pub fn desh_default_templates() -> Vec<ChainTemplate> {
+    vec![
+        ChainTemplate { sequence_id: 1,  phrases: vec!["EDAC MC0: correctable ECC error", "machine check events logged", "mce: hardware error cpu", "kernel panic - not syncing"] },
+        ChainTemplate { sequence_id: 2,  phrases: vec!["NVRM: Xid 48 double bit ecc", "gpu has fallen off the bus", "nvidia-smi unable to determine device handle"] },
+        ChainTemplate { sequence_id: 3,  phrases: vec!["lustre: client connection lost", "ptlrpc: request timed out", "lustre: evicting client", "client mount unusable"] },
+        ChainTemplate { sequence_id: 4,  phrases: vec!["nvlink: replay counter increasing", "nvlink: crc errors on link", "nvlink: link retrain failed", "nvlink: fatal link failure"] },
+        ChainTemplate { sequence_id: 5,  phrases: vec!["EDAC MC1: uncorrectable ECC error", "memory failure: recovery action required", "page offline request", "uncorrected hardware memory error"] },
+        ChainTemplate { sequence_id: 6,  phrases: vec!["fan speed below threshold", "core temperature above threshold", "thermal throttle engaged", "emergency thermal shutdown"] },
+        ChainTemplate { sequence_id: 7,  phrases: vec!["psu: input voltage fluctuation", "psu: output rail degraded", "psu: switching to redundant supply", "power supply failure"] },
+        ChainTemplate { sequence_id: 8,  phrases: vec!["dimm temperature high", "memory bandwidth throttled", "dimm disabled by bios", "memory subsystem failure"] },
+        ChainTemplate { sequence_id: 9,  phrases: vec!["ost: slow io observed", "ost: request queue growing", "ost: evicting export", "ost failure detected"] },
+        ChainTemplate { sequence_id: 10, phrases: vec!["bmc: watchdog pre-timeout", "bmc: sensor scan stalled", "bmc: host unresponsive", "node controller hang"] },
+    ]
+}
+
+/// Background phrases that never belong to a failure chain.
+const NOISE_PHRASES: [&str; 8] = [
+    "slurmd: job launched",
+    "systemd: session opened",
+    "nfs: server ok",
+    "kernel: audit rate limit",
+    "sshd: accepted publickey",
+    "ntpd: clock step",
+    "lustre: reconnected",
+    "cron: job finished",
+];
+
+/// Ground truth of one generated failure (used by round-trip tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlantedFailure {
+    /// Sequence that was planted.
+    pub sequence_id: u32,
+    /// Failing node.
+    pub node: u32,
+    /// Failure time (last phrase), seconds.
+    pub fail_time_secs: f64,
+    /// Planted lead time, seconds.
+    pub lead_secs: f64,
+}
+
+/// Generates synthetic logs containing chains drawn from the given
+/// statistics.
+pub struct LogGenerator {
+    templates: Vec<ChainTemplate>,
+    stats: Vec<SequenceStats>,
+    /// Mean background-noise lines per hour per node.
+    noise_per_node_hour: f64,
+}
+
+impl LogGenerator {
+    /// Creates a generator over templates and matching per-sequence
+    /// statistics (matched by `sequence_id`). Panics on mismatch.
+    pub fn new(
+        templates: Vec<ChainTemplate>,
+        stats: Vec<SequenceStats>,
+        noise_per_node_hour: f64,
+    ) -> Self {
+        assert_eq!(templates.len(), stats.len(), "one stat per template");
+        for (t, s) in templates.iter().zip(&stats) {
+            assert_eq!(t.sequence_id, s.id, "templates and stats must align");
+            assert!(t.phrases.len() >= 2, "chains need at least two phrases");
+        }
+        assert!(noise_per_node_hour >= 0.0);
+        Self {
+            templates,
+            stats,
+            noise_per_node_hour,
+        }
+    }
+
+    /// The default pipeline: ten templates with the calibrated statistics.
+    pub fn desh_default() -> Self {
+        Self::new(
+            desh_default_templates(),
+            LeadTimeModel::desh_default().sequences().to_vec(),
+            2.0,
+        )
+    }
+
+    /// Generates a log window of `duration_secs` over `nodes` nodes
+    /// containing `n_failures` planted chains plus background noise.
+    /// Returns the (time-sorted) log and the ground truth.
+    pub fn generate(
+        &self,
+        rng: &mut SimRng,
+        duration_secs: f64,
+        nodes: u32,
+        n_failures: usize,
+    ) -> (Vec<LogEvent>, Vec<PlantedFailure>) {
+        assert!(duration_secs > 0.0 && nodes > 0);
+        let mut log = Vec::new();
+        let mut truth = Vec::new();
+        let weights: Vec<f64> = self.stats.iter().map(|s| s.occurrences as f64).collect();
+        let selector = pckpt_simrng::dist::Discrete::new(&weights);
+        for _ in 0..n_failures {
+            let idx = selector.sample_index(rng);
+            let stat = &self.stats[idx];
+            let template = &self.templates[idx];
+            let lead =
+                TruncatedNormal::new(stat.mean_secs, stat.sd_secs, 0.5).sample(rng);
+            // The failure must land inside the window with its full chain.
+            let fail_time = Uniform::new(lead.min(duration_secs * 0.5), duration_secs).sample(rng);
+            let node = rng.below(nodes as u64) as u32;
+            self.emit_chain(rng, &mut log, template, node, fail_time, lead);
+            truth.push(PlantedFailure {
+                sequence_id: template.sequence_id,
+                node,
+                fail_time_secs: fail_time,
+                lead_secs: lead,
+            });
+        }
+        // Background noise: Poisson-ish via exponential gaps, over all nodes.
+        let noise_rate_per_sec = self.noise_per_node_hour * nodes as f64 / 3600.0;
+        if noise_rate_per_sec > 0.0 {
+            let gap = pckpt_simrng::dist::Exponential::from_rate(noise_rate_per_sec);
+            let mut t = gap.sample(rng);
+            while t < duration_secs {
+                log.push(LogEvent {
+                    time_secs: t,
+                    node: rng.below(nodes as u64) as u32,
+                    message: NOISE_PHRASES[rng.below(NOISE_PHRASES.len() as u64) as usize]
+                        .to_string(),
+                });
+                t += gap.sample(rng);
+            }
+        }
+        log.sort_by(|a, b| a.time_secs.partial_cmp(&b.time_secs).expect("finite times"));
+        (log, truth)
+    }
+
+    fn emit_chain(
+        &self,
+        rng: &mut SimRng,
+        log: &mut Vec<LogEvent>,
+        template: &ChainTemplate,
+        node: u32,
+        fail_time: f64,
+        lead: f64,
+    ) {
+        let k = template.phrases.len();
+        let first_time = (fail_time - lead).max(0.0);
+        // Interior phrases at sorted uniform offsets strictly inside the
+        // lead window; first and last pinned to the window edges.
+        let mut offsets: Vec<f64> = (0..k.saturating_sub(2))
+            .map(|_| Uniform::new(0.05, 0.95).sample(rng))
+            .collect();
+        offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut times = Vec::with_capacity(k);
+        times.push(first_time);
+        for off in offsets {
+            times.push(first_time + off * (fail_time - first_time));
+        }
+        times.push(fail_time);
+        for (phrase, t) in template.phrases.iter().zip(times) {
+            log.push(LogEvent {
+                time_secs: t,
+                node,
+                message: phrase.to_string(),
+            });
+        }
+    }
+}
+
+/// One mined chain instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinedChain {
+    /// Which template matched.
+    pub sequence_id: u32,
+    /// Node the chain unfolded on.
+    pub node: u32,
+    /// First-phrase timestamp, seconds.
+    pub first_secs: f64,
+    /// Failure (last-phrase) timestamp, seconds.
+    pub fail_secs: f64,
+}
+
+impl MinedChain {
+    /// The mined lead time.
+    pub fn lead_secs(&self) -> f64 {
+        self.fail_secs - self.first_secs
+    }
+}
+
+/// Aggregated mining results.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// All mined chains in log order.
+    pub chains: Vec<MinedChain>,
+    templates: Vec<ChainTemplate>,
+}
+
+impl AnalysisReport {
+    /// Mined lead times for one sequence id.
+    pub fn leads_for(&self, sequence_id: u32) -> Vec<f64> {
+        self.chains
+            .iter()
+            .filter(|c| c.sequence_id == sequence_id)
+            .map(|c| c.lead_secs())
+            .collect()
+    }
+
+    /// Box-plot statistics per sequence with at least one instance —
+    /// the contents of Fig. 2a.
+    pub fn boxplots(&self) -> Vec<(u32, usize, BoxPlot)> {
+        self.templates
+            .iter()
+            .filter_map(|t| {
+                let leads = self.leads_for(t.sequence_id);
+                if leads.is_empty() {
+                    None
+                } else {
+                    Some((t.sequence_id, leads.len(), BoxPlot::new(&leads)))
+                }
+            })
+            .collect()
+    }
+
+    /// Builds a [`LeadTimeModel`] from the *mined* statistics (mean, sd,
+    /// occurrence count per sequence). Sequences with fewer than two
+    /// instances are dropped (no spread estimate).
+    pub fn to_leadtime_model(&self, labels: &[(u32, &'static str)]) -> LeadTimeModel {
+        let mut seqs = Vec::new();
+        for t in &self.templates {
+            let leads = self.leads_for(t.sequence_id);
+            if leads.len() < 2 {
+                continue;
+            }
+            let s = Summary::from_slice(&leads);
+            let label = labels
+                .iter()
+                .find(|(id, _)| *id == t.sequence_id)
+                .map(|&(_, l)| l)
+                .unwrap_or("mined");
+            seqs.push(SequenceStats {
+                id: t.sequence_id,
+                label,
+                mean_secs: s.mean(),
+                sd_secs: s.std_dev().max(0.1),
+                occurrences: leads.len() as u64,
+            });
+        }
+        LeadTimeModel::from_sequences(seqs)
+    }
+}
+
+/// Mines failure chains from a log given known templates.
+pub struct ChainAnalyzer {
+    templates: Vec<ChainTemplate>,
+}
+
+impl ChainAnalyzer {
+    /// Creates an analyzer for the given templates.
+    pub fn new(templates: Vec<ChainTemplate>) -> Self {
+        assert!(!templates.is_empty());
+        Self { templates }
+    }
+
+    /// Analyzer for the ten default templates.
+    pub fn desh_default() -> Self {
+        Self::new(desh_default_templates())
+    }
+
+    /// Scans a time-sorted log and extracts every completed chain.
+    ///
+    /// Per (node, template) a cursor tracks the next expected phrase;
+    /// unrelated lines are skipped (noise tolerance), and a completed
+    /// match resets the cursor so repeated failures of the same kind on
+    /// the same node are all found.
+    pub fn analyze(&self, log: &[LogEvent]) -> AnalysisReport {
+        assert!(
+            log.windows(2).all(|w| w[0].time_secs <= w[1].time_secs),
+            "log must be time-sorted"
+        );
+        // cursor state per (node, template): (next phrase index, first ts)
+        use std::collections::HashMap;
+        let mut cursors: HashMap<(u32, usize), (usize, f64)> = HashMap::new();
+        let mut chains = Vec::new();
+        for event in log {
+            for (ti, template) in self.templates.iter().enumerate() {
+                let key = (event.node, ti);
+                let (next, first) = cursors.get(&key).copied().unwrap_or((0, 0.0));
+                if template.phrases[next] == event.message {
+                    let first = if next == 0 { event.time_secs } else { first };
+                    if next + 1 == template.phrases.len() {
+                        chains.push(MinedChain {
+                            sequence_id: template.sequence_id,
+                            node: event.node,
+                            first_secs: first,
+                            fail_secs: event.time_secs,
+                        });
+                        cursors.remove(&key);
+                    } else {
+                        cursors.insert(key, (next + 1, first));
+                    }
+                }
+            }
+        }
+        AnalysisReport {
+            chains,
+            templates: self.templates.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, node: u32, msg: &str) -> LogEvent {
+        LogEvent {
+            time_secs: t,
+            node,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn analyzer_finds_a_hand_built_chain() {
+        let templates = vec![ChainTemplate {
+            sequence_id: 7,
+            phrases: vec!["a", "b", "c"],
+        }];
+        let log = vec![
+            ev(1.0, 0, "noise"),
+            ev(2.0, 0, "a"),
+            ev(3.0, 0, "noise"),
+            ev(4.0, 0, "b"),
+            ev(9.0, 0, "c"),
+        ];
+        let report = ChainAnalyzer::new(templates).analyze(&log);
+        assert_eq!(report.chains.len(), 1);
+        let c = report.chains[0];
+        assert_eq!(c.sequence_id, 7);
+        assert!((c.lead_secs() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chains_on_different_nodes_do_not_mix() {
+        let templates = vec![ChainTemplate {
+            sequence_id: 1,
+            phrases: vec!["a", "b"],
+        }];
+        // Node 0 emits "a", node 1 emits "b" — no chain completes.
+        let log = vec![ev(1.0, 0, "a"), ev(2.0, 1, "b")];
+        let report = ChainAnalyzer::new(templates.clone()).analyze(&log);
+        assert!(report.chains.is_empty());
+        // Same node: completes.
+        let log = vec![ev(1.0, 3, "a"), ev(2.0, 3, "b")];
+        let report = ChainAnalyzer::new(templates).analyze(&log);
+        assert_eq!(report.chains.len(), 1);
+        assert_eq!(report.chains[0].node, 3);
+    }
+
+    #[test]
+    fn interleaved_different_chains_on_one_node_both_found() {
+        let templates = vec![
+            ChainTemplate {
+                sequence_id: 1,
+                phrases: vec!["a1", "a2"],
+            },
+            ChainTemplate {
+                sequence_id: 2,
+                phrases: vec!["b1", "b2"],
+            },
+        ];
+        let log = vec![
+            ev(1.0, 0, "a1"),
+            ev(2.0, 0, "b1"),
+            ev(3.0, 0, "a2"),
+            ev(4.0, 0, "b2"),
+        ];
+        let report = ChainAnalyzer::new(templates).analyze(&log);
+        assert_eq!(report.chains.len(), 2);
+        assert!((report.chains[0].lead_secs() - 2.0).abs() < 1e-12);
+        assert!((report.chains[1].lead_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_chain_on_same_node_counted_twice() {
+        let templates = vec![ChainTemplate {
+            sequence_id: 1,
+            phrases: vec!["a", "b"],
+        }];
+        let log = vec![
+            ev(1.0, 0, "a"),
+            ev(2.0, 0, "b"),
+            ev(5.0, 0, "a"),
+            ev(9.0, 0, "b"),
+        ];
+        let report = ChainAnalyzer::new(templates).analyze(&log);
+        assert_eq!(report.chains.len(), 2);
+        assert!((report.chains[1].lead_secs() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generator_roundtrip_recovers_planted_failures() {
+        let mut rng = SimRng::seed_from(101);
+        let generator = LogGenerator::desh_default();
+        let six_months_secs = 0.5 * 365.25 * 24.0 * 3600.0;
+        let (log, truth) = generator.generate(&mut rng, six_months_secs, 500, 1200);
+        let report = ChainAnalyzer::desh_default().analyze(&log);
+        // Every planted chain must be found (collisions — same sequence on
+        // the same node overlapping in time — are rare at 500 nodes but can
+        // merge two instances; allow a small deficit).
+        assert!(
+            report.chains.len() as f64 >= truth.len() as f64 * 0.97,
+            "mined {} of {} planted chains",
+            report.chains.len(),
+            truth.len()
+        );
+        // Mined lead times per sequence must match ground truth closely.
+        let model = LeadTimeModel::desh_default();
+        for stat in model.sequences() {
+            let mined = report.leads_for(stat.id);
+            if mined.len() < 20 {
+                continue;
+            }
+            let mean = Summary::from_slice(&mined).mean();
+            assert!(
+                (mean - stat.mean_secs).abs() < stat.mean_secs * 0.15,
+                "sequence {}: mined mean {mean} vs planted {}",
+                stat.id,
+                stat.mean_secs
+            );
+        }
+    }
+
+    #[test]
+    fn mined_model_feeds_back_into_simulation() {
+        let mut rng = SimRng::seed_from(77);
+        let generator = LogGenerator::desh_default();
+        let (log, _) = generator.generate(&mut rng, 2_000_000.0, 300, 800);
+        let report = ChainAnalyzer::desh_default().analyze(&log);
+        let labels: Vec<(u32, &'static str)> = LeadTimeModel::desh_default()
+            .sequences()
+            .iter()
+            .map(|s| (s.id, s.label))
+            .collect();
+        let mined_model = report.to_leadtime_model(&labels);
+        assert!(mined_model.len() >= 8, "most sequences recovered");
+        // The mined mixture's mean must be near the design mixture's mean.
+        let design_mean = LeadTimeModel::desh_default().mean_secs();
+        let mined_mean = mined_model.mean_secs();
+        assert!(
+            (mined_mean - design_mean).abs() < design_mean * 0.15,
+            "mined {mined_mean} vs design {design_mean}"
+        );
+        // And it must be sampleable.
+        let (_, lead) = mined_model.sample(&mut rng);
+        assert!(lead > 0.0);
+    }
+
+    #[test]
+    fn mined_leads_pass_a_ks_test_against_the_design_distribution() {
+        use pckpt_simrng::ks_two_sample;
+        let mut rng = SimRng::seed_from(271);
+        let generator = LogGenerator::desh_default();
+        let (log, _) = generator.generate(&mut rng, 4_000_000.0, 400, 1500);
+        let report = ChainAnalyzer::desh_default().analyze(&log);
+        let model = LeadTimeModel::desh_default();
+        // Per high-occurrence sequence: mined lead times vs fresh samples
+        // from the matching design component must be indistinguishable.
+        let mut tested = 0;
+        for stat in model.sequences() {
+            let mined = report.leads_for(stat.id);
+            if mined.len() < 80 {
+                continue;
+            }
+            let reference = TruncatedNormal::new(stat.mean_secs, stat.sd_secs, 0.5)
+                .sample_n(&mut rng, mined.len());
+            let ks = ks_two_sample(&mined, &reference);
+            assert!(
+                ks.same_distribution(0.001),
+                "sequence {}: mined leads diverge (D={:.3}, p={:.4})",
+                stat.id,
+                ks.statistic,
+                ks.p_value
+            );
+            tested += 1;
+        }
+        assert!(tested >= 4, "need several high-volume sequences, got {tested}");
+    }
+
+    #[test]
+    fn boxplots_cover_sequences_with_data() {
+        let mut rng = SimRng::seed_from(5);
+        let generator = LogGenerator::desh_default();
+        let (log, _) = generator.generate(&mut rng, 1_000_000.0, 200, 600);
+        let report = ChainAnalyzer::desh_default().analyze(&log);
+        let plots = report.boxplots();
+        assert!(plots.len() >= 8);
+        for (id, n, plot) in &plots {
+            assert!(*id >= 1 && *id <= 10);
+            assert!(*n > 0);
+            assert!(plot.median > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn analyzer_rejects_unsorted_log() {
+        let templates = desh_default_templates();
+        let log = vec![ev(5.0, 0, "x"), ev(1.0, 0, "y")];
+        ChainAnalyzer::new(templates).analyze(&log);
+    }
+
+    #[test]
+    fn log_line_roundtrip() {
+        let ev = ev(12.345, 42, "lustre: client connection lost");
+        let parsed = LogEvent::from_line(&ev.to_line()).unwrap();
+        assert_eq!(parsed, ev);
+        // Messages may contain tabs-free arbitrary text; spaces fine.
+        assert!(LogEvent::from_line("bad").is_err());
+        assert!(LogEvent::from_line("1.0\tx\tmsg").is_err());
+        assert!(LogEvent::from_line("-1.0\t3\tmsg").is_err());
+        assert!(LogEvent::from_line("nan\t3\tmsg").is_err());
+    }
+
+    #[test]
+    fn log_file_roundtrip_preserves_analysis() {
+        let mut rng = SimRng::seed_from(55);
+        let (log, _) = LogGenerator::desh_default().generate(&mut rng, 200_000.0, 64, 150);
+        let mut buf = Vec::new();
+        write_log(&mut buf, &log).unwrap();
+        let reader = std::io::BufReader::new(buf.as_slice());
+        let reread = read_log(reader).unwrap();
+        assert_eq!(reread.len(), log.len());
+        let a = ChainAnalyzer::desh_default().analyze(&log);
+        let b = ChainAnalyzer::desh_default().analyze(&reread);
+        assert_eq!(a.chains.len(), b.chains.len());
+        // Lead times survive the 1 ms timestamp quantization.
+        for (x, y) in a.chains.iter().zip(&b.chains) {
+            assert!((x.lead_secs() - y.lead_secs()).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn read_log_skips_comments_and_reports_bad_lines() {
+        let text = "# header\n\n1.0\t3\thello world\n2.0\t4\tbye\n";
+        let r = std::io::BufReader::new(text.as_bytes());
+        let log = read_log(r).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].message, "hello world");
+        let bad = "1.0\t3\tok\ngarbage line\n";
+        let r = std::io::BufReader::new(bad.as_bytes());
+        let err = read_log(r).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn generator_respects_failure_count_and_window() {
+        let mut rng = SimRng::seed_from(9);
+        let generator = LogGenerator::desh_default();
+        let (log, truth) = generator.generate(&mut rng, 100_000.0, 50, 100);
+        assert_eq!(truth.len(), 100);
+        assert!(log.len() > 100 * 3, "chains plus noise");
+        assert!(log.iter().all(|e| e.time_secs >= 0.0 && e.time_secs <= 100_000.0));
+        assert!(truth.iter().all(|t| t.node < 50));
+    }
+}

@@ -1,0 +1,505 @@
+//! Per-run failure traces: when, where, and with how much warning.
+//!
+//! "The failure generation and prediction component uses the failure
+//! distribution parameters to generate one of the failures along with its
+//! prediction lead time ... For each failure generation, a node is
+//! randomly selected from a uniform probability distribution" (Sec. III).
+//!
+//! A [`FailureTrace`] is everything one simulation run needs to know about
+//! fate: the genuine failures (predicted or not) and the false-positive
+//! predictions. Generating the trace up front — instead of lazily during
+//! the simulation — keeps the C/R models free of RNG plumbing and lets
+//! different models be compared on *identical* fault streams (variance
+//! reduction for the model-vs-model comparisons in Figs. 6–8).
+
+use crate::leadtime::LeadTimeModel;
+use crate::predictor::{Prediction, Predictor};
+use crate::system::FailureDistribution;
+use pckpt_simrng::dist::{Distribution, Exponential};
+use pckpt_simrng::SimRng;
+
+/// How the system-wide failure process is projected onto the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Projection {
+    /// Generate job-level Weibull inter-arrivals directly, with the scale
+    /// adjusted by min-stability (`(N/c)^{1/k}`). Works for any job size,
+    /// including jobs larger than the source system (the LANL
+    /// distributions applied to Summit-scale jobs, Fig. 6b).
+    #[default]
+    MinStability,
+    /// Generate system-wide arrivals and keep each with probability `c/N`
+    /// (uniform node selection, the paper's literal procedure). Requires
+    /// `c ≤ N`.
+    Thinning,
+}
+
+/// Which node a failure lands on (extension; the paper assumes
+/// uniform selection).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum NodeSelection {
+    /// "a node is randomly selected from a uniform probability
+    /// distribution" (Sec. III).
+    #[default]
+    Uniform,
+    /// Production machines show failure *locality*: a small set of
+    /// repeat offenders accounts for a disproportionate share of events
+    /// (cf. Doomsday's per-node prediction premise). `fraction` of the
+    /// job's nodes are `weight`× likelier to fail than the rest.
+    Hotspot {
+        /// Fraction of nodes that are failure-prone, in (0, 1).
+        fraction: f64,
+        /// Relative failure weight of a hotspot node (> 1).
+        weight: f64,
+    },
+}
+
+impl NodeSelection {
+    /// Picks a job-local node index in `0..n`.
+    pub fn pick(&self, rng: &mut SimRng, n: u64) -> u32 {
+        match *self {
+            NodeSelection::Uniform => rng.below(n) as u32,
+            NodeSelection::Hotspot { fraction, weight } => {
+                assert!((0.0..1.0).contains(&fraction) && fraction > 0.0);
+                assert!(weight > 1.0);
+                let hot = ((n as f64 * fraction).ceil() as u64).clamp(1, n);
+                let cold = n - hot;
+                let hot_mass = hot as f64 * weight;
+                let p_hot = hot_mass / (hot_mass + cold as f64);
+                if rng.chance(p_hot) || cold == 0 {
+                    // Hotspot nodes occupy the low indices.
+                    rng.below(hot) as u32
+                } else {
+                    (hot + rng.below(cold)) as u32
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of one trace generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Which system's failure process drives the run (Table III).
+    pub distribution: FailureDistribution,
+    /// Job size in nodes (`c` in the paper).
+    pub job_nodes: u64,
+    /// How far to generate, hours (≥ the application's total runtime
+    /// including overheads — the C/R driver asks for a generous margin).
+    pub horizon_hours: f64,
+    /// Projection strategy.
+    pub projection: Projection,
+    /// Lead-time scaling factor for the variability experiments
+    /// (Figs. 4/7/8): 1.5 = "+50 %", 0.5 = "−50 %".
+    pub lead_scale: f64,
+    /// Node-selection model (extension; defaults to the paper's uniform).
+    pub node_selection: NodeSelection,
+    /// Coefficient of variation of the *estimated* lead time around the
+    /// actual one (extension; the paper assumes exact knowledge — "we
+    /// consider the actual lead time of any failure during simulation").
+    /// With noise, the C/R model *decides* on the estimate but the
+    /// failure fires at the actual time, so an overestimate can make a
+    /// live migration lose its race.
+    pub lead_error_cv: f64,
+}
+
+impl TraceConfig {
+    /// Titan-distribution defaults at reference lead times.
+    pub fn new(distribution: FailureDistribution, job_nodes: u64, horizon_hours: f64) -> Self {
+        assert!(job_nodes >= 1 && horizon_hours > 0.0);
+        Self {
+            distribution,
+            job_nodes,
+            horizon_hours,
+            projection: Projection::MinStability,
+            lead_scale: 1.0,
+            node_selection: NodeSelection::Uniform,
+            lead_error_cv: 0.0,
+        }
+    }
+
+    /// Sets the node-selection model.
+    pub fn with_node_selection(mut self, selection: NodeSelection) -> Self {
+        self.node_selection = selection;
+        self
+    }
+
+    /// Sets the lead-time estimation error (coefficient of variation;
+    /// 0 = the paper's exact-knowledge assumption).
+    pub fn with_lead_error(mut self, cv: f64) -> Self {
+        assert!((0.0..=2.0).contains(&cv), "lead error CV out of range");
+        self.lead_error_cv = cv;
+        self
+    }
+
+    /// Sets the lead-time variability factor.
+    pub fn with_lead_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "lead scale must be positive");
+        self.lead_scale = scale;
+        self
+    }
+
+    /// Sets the projection strategy.
+    pub fn with_projection(mut self, projection: Projection) -> Self {
+        self.projection = projection;
+        self
+    }
+}
+
+/// One genuine failure in a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// Absolute failure time, hours into the run.
+    pub time_hours: f64,
+    /// Failing node, job-local index `0..job_nodes`.
+    pub node: u32,
+    /// The failure-chain sequence behind it.
+    pub sequence_id: u32,
+    /// Actual lead time (seconds) between prediction delivery and the
+    /// failure — already scaled by `lead_scale` and net of inference
+    /// latency.
+    pub lead_secs: f64,
+    /// The lead time the predictor *reports* (what the C/R model decides
+    /// on). Equals `lead_secs` unless `lead_error_cv > 0`.
+    pub est_lead_secs: f64,
+    /// Whether the predictor actually announces it (false ⇒ false
+    /// negative: the failure strikes unannounced).
+    pub predicted: bool,
+}
+
+impl FailureEvent {
+    /// The moment the prediction is delivered, hours (failure time minus
+    /// lead). Meaningless if `!predicted`.
+    pub fn prediction_time_hours(&self) -> f64 {
+        (self.time_hours - self.lead_secs / 3600.0).max(0.0)
+    }
+}
+
+/// A complete fault stream for one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FailureTrace {
+    /// Genuine failures, ascending in time.
+    pub failures: Vec<FailureEvent>,
+    /// False-positive predictions, ascending in time.
+    pub false_positives: Vec<Prediction>,
+}
+
+impl FailureTrace {
+    /// Generates a trace.
+    pub fn generate(
+        config: &TraceConfig,
+        leads: &LeadTimeModel,
+        predictor: &Predictor,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut failures = Vec::new();
+        match config.projection {
+            Projection::MinStability => {
+                let w = config.distribution.job_weibull(config.job_nodes);
+                let mut t = 0.0;
+                loop {
+                    t += w.sample(rng);
+                    if t >= config.horizon_hours {
+                        break;
+                    }
+                    failures.push(Self::make_failure(config, leads, predictor, rng, t, None));
+                }
+            }
+            Projection::Thinning => {
+                let n = config.distribution.system_nodes;
+                assert!(
+                    config.job_nodes <= n,
+                    "thinning projection requires job_nodes ({}) ≤ system nodes ({n})",
+                    config.job_nodes
+                );
+                let w = config.distribution.system_weibull();
+                let mut t = 0.0;
+                loop {
+                    t += w.sample(rng);
+                    if t >= config.horizon_hours {
+                        break;
+                    }
+                    // Uniform node over the whole system; in-job nodes keep
+                    // the event. Under a non-uniform selection model the
+                    // membership probability stays c/N but the job-local
+                    // placement is re-drawn from the selection.
+                    let node = rng.below(n);
+                    if node < config.job_nodes {
+                        let job_node = match config.node_selection {
+                            NodeSelection::Uniform => node as u32,
+                            sel => sel.pick(rng, config.job_nodes),
+                        };
+                        failures.push(Self::make_failure(
+                            config,
+                            leads,
+                            predictor,
+                            rng,
+                            t,
+                            Some(job_node),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // False positives: a Poisson process whose expected count keeps
+        // the configured share of all predictions false.
+        let expected_true_predictions =
+            failures.iter().filter(|f| f.predicted).count() as f64;
+        let expected_fp = expected_true_predictions * predictor.fp_per_true_prediction();
+        let mut false_positives = Vec::new();
+        if expected_fp > 0.0 {
+            let gap = Exponential::from_rate(expected_fp / config.horizon_hours);
+            let mut t = gap.sample(rng);
+            while t < config.horizon_hours {
+                let (sequence_id, raw_lead) = leads.sample(rng);
+                let lead_secs =
+                    predictor.usable_lead_secs(raw_lead * config.lead_scale);
+                false_positives.push(Prediction {
+                    node: config.node_selection.pick(rng, config.job_nodes),
+                    at_hours: t,
+                    lead_secs,
+                    sequence_id,
+                    genuine: false,
+                });
+                t += gap.sample(rng);
+            }
+        }
+        Self {
+            failures,
+            false_positives,
+        }
+    }
+
+    fn make_failure(
+        config: &TraceConfig,
+        leads: &LeadTimeModel,
+        predictor: &Predictor,
+        rng: &mut SimRng,
+        time_hours: f64,
+        node: Option<u32>,
+    ) -> FailureEvent {
+        let node = node.unwrap_or_else(|| config.node_selection.pick(rng, config.job_nodes));
+        let (sequence_id, raw_lead) = leads.sample(rng);
+        let lead_secs = predictor.usable_lead_secs(raw_lead * config.lead_scale);
+        let est_lead_secs = if config.lead_error_cv > 0.0 {
+            let noise =
+                pckpt_simrng::dist::LogNormal::from_mean_cv(1.0, config.lead_error_cv)
+                    .sample(rng);
+            (lead_secs * noise).max(0.0)
+        } else {
+            lead_secs
+        };
+        FailureEvent {
+            time_hours,
+            node,
+            sequence_id,
+            lead_secs,
+            est_lead_secs,
+            predicted: predictor.predicts(rng),
+        }
+    }
+
+    /// Count of genuine failures.
+    pub fn failure_count(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Count of predicted genuine failures.
+    pub fn predicted_count(&self) -> usize {
+        self.failures.iter().filter(|f| f.predicted).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (LeadTimeModel, Predictor) {
+        (LeadTimeModel::desh_default(), Predictor::aarohi_default())
+    }
+
+    #[test]
+    fn failure_rate_matches_distribution_min_stability() {
+        let (leads, predictor) = setup();
+        let dist = FailureDistribution::OLCF_TITAN;
+        let cfg = TraceConfig::new(dist, 2272, 10_000.0);
+        let mut rng = SimRng::seed_from(1);
+        let mut total = 0usize;
+        let runs = 40;
+        for _ in 0..runs {
+            total += FailureTrace::generate(&cfg, &leads, &predictor, &mut rng).failure_count();
+        }
+        let rate = total as f64 / (runs as f64 * 10_000.0);
+        // Min-stability mean inter-arrival: scale·(N/c)^{1/k}·Γ(1+1/k).
+        let expected = 1.0 / dist.job_weibull(2272).mean().unwrap();
+        assert!(
+            (rate - expected).abs() / expected < 0.1,
+            "rate {rate} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn thinning_rate_matches_c_over_n() {
+        let (leads, predictor) = setup();
+        let dist = FailureDistribution::OLCF_TITAN;
+        let cfg = TraceConfig::new(dist, 9434, 5_000.0).with_projection(Projection::Thinning);
+        let mut rng = SimRng::seed_from(2);
+        let mut total = 0usize;
+        let runs = 30;
+        for _ in 0..runs {
+            total += FailureTrace::generate(&cfg, &leads, &predictor, &mut rng).failure_count();
+        }
+        let rate = total as f64 / (runs as f64 * 5_000.0);
+        // Half the system → half the system event rate.
+        let expected = 0.5 / dist.system_mtbf_hours();
+        assert!(
+            (rate - expected).abs() / expected < 0.12,
+            "rate {rate} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "thinning projection requires")]
+    fn thinning_rejects_oversized_jobs() {
+        let (leads, predictor) = setup();
+        let cfg = TraceConfig::new(FailureDistribution::LANL_SYSTEM_8, 2272, 100.0)
+            .with_projection(Projection::Thinning);
+        let mut rng = SimRng::seed_from(3);
+        let _ = FailureTrace::generate(&cfg, &leads, &predictor, &mut rng);
+    }
+
+    #[test]
+    fn predicted_fraction_tracks_recall() {
+        let (leads, _) = setup();
+        let predictor = Predictor::new(0.6, 0.0, 0.0);
+        let cfg = TraceConfig::new(FailureDistribution::LANL_SYSTEM_18, 1024, 20_000.0);
+        let mut rng = SimRng::seed_from(4);
+        let trace = FailureTrace::generate(&cfg, &leads, &predictor, &mut rng);
+        assert!(trace.failure_count() > 500, "need statistics");
+        let frac = trace.predicted_count() as f64 / trace.failure_count() as f64;
+        assert!((frac - 0.6).abs() < 0.05, "predicted fraction {frac}");
+        assert!(trace.false_positives.is_empty(), "fp share 0 → none");
+    }
+
+    #[test]
+    fn fp_share_is_respected() {
+        let (leads, _) = setup();
+        let predictor = Predictor::new(1.0, 0.18, 0.0);
+        let cfg = TraceConfig::new(FailureDistribution::LANL_SYSTEM_18, 1024, 20_000.0);
+        let mut rng = SimRng::seed_from(5);
+        let trace = FailureTrace::generate(&cfg, &leads, &predictor, &mut rng);
+        let genuine = trace.predicted_count() as f64;
+        let fp = trace.false_positives.len() as f64;
+        let share = fp / (fp + genuine);
+        assert!((share - 0.18).abs() < 0.03, "fp share {share}");
+        assert!(trace
+            .false_positives
+            .iter()
+            .all(|p| !p.genuine && p.at_hours < 20_000.0));
+    }
+
+    #[test]
+    fn lead_scaling_scales_leads() {
+        let (leads, predictor) = setup();
+        let base = TraceConfig::new(FailureDistribution::OLCF_TITAN, 2272, 30_000.0);
+        let scaled = base.with_lead_scale(1.5);
+        let mut rng1 = SimRng::seed_from(6);
+        let mut rng2 = SimRng::seed_from(6);
+        let t1 = FailureTrace::generate(&base, &leads, &predictor, &mut rng1);
+        let t2 = FailureTrace::generate(&scaled, &leads, &predictor, &mut rng2);
+        assert_eq!(t1.failure_count(), t2.failure_count(), "same seed, same events");
+        for (a, b) in t1.failures.iter().zip(&t2.failures) {
+            // usable_lead subtracts the 0.31 ms inference latency *after*
+            // scaling, so allow that much slack.
+            let latency = predictor.latency_secs();
+            assert!((b.lead_secs - 1.5 * a.lead_secs).abs() < 2.0 * latency + 1e-9);
+        }
+    }
+
+    #[test]
+    fn failures_ascend_and_land_inside_job() {
+        let (leads, predictor) = setup();
+        let cfg = TraceConfig::new(FailureDistribution::OLCF_TITAN, 505, 50_000.0);
+        let mut rng = SimRng::seed_from(7);
+        let trace = FailureTrace::generate(&cfg, &leads, &predictor, &mut rng);
+        assert!(trace
+            .failures
+            .windows(2)
+            .all(|w| w[0].time_hours <= w[1].time_hours));
+        assert!(trace.failures.iter().all(|f| f.node < 505));
+        assert!(trace.failures.iter().all(|f| f.time_hours < 50_000.0));
+    }
+
+    #[test]
+    fn hotspot_selection_concentrates_failures() {
+        let sel = NodeSelection::Hotspot {
+            fraction: 0.1,
+            weight: 10.0,
+        };
+        let mut rng = SimRng::seed_from(8);
+        let n = 1000u64;
+        let hot_count = 100u64;
+        let draws = 100_000;
+        let hot_hits = (0..draws)
+            .filter(|_| (sel.pick(&mut rng, n) as u64) < hot_count)
+            .count();
+        // Hot mass: 100·10 / (100·10 + 900) = 1000/1900 ≈ 0.526.
+        let frac = hot_hits as f64 / draws as f64;
+        assert!((frac - 0.526).abs() < 0.01, "hot fraction {frac}");
+        // Uniform stays uniform.
+        let uni = NodeSelection::Uniform;
+        let uni_hits = (0..draws)
+            .filter(|_| (uni.pick(&mut rng, n) as u64) < hot_count)
+            .count();
+        let ufrac = uni_hits as f64 / draws as f64;
+        assert!((ufrac - 0.1).abs() < 0.01, "uniform fraction {ufrac}");
+    }
+
+    #[test]
+    fn hotspot_traces_remain_well_formed_and_uniform_is_unchanged() {
+        let (leads, predictor) = setup();
+        let base = TraceConfig::new(FailureDistribution::OLCF_TITAN, 505, 10_000.0);
+        // Uniform must be bit-identical with and without the explicit
+        // default (regression: adding the extension must not perturb the
+        // RNG stream of existing experiments).
+        let mut r1 = SimRng::seed_from(3);
+        let mut r2 = SimRng::seed_from(3);
+        let a = FailureTrace::generate(&base, &leads, &predictor, &mut r1);
+        let b = FailureTrace::generate(
+            &base.with_node_selection(NodeSelection::Uniform),
+            &leads,
+            &predictor,
+            &mut r2,
+        );
+        assert_eq!(a, b);
+        // Hotspot traces stay valid and actually concentrate.
+        let hot_cfg = base.with_node_selection(NodeSelection::Hotspot {
+            fraction: 0.05,
+            weight: 20.0,
+        });
+        let mut r3 = SimRng::seed_from(4);
+        let t = FailureTrace::generate(&hot_cfg, &leads, &predictor, &mut r3);
+        assert!(t.failures.iter().all(|f| (f.node as u64) < 505));
+        if t.failure_count() >= 20 {
+            let hot_cut = (505.0f64 * 0.05).ceil() as u32;
+            let hot = t.failures.iter().filter(|f| f.node < hot_cut).count();
+            assert!(
+                hot as f64 / t.failure_count() as f64 > 0.25,
+                "hotspots must attract failures"
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_time_never_negative() {
+        let f = FailureEvent {
+            time_hours: 0.001, // failure 3.6 s in, lead 60 s
+            node: 0,
+            sequence_id: 1,
+            lead_secs: 60.0,
+            est_lead_secs: 60.0,
+            predicted: true,
+        };
+        assert_eq!(f.prediction_time_hours(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! `pckpt-failure` — failure generation, log-based failure-chain analysis,
+//! and lead-time prediction.
+//!
+//! The paper's C/R models are driven by three failure-related inputs:
+//!
+//! 1. **When failures happen** — Weibull inter-arrival processes fitted to
+//!    three production systems (Table III: LANL systems 8 and 18, OLCF
+//!    Titan). [`system`] carries those parameters and projects a
+//!    system-wide process onto a job's node subset; [`generator`] turns
+//!    them into concrete per-run failure traces.
+//! 2. **How much warning a prediction gives** — lead times mined from
+//!    production logs with Desh-style failure-chain analysis (Fig. 2a).
+//!    [`chains`] implements the full synthetic pipeline: a log generator
+//!    that plants phrase chains ahead of each failure, and an analyzer
+//!    that recovers the chains and their first-phrase-to-failure lead
+//!    times. [`leadtime`] is the resulting 10-sequence mixture model.
+//! 3. **Whether the predictor catches a failure** — an Aarohi-style online
+//!    predictor abstraction ([`predictor`]) with configurable recall
+//!    (1 − false-negative rate), an 18 % false-positive share, and the
+//!    0.31 ms inference latency the paper quotes.
+//!
+//! [`system::RateEstimator`] additionally provides the windowed failure-rate
+//! estimate the simulation uses to refresh the optimal checkpoint interval
+//! "to better account for a dynamically changing system failure rate"
+//! (Sec. III).
+
+#![warn(missing_docs)]
+
+pub mod chains;
+pub mod generator;
+pub mod leadtime;
+pub mod predictor;
+pub mod system;
+
+pub use generator::{FailureEvent, FailureTrace, Projection, TraceConfig};
+pub use leadtime::{LeadTimeModel, SequenceStats};
+pub use predictor::{Prediction, Predictor};
+pub use system::{FailureDistribution, RateEstimator};

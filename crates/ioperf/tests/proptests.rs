@@ -1,0 +1,103 @@
+//! Property-based tests of the I/O performance model: physical sanity
+//! (monotonicity, bounds) must hold at every point of the parameter
+//! space, not just the sampled grid.
+
+use proptest::prelude::*;
+
+use pckpt_ioperf::{BurstBuffer, Network, NodeIoModel, PfsModel, GB};
+
+proptest! {
+    /// Aggregate bandwidth is monotone in node count, bounded by the
+    /// ceiling, and at least the single-node value.
+    #[test]
+    fn pfs_monotone_in_nodes(
+        nodes_a in 1u64..8192,
+        nodes_b in 1u64..8192,
+        size_gb in 0.05f64..900.0,
+    ) {
+        let pfs = PfsModel::summit();
+        let (lo, hi) = (nodes_a.min(nodes_b), nodes_a.max(nodes_b));
+        let size = size_gb * GB;
+        let bw_lo = pfs.aggregate_write_bw(lo, size);
+        let bw_hi = pfs.aggregate_write_bw(hi, size);
+        prop_assert!(bw_hi >= bw_lo * (1.0 - 1e-9), "bw must not shrink with nodes");
+        prop_assert!(bw_hi <= pfs.ceiling() * 1.001);
+        prop_assert!(bw_lo > 0.0);
+    }
+
+    /// Aggregate bandwidth is monotone in transfer size.
+    #[test]
+    fn pfs_monotone_in_size(
+        nodes in 1u64..8192,
+        size_a in 0.05f64..900.0,
+        size_b in 0.05f64..900.0,
+    ) {
+        let pfs = PfsModel::summit();
+        let (lo, hi) = (size_a.min(size_b) * GB, size_a.max(size_b) * GB);
+        prop_assert!(
+            pfs.aggregate_write_bw(nodes, hi) >= pfs.aggregate_write_bw(nodes, lo) * (1.0 - 1e-9)
+        );
+    }
+
+    /// Per-node share never exceeds the single-node bandwidth (adding
+    /// writers cannot make any one writer faster).
+    #[test]
+    fn pfs_share_bounded_by_single_node(nodes in 2u64..8192, size_gb in 0.05f64..900.0) {
+        let pfs = PfsModel::summit();
+        let size = size_gb * GB;
+        let share = pfs.aggregate_write_bw(nodes, size) / nodes as f64;
+        let single = pfs.single_node_write_bw(size);
+        prop_assert!(share <= single * 1.01, "share {share} vs single {single}");
+    }
+
+    /// Write time scales: more data from the same nodes never takes less
+    /// time; collective commits always dominate a single node's.
+    #[test]
+    fn pfs_write_time_sanity(nodes in 2u64..4608, size_gb in 0.05f64..500.0) {
+        let pfs = PfsModel::summit();
+        let size = size_gb * GB;
+        let t_all = pfs.write_secs(nodes, size);
+        let t_single = pfs.single_node_write_secs(size);
+        prop_assert!(t_all > t_single * (1.0 - 1e-9),
+            "all-nodes commit ({t_all}s) must not beat one node alone ({t_single}s)");
+        let t_double = pfs.write_secs(nodes, size * 2.0);
+        prop_assert!(t_double >= t_all * (1.0 - 1e-9));
+    }
+
+    /// Node curve: efficiency factors stay in (0, 1]; bandwidth respects
+    /// the composition.
+    #[test]
+    fn node_model_factors_bounded(tasks in 1u32..64, size_gb in 0.001f64..900.0) {
+        let m = NodeIoModel::summit();
+        let te = m.task_efficiency(tasks);
+        let se = m.size_efficiency(size_gb * GB);
+        prop_assert!(te > 0.0 && te <= 1.0);
+        prop_assert!(se > 0.0 && se < 1.0);
+        let bw = m.bandwidth(tasks, size_gb * GB);
+        prop_assert!((bw - m.peak_bw() * te * se).abs() < 1e-6 * bw.max(1.0));
+    }
+
+    /// Burst-buffer round trip: write slower than read; times linear.
+    #[test]
+    fn bb_times_linear(size_gb in 0.001f64..1500.0) {
+        let bb = BurstBuffer::summit();
+        let bytes = size_gb * GB;
+        prop_assert!(bb.write_secs(bytes) > bb.read_secs(bytes));
+        prop_assert!((bb.write_secs(2.0 * bytes) - 2.0 * bb.write_secs(bytes)).abs() < 1e-6);
+        prop_assert_eq!(bb.fits(bytes), bytes <= bb.capacity());
+    }
+
+    /// Collectives: log-depth growth, monotone in participants.
+    #[test]
+    fn network_collectives_monotone(a in 1usize..100_000, b in 1usize..100_000) {
+        let net = Network::summit();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(net.collective_secs(hi) >= net.collective_secs(lo));
+        // Log-depth: doubling participants adds exactly one level.
+        if lo > 1 {
+            let one_level = net.collective_secs(2) - net.collective_secs(1);
+            let step = net.collective_secs(lo * 2) - net.collective_secs(lo);
+            prop_assert!(step <= one_level + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Random variates and statistics for the p-ckpt simulation suite.
+//!
+//! The paper's simulation (Sec. III) draws failure inter-arrival times from
+//! Weibull distributions (Table III), failure lead times from an empirical
+//! mixture recovered from log analysis (Fig. 2a), and averages results over
+//! 1000 runs. This crate provides:
+//!
+//! * [`rng`] — a deterministic, splittable PRNG ([`rng::SimRng`]) so that
+//!   every simulation run is exactly reproducible from a seed, and so that
+//!   parallel runs derive independent streams.
+//! * [`dist`] — analytic distributions (Weibull, exponential, normal,
+//!   log-normal, truncated normal, uniform) sampled by inversion or
+//!   Box–Muller, plus composable [`dist::Mixture`] and data-driven
+//!   [`dist::Empirical`] distributions.
+//! * [`stats`] — streaming summaries (Welford), quantiles, histograms and
+//!   box-plot statistics used to render the paper's figures.
+//!
+//! `rand_distr` is deliberately not used (it is not on the approved offline
+//! dependency list); the implementations here are small, and every sampler
+//! is validated against analytic moments in its unit tests.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod fit;
+pub mod rng;
+pub mod stats;
+
+pub use dist::{
+    Deterministic, Discrete, Distribution, Empirical, Exponential, LogNormal, Mixture, Normal,
+    TruncatedNormal, Uniform, Weibull,
+};
+pub use fit::{fit_weibull, WeibullFit};
+pub use rng::SimRng;
+pub use stats::{ks_two_sample, BoxPlot, Histogram, KsResult, Quantiles, Summary};

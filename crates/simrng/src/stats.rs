@@ -1,0 +1,537 @@
+//! Streaming and batch statistics.
+//!
+//! The experiment harnesses aggregate 1000 Monte-Carlo runs per
+//! configuration (Sec. V) and render box plots (Fig. 2a) and heat maps
+//! (Fig. 2c). This module provides the numeric building blocks:
+//! Welford-style streaming summaries, interpolated quantiles, fixed-bin
+//! histograms and Tukey box-plot statistics.
+
+/// Streaming summary: count, mean, variance (Welford), min, max.
+///
+/// Numerically stable for long accumulations; merging two summaries
+/// (parallel reduction across worker threads) is supported via
+/// [`Summary::merge`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "Summary::push requires finite values");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (Chan's parallel algorithm).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Unbiased sample variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean (0 when fewer than two observations).
+    pub fn std_err(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Interpolated quantiles over a sorted copy of a data set.
+#[derive(Debug, Clone)]
+pub struct Quantiles {
+    sorted: Vec<f64>,
+}
+
+impl Quantiles {
+    /// Builds a quantile table (sorts a copy of `values`). Panics on empty
+    /// input or non-finite values.
+    pub fn new(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "Quantiles requires at least one value");
+        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Self { sorted }
+    }
+
+    /// The q-quantile (linear interpolation, R-7 / NumPy default).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0, 1]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        if i + 1 < n {
+            self.sorted[i] * (1.0 - frac) + self.sorted[i + 1] * frac
+        } else {
+            self.sorted[n - 1]
+        }
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Underlying sorted values.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Tukey box-plot statistics: quartiles, whiskers at 1.5·IQR, outliers.
+///
+/// This is exactly what Fig. 2a draws per failure sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxPlot {
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Lowest observation within `q1 − 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Highest observation within `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Observations outside the whiskers.
+    pub outliers: Vec<f64>,
+    /// Arithmetic mean (annotated beside each box in Fig. 2a).
+    pub mean: f64,
+}
+
+impl BoxPlot {
+    /// Computes box-plot statistics for `values`. Panics on empty input.
+    pub fn new(values: &[f64]) -> Self {
+        let q = Quantiles::new(values);
+        let (q1, median, q3) = (q.quantile(0.25), q.median(), q.quantile(0.75));
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let mut whisker_lo = f64::INFINITY;
+        let mut whisker_hi = f64::NEG_INFINITY;
+        let mut outliers = Vec::new();
+        for &v in q.sorted() {
+            if v < lo_fence || v > hi_fence {
+                outliers.push(v);
+            } else {
+                whisker_lo = whisker_lo.min(v);
+                whisker_hi = whisker_hi.max(v);
+            }
+        }
+        // All-outlier degenerate case cannot occur: the quartiles themselves
+        // always lie inside the fences.
+        let mean = Summary::from_slice(values).mean();
+        Self {
+            q1,
+            median,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+            mean,
+        }
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov comparison.
+///
+/// Used to validate that a *mined* lead-time distribution (recovered by
+/// the chain analyzer from synthetic logs) statistically matches the
+/// design ground truth, and available to users for comparing failure
+/// traces across configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic D = sup |F₁(x) − F₂(x)|.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution
+    /// approximation; accurate for n ≳ 35 per sample).
+    pub p_value: f64,
+}
+
+impl KsResult {
+    /// True if the samples are consistent with a common distribution at
+    /// significance level `alpha`.
+    pub fn same_distribution(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Two-sample KS test. Panics on empty inputs or non-finite values.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    assert!(
+        a.iter().chain(b).all(|x| x.is_finite()),
+        "KS samples must be finite"
+    );
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let (n, m) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let x = sa[i].min(sb[j]);
+        while i < n && sa[i] <= x {
+            i += 1;
+        }
+        while j < m && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / n as f64;
+        let fb = j as f64 / m as f64;
+        d = d.max((fa - fb).abs());
+    }
+    // Asymptotic p-value: Q_KS(λ) with λ = (√ne + 0.12 + 0.11/√ne)·D,
+    // ne = n·m/(n+m)  (Numerical Recipes formulation).
+    let ne = (n as f64 * m as f64) / (n + m) as f64;
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
+/// The Kolmogorov survival function Q(λ) = 2·Σ (−1)^{k−1} e^{−2k²λ²}.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Fixed-width-bin histogram over `[lo, hi)` with under/overflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` equal-width bins on `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo && nbins > 0, "invalid histogram bounds or bin count");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.variance() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert!((s.sum() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s1 = Summary::new();
+        s1.push(7.0);
+        assert_eq!(s1.mean(), 7.0);
+        assert_eq!(s1.variance(), 0.0);
+        assert_eq!(s1.std_err(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq = Summary::from_slice(&all);
+        let mut a = Summary::from_slice(&all[..37]);
+        let b = Summary::from_slice(&all[37..]);
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.variance() - seq.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::from_slice(&[1.0, 2.0]);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn quantiles_interpolation() {
+        let q = Quantiles::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(q.quantile(0.0), 10.0);
+        assert_eq!(q.quantile(1.0), 40.0);
+        assert!((q.median() - 25.0).abs() < 1e-12);
+        assert!((q.quantile(1.0 / 3.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boxplot_flags_outliers() {
+        let mut vals: Vec<f64> = (1..=20).map(|x| x as f64).collect();
+        vals.push(1000.0);
+        let b = BoxPlot::new(&vals);
+        assert_eq!(b.outliers, vec![1000.0]);
+        assert!(b.whisker_hi <= 20.0);
+        assert!(b.median > 5.0 && b.median < 16.0);
+        assert!(b.iqr() > 0.0);
+    }
+
+    #[test]
+    fn boxplot_uniform_no_outliers() {
+        let vals: Vec<f64> = (0..100).map(|x| x as f64).collect();
+        let b = BoxPlot::new(&vals);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_lo, 0.0);
+        assert_eq!(b.whisker_hi, 99.0);
+        assert!((b.mean - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_samples_accept() {
+        let a: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let r = ks_two_sample(&a, &a);
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+        assert!(r.same_distribution(0.05));
+    }
+
+    #[test]
+    fn ks_same_distribution_different_samples_accept() {
+        use crate::dist::{Distribution, Weibull};
+        use crate::rng::SimRng;
+        let w = Weibull::new(0.7, 5.0);
+        let mut rng = SimRng::seed_from(31);
+        let a = w.sample_n(&mut rng, 800);
+        let b = w.sample_n(&mut rng, 600);
+        let r = ks_two_sample(&a, &b);
+        assert!(
+            r.same_distribution(0.01),
+            "same-law samples rejected: D={}, p={}",
+            r.statistic,
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn ks_different_distributions_reject() {
+        use crate::dist::{Distribution, Exponential, Normal};
+        use crate::rng::SimRng;
+        let mut rng = SimRng::seed_from(17);
+        let a = Normal::new(10.0, 1.0).sample_n(&mut rng, 500);
+        let b = Exponential::new(10.0).sample_n(&mut rng, 500);
+        let r = ks_two_sample(&a, &b);
+        assert!(
+            !r.same_distribution(0.05),
+            "different laws accepted: D={}, p={}",
+            r.statistic,
+            r.p_value
+        );
+        assert!(r.statistic > 0.2);
+    }
+
+    #[test]
+    fn ks_shifted_distribution_rejects() {
+        let a: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| i as f64 + 100.0).collect();
+        let r = ks_two_sample(&a, &b);
+        assert!(r.statistic > 0.3);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn kolmogorov_q_edges() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > 0.9);
+        assert!(kolmogorov_q(2.0) < 0.001);
+    }
+
+    #[test]
+    fn histogram_binning_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-1.0); // underflow
+        h.push(0.0); // bin 0
+        h.push(9.999); // bin 9
+        h.push(10.0); // overflow (hi is exclusive)
+        h.push(5.5); // bin 5
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.total(), 5);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! The Table-I application catalog.
+
+use crate::GB;
+
+/// One application's simulation-relevant characteristics (a row of
+/// Table I).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Application {
+    /// Application name.
+    pub name: &'static str,
+    /// Nodes the job runs on (`c`).
+    pub nodes: u64,
+    /// Total checkpoint size across the job on Summit, bytes.
+    pub checkpoint_total: f64,
+    /// Failure-free computation time, hours.
+    pub compute_hours: f64,
+}
+
+impl Application {
+    /// Creates an application description.
+    pub fn new(
+        name: &'static str,
+        nodes: u64,
+        checkpoint_total_gb: f64,
+        compute_hours: f64,
+    ) -> Self {
+        assert!(nodes > 0 && checkpoint_total_gb >= 0.0 && compute_hours > 0.0);
+        Self {
+            name,
+            nodes,
+            checkpoint_total: checkpoint_total_gb * GB,
+            compute_hours,
+        }
+    }
+
+    /// Checkpoint bytes each node writes.
+    pub fn checkpoint_per_node(&self) -> f64 {
+        self.checkpoint_total / self.nodes as f64
+    }
+
+    /// Checkpoint per node in gigabytes.
+    pub fn checkpoint_per_node_gb(&self) -> f64 {
+        self.checkpoint_per_node() / GB
+    }
+
+    /// Looks an application up in [`TABLE_I`] by name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<Application> {
+        TABLE_I
+            .iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name))
+            .copied()
+    }
+}
+
+/// Table I of the paper: the six evaluated applications, checkpoint sizes
+/// already Summit-scaled per Eq. (3).
+pub const TABLE_I: [Application; 6] = [
+    Application {
+        name: "CHIMERA",
+        nodes: 2272,
+        checkpoint_total: 646_382.0 * 1e9,
+        compute_hours: 360.0,
+    },
+    Application {
+        name: "XGC",
+        nodes: 1515,
+        checkpoint_total: 149_625.0 * 1e9,
+        compute_hours: 240.0,
+    },
+    Application {
+        name: "S3D",
+        nodes: 505,
+        checkpoint_total: 20_199.0 * 1e9,
+        compute_hours: 240.0,
+    },
+    Application {
+        name: "GYRO",
+        nodes: 126,
+        checkpoint_total: 197.2 * 1e9,
+        compute_hours: 120.0,
+    },
+    Application {
+        name: "POP",
+        nodes: 126,
+        checkpoint_total: 102.5 * 1e9,
+        compute_hours: 480.0,
+    },
+    Application {
+        name: "VULCAN",
+        nodes: 64,
+        checkpoint_total: 3.27 * 1e9,
+        compute_hours: 720.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper() {
+        assert_eq!(TABLE_I.len(), 6);
+        let chimera = Application::by_name("chimera").unwrap();
+        assert_eq!(chimera.nodes, 2272);
+        assert_eq!(chimera.compute_hours, 360.0);
+        // 646,382 GB over 2272 nodes ≈ 284.5 GB/node.
+        assert!((chimera.checkpoint_per_node_gb() - 284.5).abs() < 0.1);
+        let vulcan = Application::by_name("VULCAN").unwrap();
+        assert_eq!(vulcan.nodes, 64);
+        assert!((vulcan.checkpoint_per_node_gb() - 0.0511).abs() < 0.001);
+        assert!(Application::by_name("NOPE").is_none());
+    }
+
+    #[test]
+    fn per_node_checkpoints_fit_summit_dram_and_bb() {
+        // Sec. II assumption: "the checkpoint size per node never exceeds
+        // the DRAM or BB size".
+        for app in &TABLE_I {
+            assert!(
+                app.checkpoint_per_node() <= 512.0 * GB,
+                "{} exceeds DRAM",
+                app.name
+            );
+            assert!(
+                app.checkpoint_per_node() <= 1600.0 * GB,
+                "{} exceeds the burst buffer",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn apps_ordered_largest_first() {
+        // The paper's figures order by size; the table preserves that.
+        for w in TABLE_I.windows(2) {
+            assert!(w[0].checkpoint_total >= w[1].checkpoint_total);
+        }
+    }
+
+    #[test]
+    fn sizes_are_consistent_with_eq3_titan_origin() {
+        // Sanity: reversing Eq. (3) puts the Titan-era per-node sizes
+        // below Titan's 32 GB DRAM.
+        for app in &TABLE_I {
+            let titan_per_node = app.checkpoint_per_node() / 16.0;
+            assert!(
+                titan_per_node <= 32.0 * GB,
+                "{}: implied Titan per-node size too large",
+                app.name
+            );
+        }
+    }
+}

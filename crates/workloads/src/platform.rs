@@ -1,0 +1,50 @@
+//! Platform parameter sets.
+
+/// A machine the workloads run on (or were characterized on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Machine name.
+    pub name: &'static str,
+    /// Total compute nodes.
+    pub nodes: u64,
+    /// DRAM per node, bytes.
+    pub dram_per_node: f64,
+}
+
+impl Platform {
+    /// OLCF Summit: 4608 nodes, 512 GB DRAM per node (the paper's
+    /// evaluation platform).
+    pub const SUMMIT: Self = Self {
+        name: "Summit",
+        nodes: 4608,
+        dram_per_node: 512.0e9,
+    };
+
+    /// OLCF Titan: 18688 nodes, 32 GB DRAM per node (where the workload
+    /// characterizations in prior work were taken).
+    pub const TITAN: Self = Self {
+        name: "Titan",
+        nodes: 18688,
+        dram_per_node: 32.0e9,
+    };
+
+    /// DRAM per node in gigabytes.
+    pub fn dram_gb(&self) -> f64 {
+        self.dram_per_node / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Platform::SUMMIT.nodes, 4608);
+        assert_eq!(Platform::SUMMIT.dram_gb(), 512.0);
+        assert_eq!(Platform::TITAN.dram_gb(), 32.0);
+        // The Eq.-3 DRAM ratio between the two characterization platforms.
+        let ratio = Platform::SUMMIT.dram_per_node / Platform::TITAN.dram_per_node;
+        assert_eq!(ratio, 16.0);
+    }
+}

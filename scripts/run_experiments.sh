@@ -1,0 +1,7 @@
+#!/bin/bash
+cd "$(dirname "$0")/.."
+for exp in exp_table1 exp_fig2a exp_fig2b exp_fig2c exp_analytical exp_table2 exp_table4 exp_fig4 exp_fig7 exp_fig6a exp_fig6b exp_fig6c exp_fig8 exp_obs9 exp_ablations exp_extensions exp_table5 exp_fluid exp_sensitivity; do
+  echo "=== $exp start $(date +%T) ==="
+  ./target/release/$exp > results/$exp.txt 2>&1 || echo "$exp FAILED"
+done
+echo "ALL EXPERIMENTS DONE $(date +%T)"

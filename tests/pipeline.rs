@@ -1,0 +1,134 @@
+//! Cross-crate end-to-end tests: logs → chain mining → lead-time model →
+//! failure traces → C/R simulation → aggregation.
+
+use pckpt::failure::chains::{ChainAnalyzer, LogGenerator};
+use pckpt::prelude::*;
+
+#[test]
+fn full_pipeline_from_logs_to_campaign() {
+    // 1. Synthesize logs and mine them.
+    let mut rng = SimRng::seed_from(1234);
+    let (log, truth) = LogGenerator::desh_default().generate(&mut rng, 3_000_000.0, 256, 700);
+    let report = ChainAnalyzer::desh_default().analyze(&log);
+    assert!(report.chains.len() as f64 > 0.95 * truth.len() as f64);
+
+    // 2. Build the mined model and check it against the design model.
+    let labels: Vec<(u32, &'static str)> = LeadTimeModel::desh_default()
+        .sequences()
+        .iter()
+        .map(|s| (s.id, s.label))
+        .collect();
+    let mined = report.to_leadtime_model(&labels);
+    let design = LeadTimeModel::desh_default();
+    assert!((mined.mean_secs() - design.mean_secs()).abs() / design.mean_secs() < 0.2);
+
+    // 3. Run a campaign under the mined model; paper shape must survive
+    //    the mining noise.
+    let app = Application::by_name("XGC").unwrap();
+    let params = SimParams::paper_defaults(ModelKind::B, app);
+    let c = run_models(
+        &params,
+        &[ModelKind::B, ModelKind::P2],
+        &mined,
+        &RunnerConfig::new(80, 99),
+    );
+    let reduction = c.reduction(ModelKind::P2, ModelKind::B).unwrap();
+    assert!(
+        reduction > 35.0,
+        "P2 with a mined lead model must still pay off, got {reduction}%"
+    );
+}
+
+#[test]
+fn traces_respect_application_and_distribution() {
+    let leads = LeadTimeModel::desh_default();
+    let predictor = Predictor::aarohi_default();
+    for app in &TABLE_I {
+        let params = SimParams::paper_defaults(ModelKind::P2, *app);
+        let cfg = TraceConfig::new(params.distribution, app.nodes, 2000.0)
+            .with_projection(params.projection);
+        let mut rng = SimRng::seed_from(5);
+        let trace = FailureTrace::generate(&cfg, &leads, &predictor, &mut rng);
+        assert!(trace.failures.iter().all(|f| (f.node as u64) < app.nodes));
+        assert!(trace
+            .failures
+            .windows(2)
+            .all(|w| w[0].time_hours <= w[1].time_hours));
+    }
+}
+
+#[test]
+fn run_results_satisfy_accounting_invariant() {
+    // Every simulated run must decompose wall time exactly into
+    // ideal + checkpoint + LM slowdown + recomputation + recovery.
+    let leads = LeadTimeModel::desh_default();
+    for app_name in ["CHIMERA", "POP"] {
+        let app = Application::by_name(app_name).unwrap();
+        for model in ModelKind::ALL {
+            let params = SimParams::paper_defaults(model, app);
+            let cfg = TraceConfig::new(
+                params.distribution,
+                app.nodes,
+                app.compute_hours * params.horizon_factor,
+            )
+            .with_projection(params.projection);
+            for seed in 0..5u64 {
+                let mut rng = SimRng::seed_from(seed);
+                let trace =
+                    FailureTrace::generate(&cfg, &leads, &params.predictor, &mut rng);
+                let result = pckpt::core::CrSim::new(params.clone(), trace, &leads).run();
+                assert!(
+                    result.accounting_residual_secs().abs() < 1.0,
+                    "{app_name}/{model}: residual {}s",
+                    result.accounting_residual_secs()
+                );
+                assert!(result.wall_secs >= result.ideal_secs);
+                let ft = result.ledger.ft_ratio();
+                assert!((0.0..=1.0).contains(&ft));
+            }
+        }
+    }
+}
+
+#[test]
+fn fluid_pfs_mode_preserves_invariants_and_pckpt_shape() {
+    use pckpt::core::iosim::PfsMode;
+    let leads = LeadTimeModel::desh_default();
+    let app = Application::by_name("XGC").unwrap();
+    let mut params = SimParams::paper_defaults(ModelKind::B, app);
+    params.pfs_mode = PfsMode::Fluid;
+    let c = run_models(
+        &params,
+        &[ModelKind::B, ModelKind::P1, ModelKind::P2],
+        &leads,
+        &RunnerConfig::new(60, 123),
+    );
+    let b = c.get(ModelKind::B).unwrap();
+    let p1 = c.get(ModelKind::P1).unwrap();
+    let p2 = c.get(ModelKind::P2).unwrap();
+    // The paper's shape survives genuine I/O contention.
+    assert!(p1.reduction_vs(b) > 20.0);
+    assert!(p2.reduction_vs(b) > p1.reduction_vs(b));
+    assert!(
+        p1.ft_ratio_pooled() > 0.7,
+        "drain suspension must keep p-ckpt's FT ratio, got {}",
+        p1.ft_ratio_pooled()
+    );
+}
+
+#[test]
+fn io_model_consistency_across_crates() {
+    // The latencies the C/R models derive must match direct I/O queries.
+    let app = Application::by_name("S3D").unwrap();
+    let params = SimParams::paper_defaults(ModelKind::P1, app);
+    let per_node = app.checkpoint_per_node();
+    assert_eq!(params.per_node_bytes(), per_node);
+    assert!(
+        (params.bb_write_secs() - params.io.bb.write_secs(per_node)).abs() < 1e-9
+    );
+    // Phase-1 single-writer time is below the collective commit time for
+    // any multi-node app — the premise of prioritization.
+    let single = params.io.pfs.single_node_write_secs(per_node);
+    let all = params.io.pfs.write_secs(app.nodes, per_node);
+    assert!(single < all);
+}

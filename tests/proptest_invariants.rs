@@ -1,0 +1,157 @@
+//! Property-based tests over the whole stack: arbitrary (but valid)
+//! failure traces and parameter points must never violate the simulator's
+//! invariants.
+
+use proptest::prelude::*;
+
+use pckpt::core::CrSim;
+use pckpt::prelude::*;
+
+/// Strategy: a hand-rolled failure trace for POP-sized runs.
+fn arb_trace(max_failures: usize) -> impl Strategy<Value = FailureTrace> {
+    let failure = (
+        1.0f64..460.0,  // time_hours (inside POP's 480 h run)
+        0u32..126,      // node
+        1u32..=10,      // sequence id
+        0.6f64..400.0,  // lead seconds
+        any::<bool>(),  // predicted
+    )
+        .prop_map(|(t, node, seq, lead, predicted)| pckpt::failure::FailureEvent {
+            time_hours: t,
+            node,
+            sequence_id: seq,
+            lead_secs: lead,
+            est_lead_secs: lead,
+            predicted,
+        });
+    let fp = (1.0f64..460.0, 0u32..126, 0.6f64..400.0).prop_map(|(t, node, lead)| Prediction {
+        node,
+        at_hours: t,
+        lead_secs: lead,
+        sequence_id: 1,
+        genuine: false,
+    });
+    (
+        proptest::collection::vec(failure, 0..=max_failures),
+        proptest::collection::vec(fp, 0..=3),
+    )
+        .prop_map(|(mut failures, mut false_positives)| {
+            failures.sort_by(|a, b| a.time_hours.partial_cmp(&b.time_hours).unwrap());
+            false_positives.sort_by(|a, b| a.at_hours.partial_cmp(&b.at_hours).unwrap());
+            FailureTrace {
+                failures,
+                false_positives,
+            }
+        })
+}
+
+fn arb_model() -> impl Strategy<Value = ModelKind> {
+    prop_oneof![
+        Just(ModelKind::B),
+        Just(ModelKind::M1),
+        Just(ModelKind::M2),
+        Just(ModelKind::P1),
+        Just(ModelKind::P2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wall time always decomposes exactly; FT ratio stays in [0, 1];
+    /// every failure is either mitigated or paid for.
+    #[test]
+    fn accounting_invariant_holds_for_arbitrary_traces(
+        trace in arb_trace(12),
+        model in arb_model(),
+    ) {
+        let app = Application::by_name("POP").unwrap();
+        let params = SimParams::paper_defaults(model, app);
+        let leads = LeadTimeModel::desh_default();
+        let n_failures = trace.failures.len() as u64;
+        let result = CrSim::new(params, trace, &leads).run();
+        prop_assert!(result.accounting_residual_secs().abs() < 1.0,
+            "residual = {}", result.accounting_residual_secs());
+        prop_assert!(result.wall_secs >= result.ideal_secs - 1.0);
+        let ft = result.ledger.ft_ratio();
+        prop_assert!((0.0..=1.0).contains(&ft));
+        prop_assert!(result.ledger.failures_total <= n_failures);
+        prop_assert!(result.ledger.mitigated() <= result.ledger.failures_total);
+        prop_assert!(result.ledger.failures_predicted <= result.ledger.failures_total);
+    }
+
+    /// The base model never mitigates anything; prediction-free traces
+    /// never trigger proactive machinery.
+    #[test]
+    fn base_model_never_acts_proactively(trace in arb_trace(8)) {
+        let app = Application::by_name("POP").unwrap();
+        let params = SimParams::paper_defaults(ModelKind::B, app);
+        let leads = LeadTimeModel::desh_default();
+        let result = CrSim::new(params, trace, &leads).run();
+        prop_assert_eq!(result.ledger.mitigated(), 0);
+        prop_assert_eq!(result.ledger.pckpt_rounds, 0);
+        prop_assert_eq!(result.ledger.lm_started, 0);
+        prop_assert_eq!(result.ledger.safeguard_ckpts, 0);
+    }
+
+    /// More failures (a superset trace) never shortens the run — with a
+    /// *static* OCI. (With the adaptive OCI an extra failure can
+    /// legitimately help: the rate estimator learns the burst sooner and
+    /// tightens the interval before the next failure.)
+    #[test]
+    fn extra_failures_never_help(
+        trace in arb_trace(6),
+        extra_t in 10.0f64..400.0,
+        extra_node in 0u32..126,
+    ) {
+        let app = Application::by_name("POP").unwrap();
+        let leads = LeadTimeModel::desh_default();
+        let mut params = SimParams::paper_defaults(ModelKind::B, app);
+        params.dynamic_oci = false;
+        let base = CrSim::new(params.clone(), trace.clone(), &leads).run();
+        let mut more = trace;
+        more.failures.push(pckpt::failure::FailureEvent {
+            time_hours: extra_t,
+            node: extra_node,
+            sequence_id: 1,
+            lead_secs: 30.0,
+            est_lead_secs: 30.0,
+            predicted: false,
+        });
+        more.failures
+            .sort_by(|a, b| a.time_hours.partial_cmp(&b.time_hours).unwrap());
+        let worse = CrSim::new(params, more, &leads).run();
+        prop_assert!(worse.wall_secs >= base.wall_secs - 1.0,
+            "an extra unpredicted failure must not speed the run up: {} vs {}",
+            worse.wall_secs, base.wall_secs);
+    }
+
+    /// OCI formulas: positive, monotone in their arguments, Eq. 2 ≥ Eq. 1.
+    #[test]
+    fn oci_properties(
+        t_bb in 0.1f64..1000.0,
+        rate in 1e-4f64..10.0,
+        sigma in 0.0f64..0.95,
+    ) {
+        use pckpt::core::oci::{lm_adjusted_oci_secs, young_oci_secs};
+        let young = young_oci_secs(t_bb, rate);
+        prop_assert!(young > 0.0);
+        let adjusted = lm_adjusted_oci_secs(t_bb, rate, sigma);
+        prop_assert!(adjusted >= young);
+        // Doubling the checkpoint cost must not shrink the interval.
+        prop_assert!(young_oci_secs(t_bb * 2.0, rate) >= young);
+        // Doubling the failure rate must not stretch it.
+        prop_assert!(young_oci_secs(t_bb, rate * 2.0) <= young);
+    }
+
+    /// Lead-time model: survival is a valid decreasing tail function and
+    /// sampling respects it.
+    #[test]
+    fn leadtime_survival_properties(t in 0.0f64..600.0, dt in 0.1f64..100.0) {
+        let m = LeadTimeModel::desh_default();
+        let s1 = m.survival(t);
+        let s2 = m.survival(t + dt);
+        prop_assert!((0.0..=1.0).contains(&s1));
+        prop_assert!(s2 <= s1 + 1e-12);
+    }
+}
