@@ -9,7 +9,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use pckpt_desim::process::{ProcCtx, Process, ProcessWorld, Step, Wake};
-use pckpt_desim::{Ctx, EventQueue, FlowLink, Model, SimDuration, SimTime, Simulation};
+use pckpt_desim::{
+    Ctx, EventQueue, FlowLink, Model, ReferenceFlowLink, SimDuration, SimTime, Simulation,
+};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
@@ -107,30 +109,50 @@ fn bench_process_world(c: &mut Criterion) {
     });
 }
 
+/// The churn driver shared by the virtual-time and reference links: load
+/// the link with 1000 *concurrent* flows of staggered sizes, then for
+/// each completion immediately start a replacement, until 1000 flows
+/// have churned through. The link therefore holds ~1000 live flows at
+/// every completion event — exactly the regime where the reference
+/// implementation's per-flow O(n) bookkeeping dominates.
+macro_rules! churn_1k_concurrent {
+    ($link:expr) => {{
+        let mut link = $link;
+        let t0 = SimTime::ZERO;
+        for i in 0..1_000u64 {
+            link.start(t0, 1e6 + i as f64 * 1e3);
+        }
+        let mut now = t0;
+        let mut churned = 0u32;
+        while churned < 1_000 {
+            let fin = link
+                .next_completion(now)
+                .expect("churn keeps the link busy");
+            now = fin.max(now);
+            let done = link.take_completed(now);
+            if done.is_empty() {
+                // Float dust: the completion rounds to the next ns.
+                now += SimDuration::from_nanos(1);
+                continue;
+            }
+            for &(_, bytes, _) in done.iter() {
+                link.start(now, bytes);
+                churned += 1;
+            }
+        }
+        black_box(link.bytes_moved())
+    }};
+}
+
 fn bench_flow_link(c: &mut Criterion) {
-    c.bench_function("flow_link_churn_1k_transfers", |b| {
-        b.iter(|| {
-            let mut link = FlowLink::with_constant_capacity(1e9);
-            let mut t = 0.0f64;
-            for i in 0..1_000 {
-                link.start(SimTime::from_secs(t), 1e6 + i as f64);
-                t += 1e-4;
-                if let Some(fin) = link.next_completion(SimTime::from_secs(t)) {
-                    if i % 3 == 0 {
-                        t = t.max(fin.as_secs());
-                        black_box(link.take_completed(fin).len());
-                    }
-                }
-            }
-            while let Some(fin) = link.next_completion(SimTime::from_secs(t)) {
-                t = fin.as_secs();
-                if link.take_completed(fin).is_empty() {
-                    break;
-                }
-            }
-            black_box(link.bytes_moved())
-        })
+    let mut group = c.benchmark_group("flow_link_churn");
+    group.bench_function("virtual_1k_concurrent", |b| {
+        b.iter(|| churn_1k_concurrent!(FlowLink::with_constant_capacity(1e9)))
     });
+    group.bench_function("reference_1k_concurrent", |b| {
+        b.iter(|| churn_1k_concurrent!(ReferenceFlowLink::with_constant_capacity(1e9)))
+    });
+    group.finish();
 }
 
 criterion_group!(

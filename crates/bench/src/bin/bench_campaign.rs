@@ -1,0 +1,42 @@
+//! End-to-end campaign throughput: times a full Monte-Carlo campaign
+//! (default 1000 runs, `PCKPT_RUNS` to override) of the P2 model on XGC
+//! in both PFS modes and reports runs/second.
+//!
+//! Emits one machine-parsable `CAMPAIGN_JSON {...}` line per mode;
+//! `scripts/bench.sh` folds these into `BENCH_pr1.json` alongside the
+//! criterion micro-benchmarks.
+
+use std::time::Instant;
+
+use pckpt_bench::{runner, runs, seed};
+use pckpt_core::iosim::PfsMode;
+use pckpt_core::{run_many, ModelKind, SimParams};
+use pckpt_failure::LeadTimeModel;
+use pckpt_workloads::Application;
+
+fn main() {
+    let leads = LeadTimeModel::desh_default();
+    let app = Application::by_name("XGC").expect("Table I app");
+    println!(
+        "P2/XGC campaign, {} runs, seed {}",
+        runs(),
+        seed()
+    );
+    for (label, mode) in [("analytic", PfsMode::Analytic), ("fluid", PfsMode::Fluid)] {
+        let mut params = SimParams::paper_defaults(ModelKind::P2, app);
+        params.pfs_mode = mode;
+        let started = Instant::now();
+        let agg = run_many(&params, &leads, &runner());
+        let wall = started.elapsed().as_secs_f64();
+        let rps = agg.runs() as f64 / wall;
+        println!(
+            "  {label:<8} {} runs in {wall:.3} s  ({rps:.1} runs/s, mean total {:.2} h)",
+            agg.runs(),
+            agg.total_hours.mean()
+        );
+        println!(
+            "CAMPAIGN_JSON {{\"name\":\"p2_xgc_{label}\",\"runs\":{},\"wall_secs\":{wall:.6},\"runs_per_sec\":{rps:.3}}}",
+            agg.runs()
+        );
+    }
+}

@@ -24,6 +24,11 @@
 use pckpt_desim::{FlowLink, SimTime, TransferId};
 use pckpt_ioperf::PfsModel;
 
+/// Writer counts precomputed into the capacity table. The Summit matrix
+/// is sampled up to 8192 nodes and clamps beyond, so the memoized curve
+/// is exact over the whole meaningful range.
+const CAPACITY_TABLE_WRITERS: usize = 8192;
+
 /// What a PFS transfer is doing (returned to the simulator on
 /// completion).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,21 +66,28 @@ pub struct FluidPfs {
     /// resume — it is a fixed per-configuration constant).
     suspended_drain: Option<f64>,
     drain_active: Option<TransferId>,
+    /// Scratch for the link's completion batches, reused across ticks so
+    /// the steady-state hot loop performs no allocation.
+    scratch: Vec<(TransferId, f64, SimTime)>,
 }
 
 impl FluidPfs {
     /// Builds the fluid link for a job: aggregate capacity follows the
     /// weak-scaling matrix at the job's per-node transfer size.
+    ///
+    /// The writer-count → bandwidth curve is memoized into a
+    /// [`pckpt_ioperf::CapacityTable`] up front: the link consults it on
+    /// every advance, and the interpolating matrix lookup was the single
+    /// hottest call in a fluid-mode campaign profile.
     pub fn new(pfs: &PfsModel, per_node_bytes: f64) -> Self {
-        let pfs = pfs.clone();
-        let link = FlowLink::with_capacity_fn(move |writers| {
-            pfs.aggregate_write_bw(writers.max(1) as u64, per_node_bytes)
-        });
+        let table = pfs.capacity_table(per_node_bytes, CAPACITY_TABLE_WRITERS);
+        let link = FlowLink::with_capacity_fn(move |writers| table.capacity(writers));
         Self {
             link,
             ops: Vec::new(),
             suspended_drain: None,
             drain_active: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -150,10 +162,22 @@ impl FluidPfs {
     }
 
     /// Collects operations that finished by `now`.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`FluidPfs::take_completed_into`].
     pub fn take_completed(&mut self, now: SimTime) -> Vec<PfsOp> {
-        let done = self.link.take_completed(now);
-        let mut out = Vec::with_capacity(done.len());
-        for (id, _, _) in done {
+        let mut out = Vec::new();
+        self.take_completed_into(now, &mut out);
+        out
+    }
+
+    /// Collects operations that finished by `now` into `out` (cleared
+    /// first). Hot loops pass the same buffer every tick so the steady
+    /// state performs no allocation.
+    pub fn take_completed_into(&mut self, now: SimTime, out: &mut Vec<PfsOp>) {
+        out.clear();
+        self.link.take_completed_into(now, &mut self.scratch);
+        for &(id, _, _) in self.scratch.iter() {
             if Some(id) == self.drain_active {
                 self.drain_active = None;
             }
@@ -161,7 +185,6 @@ impl FluidPfs {
                 out.push(self.ops.swap_remove(pos).1);
             }
         }
-        out
     }
 
     /// Number of in-flight operations.

@@ -173,6 +173,11 @@ pub struct CrSim {
     recovery_all_pfs: bool,
     /// Optional run trace (enabled by [`CrSim::run_traced`]).
     tracer: Option<RunTrace>,
+    /// Reused buffer for fluid-mode completion batches (hot path: one
+    /// `PfsTick` per transfer completion; no per-tick allocation).
+    pfs_done_scratch: Vec<crate::iosim::PfsOp>,
+    /// Reused buffer for the re-arm sweep after computing resumes.
+    rearm_scratch: Vec<(usize, u32, SimTime)>,
 }
 
 impl CrSim {
@@ -249,6 +254,8 @@ impl CrSim {
             recovery_floor: SimTime::ZERO,
             recovery_all_pfs: false,
             tracer: None,
+            pfs_done_scratch: Vec::new(),
+            rearm_scratch: Vec::new(),
             p: params,
             trace,
         }
@@ -311,8 +318,9 @@ impl CrSim {
         if fluid.epoch() != epoch {
             return; // superseded by a later mutation
         }
-        let done = fluid.take_completed(now);
-        for op in done {
+        let mut done = std::mem::take(&mut self.pfs_done_scratch);
+        fluid.take_completed_into(now, &mut done);
+        for &op in &done {
             match op {
                 PfsOp::Drain => {
                     self.trace_ev(now, TraceKind::DrainDone);
@@ -333,6 +341,8 @@ impl CrSim {
                 }
             }
         }
+        done.clear();
+        self.pfs_done_scratch = done;
         self.fluid_reschedule(ctx);
     }
 
@@ -497,21 +507,26 @@ impl CrSim {
             return;
         }
         let now = ctx.now();
-        let rearm: Vec<(usize, u32, SimTime)> = self
-            .pending
-            .iter()
-            .filter(|(_, pp)| {
-                pp.covered.is_none() && pp.fail_time > now && pp.est_fail_time > now
-            })
-            .map(|(&idx, pp)| (idx, pp.node, pp.est_fail_time))
-            .collect();
-        for (idx, node, est_fail_time) in rearm {
+        // The buffer is taken out of `self` for the duration of the sweep
+        // because `dispatch_prediction` needs `&mut self`.
+        let mut rearm = std::mem::take(&mut self.rearm_scratch);
+        rearm.clear();
+        rearm.extend(
+            self.pending
+                .iter()
+                .filter(|(_, pp)| {
+                    pp.covered.is_none() && pp.fail_time > now && pp.est_fail_time > now
+                })
+                .map(|(&idx, pp)| (idx, pp.node, pp.est_fail_time)),
+        );
+        for &(idx, node, est_fail_time) in &rearm {
             if self.state != AppState::Computing && self.round.is_none() {
                 break; // an earlier re-arm already started a blocking action
             }
             let lead = est_fail_time.since(now).as_secs();
             self.dispatch_prediction(ctx, node, lead, Some(idx), true);
         }
+        self.rearm_scratch = rearm;
     }
 
     // ------------------------------------------------------------------

@@ -14,33 +14,104 @@
 //! its own completion event. Stale completion events are detected with
 //! [`FlowLink::epoch`], which increments on every state change.
 //!
-//! ```
-//! use pckpt_desim::{FlowLink, SimTime};
+//! # Virtual-time implementation
 //!
-//! // A 100 B/s link carrying two equal transfers: each gets 50 B/s.
-//! let mut link = FlowLink::with_constant_capacity(100.0);
-//! let t0 = SimTime::ZERO;
-//! link.start(t0, 100.0);
-//! link.start(t0, 100.0);
-//! let done_at = link.next_completion(t0).unwrap();
-//! assert_eq!(done_at.as_secs(), 2.0);
-//! assert_eq!(link.take_completed(done_at).len(), 2);
-//! ```
+//! Between membership changes every unit of weight progresses at the same
+//! rate `rpw = capacity(W)/W`. The link therefore tracks a single
+//! cumulative *virtual time* `v` — bytes delivered per unit weight since
+//! the link was last idle — instead of per-flow byte counters:
+//!
+//! * `advance` is O(1): `v += rpw · dt`.
+//! * A flow starting with `b` bytes and weight `w` at virtual time
+//!   `start_v` is fully delivered when `v` reaches its *finish tag*
+//!   `finish_v = start_v + b/w`, a constant computed once at start.
+//! * Its bytes delivered so far are `min(b, (v − start_v)·w)`, computed
+//!   on demand.
+//!
+//! Completion timing and done-detection are two lazily-pruned min-heaps:
+//! one keyed by `finish_v` (earliest completion = smallest tag, so
+//! [`FlowLink::next_completion`] is an O(1) peek) and one keyed by the
+//! *snap tag* `finish_v − ε/w` that linearizes the rate-aware done
+//! threshold (see [`done_threshold`]), so [`FlowLink::take_completed`]
+//! pops exactly the finished flows in O(k log n). Cancelled flows leave
+//! stale heap entries behind; they are skipped when they surface and the
+//! heaps are compacted outright when stale entries outnumber live ones.
+//!
+//! The previous per-flow O(n) implementation is preserved unchanged as
+//! [`reference::ReferenceFlowLink`]; property tests assert the two are
+//! observationally equivalent (completion instants within 1 ns, identical
+//! completion order and byte accounting) on randomized workloads.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::time::{SimDuration, SimTime};
+
+pub mod reference;
 
 /// Identifies one in-flight transfer on a [`FlowLink`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TransferId(u64);
 
+/// Base completion threshold: a flow with less than this many bytes left
+/// is done. The effective threshold is rate-aware — simulation time has
+/// nanosecond resolution, so at rate `r` a completion instant can be off
+/// by up to ~1 ns, leaving `r × 1e-9` bytes (≈13 bytes at 13 GB/s).
+const DONE_EPSILON: f64 = 1.0;
+
+/// Effective completion threshold for a flow moving at `rate` bytes/sec.
+fn done_threshold(rate: f64) -> f64 {
+    DONE_EPSILON + rate * 2e-9
+}
+
+/// Totally-ordered finite float heap key (`f64::total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Min-heap entry: `(virtual-time key, id)`; ties broken by id so heap
+/// order is deterministic.
+type HeapEntry = Reverse<(Key, TransferId)>;
+
 #[derive(Debug, Clone)]
-struct Flow {
-    remaining: f64, // bytes
-    started: SimTime,
+struct VFlow {
+    /// Virtual time at which the flow started.
+    start_v: f64,
+    /// Virtual time at which the flow's bytes are fully delivered.
+    finish_v: f64,
     total: f64,
     weight: f64,
+    started: SimTime,
+}
+
+impl VFlow {
+    /// Bytes delivered by virtual time `v` (never exceeds `total`).
+    fn delivered(&self, v: f64) -> f64 {
+        ((v - self.start_v) * self.weight).min(self.total)
+    }
+
+    /// The snap tag: the flow is done once `v + rpw·2e-9` reaches it.
+    ///
+    /// Derivation: the reference condition `remaining ≤ ε + rate·2e-9`
+    /// with `remaining = (finish_v − v)·w` and `rate = rpw·w` rearranges
+    /// to `finish_v − ε/w ≤ v + rpw·2e-9`. The left side is constant per
+    /// flow, so done-detection is a heap peek.
+    fn snap_tag(&self) -> f64 {
+        self.finish_v - DONE_EPSILON / self.weight
+    }
 }
 
 /// A shared link carrying concurrent fluid transfers.
@@ -56,11 +127,24 @@ pub struct FlowLink {
     /// weight (= writer count for node-weighted transfers). Must be
     /// strictly positive for any non-zero weight.
     capacity: Box<dyn Fn(usize) -> f64 + Send>,
-    flows: HashMap<TransferId, Flow>,
+    flows: HashMap<TransferId, VFlow>,
+    /// Cumulative virtual time: bytes delivered per unit weight since the
+    /// link was last idle. Rebased to zero whenever the link drains so
+    /// float granularity cannot grow without bound over a long campaign.
+    v: f64,
+    /// Incrementally-maintained total active weight (reset to exactly
+    /// zero when the link drains, killing accumulated rounding).
+    total_weight: f64,
     last_advance: SimTime,
     next_id: u64,
     epoch: u64,
-    bytes_moved: f64,
+    /// Bytes fully accounted for flows no longer in `flows`; the public
+    /// counter adds in-flight progress on demand.
+    bytes_retired: f64,
+    /// Min-heap on [`VFlow::snap_tag`]: drives `take_completed`.
+    by_tag: BinaryHeap<HeapEntry>,
+    /// Min-heap on `finish_v`: drives `next_completion`.
+    by_finish: BinaryHeap<HeapEntry>,
 }
 
 impl std::fmt::Debug for FlowLink {
@@ -69,19 +153,9 @@ impl std::fmt::Debug for FlowLink {
             .field("active", &self.flows.len())
             .field("last_advance", &self.last_advance)
             .field("epoch", &self.epoch)
+            .field("virtual_time", &self.v)
             .finish()
     }
-}
-
-/// Base completion threshold: a flow with less than this many bytes left
-/// is done. The effective threshold is rate-aware — simulation time has
-/// nanosecond resolution, so at rate `r` a completion instant can be off
-/// by up to ~1 ns, leaving `r × 1e-9` bytes (≈13 bytes at 13 GB/s).
-const DONE_EPSILON: f64 = 1.0;
-
-/// Effective completion threshold for a flow moving at `rate` bytes/sec.
-fn done_threshold(rate: f64) -> f64 {
-    DONE_EPSILON + rate * 2e-9
 }
 
 impl FlowLink {
@@ -97,21 +171,20 @@ impl FlowLink {
         Self {
             capacity: Box::new(f),
             flows: HashMap::new(),
+            v: 0.0,
+            total_weight: 0.0,
             last_advance: SimTime::ZERO,
             next_id: 0,
             epoch: 0,
-            bytes_moved: 0.0,
+            bytes_retired: 0.0,
+            by_tag: BinaryHeap::new(),
+            by_finish: BinaryHeap::new(),
         }
-    }
-
-    /// Total active weight.
-    fn total_weight(&self) -> f64 {
-        self.flows.values().map(|f| f.weight).sum()
     }
 
     /// Bandwidth of one unit of weight at the current membership.
     fn rate_per_weight(&self) -> f64 {
-        let w = self.total_weight();
+        let w = self.total_weight;
         if w <= 0.0 {
             return 0.0;
         }
@@ -134,12 +207,7 @@ impl FlowLink {
         );
         let dt = now.since(self.last_advance).as_secs();
         if dt > 0.0 && !self.flows.is_empty() {
-            let rpw = self.rate_per_weight();
-            for flow in self.flows.values_mut() {
-                let step = (rpw * flow.weight * dt).min(flow.remaining);
-                flow.remaining -= step;
-                self.bytes_moved += step;
-            }
+            self.v += self.rate_per_weight() * dt;
         }
         self.last_advance = now;
     }
@@ -166,15 +234,17 @@ impl FlowLink {
         let id = TransferId(self.next_id);
         self.next_id += 1;
         self.epoch += 1;
-        self.flows.insert(
-            id,
-            Flow {
-                remaining: bytes,
-                started: now,
-                total: bytes,
-                weight,
-            },
-        );
+        let flow = VFlow {
+            start_v: self.v,
+            finish_v: self.v + bytes / weight,
+            total: bytes,
+            weight,
+            started: now,
+        };
+        self.by_tag.push(Reverse((Key(flow.snap_tag()), id)));
+        self.by_finish.push(Reverse((Key(flow.finish_v), id)));
+        self.total_weight += weight;
+        self.flows.insert(id, flow);
         id
     }
 
@@ -184,7 +254,15 @@ impl FlowLink {
         self.advance(now);
         let flow = self.flows.remove(&id)?;
         self.epoch += 1;
-        Some(flow.remaining)
+        let delivered = flow.delivered(self.v);
+        self.bytes_retired += delivered;
+        self.total_weight -= flow.weight;
+        if self.flows.is_empty() {
+            self.rebase_idle();
+        } else {
+            self.prune_heaps();
+        }
+        Some(flow.total - delivered)
     }
 
     /// When, at current rates, will the earliest active transfer finish?
@@ -200,19 +278,17 @@ impl FlowLink {
         debug_assert!(now >= self.last_advance);
         let already = now.since(self.last_advance).as_secs();
         let rpw = self.rate_per_weight();
-        let min_dt = self
-            .flows
-            .values()
-            .map(|f| {
-                let rate = rpw * f.weight;
-                let outstanding = (f.remaining - already * rate).max(0.0);
-                if outstanding <= done_threshold(rate) {
-                    0.0
-                } else {
-                    outstanding / rate
-                }
-            })
-            .fold(f64::INFINITY, f64::min);
+        let v_proj = self.v + already * rpw;
+        // Heap tops are always live (mutating methods prune), so both
+        // peeks see the minimum over active flows.
+        let Reverse((Key(min_tag), _)) = *self.by_tag.peek().expect("live flow in heap");
+        let min_dt = if min_tag <= v_proj + rpw * 2e-9 {
+            0.0 // some flow is already inside its done threshold
+        } else {
+            let Reverse((Key(min_finish), _)) =
+                *self.by_finish.peek().expect("live flow in heap");
+            (min_finish - v_proj) / rpw
+        };
         // Round *up* to the next nanosecond so the scheduled instant never
         // undershoots the completion (undershooting by even 1 ns leaves
         // bytes at multi-GB/s rates).
@@ -221,25 +297,96 @@ impl FlowLink {
 
     /// Advances to `now` and removes every transfer that has finished,
     /// returning `(id, total_bytes, started_at)` for each in start order.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`FlowLink::take_completed_into`].
     pub fn take_completed(&mut self, now: SimTime) -> Vec<(TransferId, f64, SimTime)> {
+        let mut out = Vec::new();
+        self.take_completed_into(now, &mut out);
+        out
+    }
+
+    /// Advances to `now` and removes every finished transfer, appending
+    /// `(id, total_bytes, started_at)` in start order to `out` (which is
+    /// cleared first). Hot loops pass the same buffer every call so the
+    /// steady state performs no allocation.
+    pub fn take_completed_into(
+        &mut self,
+        now: SimTime,
+        out: &mut Vec<(TransferId, f64, SimTime)>,
+    ) {
+        out.clear();
         self.advance(now);
-        let rpw = self.rate_per_weight();
-        let mut done: Vec<(TransferId, f64, SimTime)> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.remaining <= done_threshold(rpw * f.weight))
-            .map(|(&id, f)| (id, f.total, f.started))
-            .collect();
-        done.sort_by_key(|&(id, _, _)| id);
-        for &(id, _, _) in &done {
-            let f = self.flows.remove(&id).expect("listed as done");
-            // Account the rounding remainder so bytes_moved stays exact.
-            self.bytes_moved += f.remaining;
+        if self.flows.is_empty() {
+            return;
         }
-        if !done.is_empty() {
+        // One threshold for the whole batch, from the pre-removal
+        // membership — mirrors the reference implementation, which
+        // computes `rpw` once before removing anything.
+        let bound = self.v + self.rate_per_weight() * 2e-9;
+        while let Some(&Reverse((Key(tag), id))) = self.by_tag.peek() {
+            let Some(flow) = self.flows.get(&id) else {
+                self.by_tag.pop(); // stale: cancelled earlier
+                continue;
+            };
+            if tag > bound {
+                break;
+            }
+            self.by_tag.pop();
+            // Retire the flow's *full* byte count: delivered progress plus
+            // the sub-threshold rounding remainder, accounted before the
+            // epoch bump below so observers at the new epoch see a
+            // consistent counter.
+            self.bytes_retired += flow.total;
+            self.total_weight -= flow.weight;
+            out.push((id, flow.total, flow.started));
+            self.flows.remove(&id);
+        }
+        // Heap order is by snap tag; the public contract is start order.
+        out.sort_unstable_by_key(|&(id, _, _)| id);
+        if !out.is_empty() {
             self.epoch += 1;
         }
-        done
+        if self.flows.is_empty() {
+            self.rebase_idle();
+        } else {
+            self.prune_heaps();
+        }
+    }
+
+    /// The link just drained: reset virtual time and the weight
+    /// accumulator so float error cannot build up across a campaign.
+    fn rebase_idle(&mut self) {
+        debug_assert!(self.flows.is_empty());
+        self.v = 0.0;
+        self.total_weight = 0.0;
+        self.by_tag.clear();
+        self.by_finish.clear();
+    }
+
+    /// Restores the invariant that both heap tops refer to live flows,
+    /// and compacts either heap when stale entries dominate it.
+    fn prune_heaps(&mut self) {
+        let flows = &self.flows;
+        while let Some(Reverse((_, id))) = self.by_tag.peek() {
+            if flows.contains_key(id) {
+                break;
+            }
+            self.by_tag.pop();
+        }
+        while let Some(Reverse((_, id))) = self.by_finish.peek() {
+            if flows.contains_key(id) {
+                break;
+            }
+            self.by_finish.pop();
+        }
+        let cap = flows.len() * 2 + 64;
+        if self.by_tag.len() > cap {
+            self.by_tag.retain(|Reverse((_, id))| flows.contains_key(id));
+        }
+        if self.by_finish.len() > cap {
+            self.by_finish.retain(|Reverse((_, id))| flows.contains_key(id));
+        }
     }
 
     /// Monotone counter incremented on every membership change. Owners
@@ -260,13 +407,21 @@ impl FlowLink {
     }
 
     /// Total bytes delivered since construction.
+    ///
+    /// Cold path: sums in-flight progress over active flows on demand
+    /// (the hot loop never maintains per-flow byte counters).
     pub fn bytes_moved(&self) -> f64 {
-        self.bytes_moved
+        self.bytes_retired
+            + self
+                .flows
+                .values()
+                .map(|f| f.delivered(self.v))
+                .sum::<f64>()
     }
 
     /// Remaining bytes of an active transfer (as of the last advance).
     pub fn remaining(&self, id: TransferId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.remaining)
+        self.flows.get(&id).map(|f| f.total - f.delivered(self.v))
     }
 }
 
@@ -479,5 +634,62 @@ mod tests {
         let mut link = FlowLink::with_constant_capacity(10.0);
         link.advance(t(5.0));
         link.advance(t(4.0));
+    }
+
+    #[test]
+    fn take_completed_into_reuses_buffer() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        let mut buf = Vec::new();
+        link.start(t(0.0), 100.0);
+        link.take_completed_into(t(1.0), &mut buf);
+        assert_eq!(buf.len(), 1);
+        let cap = buf.capacity();
+        // Second round with the same buffer: cleared, refilled, and no
+        // regrowth for a same-sized batch.
+        link.start(t(1.0), 100.0);
+        link.take_completed_into(t(2.0), &mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn cancel_churn_keeps_heaps_bounded() {
+        // Start/cancel far more flows than stay live; the lazily-pruned
+        // heaps must compact rather than grow with total churn.
+        let mut link = FlowLink::with_constant_capacity(1e6);
+        let keep = link.start(t(0.0), 1e12);
+        for i in 0..10_000 {
+            let id = link.start_weighted(t(0.0), 1e12, 1.0);
+            link.cancel(t(0.0), id);
+            let _ = i;
+        }
+        assert_eq!(link.active(), 1);
+        assert!(
+            link.by_tag.len() <= 2 * link.active() + 64,
+            "by_tag grew to {}",
+            link.by_tag.len()
+        );
+        assert!(
+            link.by_finish.len() <= 2 * link.active() + 64,
+            "by_finish grew to {}",
+            link.by_finish.len()
+        );
+        link.cancel(t(1.0), keep);
+        assert!(link.is_idle());
+        assert_eq!(link.by_tag.len(), 0, "idle rebase clears heaps");
+    }
+
+    #[test]
+    fn idle_rebase_resets_virtual_time() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        link.start(t(0.0), 1000.0);
+        link.take_completed(t(10.0));
+        assert!(link.is_idle());
+        assert_eq!(link.v, 0.0);
+        assert_eq!(link.total_weight, 0.0);
+        // A fresh flow after the rebase behaves exactly like the first.
+        link.start(t(100.0), 500.0);
+        let fin = link.next_completion(t(100.0)).unwrap();
+        assert!((fin.as_secs() - 105.0).abs() < 1e-6);
     }
 }

@@ -1,0 +1,254 @@
+//! The original per-flow O(n) fluid-link implementation, kept verbatim
+//! as the behavioral oracle for the virtual-time [`super::FlowLink`].
+//!
+//! [`ReferenceFlowLink`] advances every flow's byte counter on every
+//! `advance` and scans all flows in `next_completion`/`take_completed`.
+//! That is O(n) per event — too slow for churn-heavy campaigns, but
+//! directly readable against the model description. Property tests
+//! (`crates/desim/tests/proptests.rs`) drive both implementations with
+//! identical randomized start/cancel/complete sequences and assert
+//! observational equivalence; the benches in `crates/bench` measure the
+//! speedup of the virtual-time engine over this baseline.
+
+use std::collections::HashMap;
+
+use crate::time::{SimDuration, SimTime};
+
+use super::{done_threshold, TransferId};
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining: f64, // bytes
+    started: SimTime,
+    total: f64,
+    weight: f64,
+}
+
+/// The pre-virtual-time link: semantics identical to [`super::FlowLink`],
+/// cost O(active flows) per operation.
+pub struct ReferenceFlowLink {
+    capacity: Box<dyn Fn(usize) -> f64 + Send>,
+    flows: HashMap<TransferId, Flow>,
+    last_advance: SimTime,
+    next_id: u64,
+    epoch: u64,
+    bytes_moved: f64,
+}
+
+impl std::fmt::Debug for ReferenceFlowLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReferenceFlowLink")
+            .field("active", &self.flows.len())
+            .field("last_advance", &self.last_advance)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl ReferenceFlowLink {
+    /// Creates a link with a constant aggregate capacity in bytes/sec.
+    pub fn with_constant_capacity(bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "link capacity must be > 0");
+        Self::with_capacity_fn(move |_| bytes_per_sec)
+    }
+
+    /// Creates a link whose aggregate capacity depends on the number of
+    /// active transfers.
+    pub fn with_capacity_fn(f: impl Fn(usize) -> f64 + Send + 'static) -> Self {
+        Self {
+            capacity: Box::new(f),
+            flows: HashMap::new(),
+            last_advance: SimTime::ZERO,
+            next_id: 0,
+            epoch: 0,
+            bytes_moved: 0.0,
+        }
+    }
+
+    /// Total active weight.
+    fn total_weight(&self) -> f64 {
+        self.flows.values().map(|f| f.weight).sum()
+    }
+
+    /// Bandwidth of one unit of weight at the current membership.
+    fn rate_per_weight(&self) -> f64 {
+        let w = self.total_weight();
+        if w <= 0.0 {
+            return 0.0;
+        }
+        let writers = w.ceil() as usize;
+        let cap = (self.capacity)(writers);
+        assert!(
+            cap > 0.0 && cap.is_finite(),
+            "capacity function returned {cap} for weight {w}"
+        );
+        cap / w
+    }
+
+    /// Advances all flows to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_advance,
+            "FlowLink time went backwards: {now} < {}",
+            self.last_advance
+        );
+        let dt = now.since(self.last_advance).as_secs();
+        if dt > 0.0 && !self.flows.is_empty() {
+            let rpw = self.rate_per_weight();
+            for flow in self.flows.values_mut() {
+                let step = (rpw * flow.weight * dt).min(flow.remaining);
+                flow.remaining -= step;
+                self.bytes_moved += step;
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Starts a transfer of `bytes` with unit weight at time `now`.
+    pub fn start(&mut self, now: SimTime, bytes: f64) -> TransferId {
+        self.start_weighted(now, bytes, 1.0)
+    }
+
+    /// Starts a transfer of `bytes` carrying `weight` units of share.
+    pub fn start_weighted(&mut self, now: SimTime, bytes: f64, weight: f64) -> TransferId {
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "transfer size must be finite and non-negative, got {bytes}"
+        );
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "transfer weight must be positive, got {weight}"
+        );
+        self.advance(now);
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.epoch += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                remaining: bytes,
+                started: now,
+                total: bytes,
+                weight,
+            },
+        );
+        id
+    }
+
+    /// Aborts a transfer, returning the bytes it still had left.
+    pub fn cancel(&mut self, now: SimTime, id: TransferId) -> Option<f64> {
+        self.advance(now);
+        let flow = self.flows.remove(&id)?;
+        self.epoch += 1;
+        Some(flow.remaining)
+    }
+
+    /// When, at current rates, will the earliest active transfer finish?
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        debug_assert!(now >= self.last_advance);
+        let already = now.since(self.last_advance).as_secs();
+        let rpw = self.rate_per_weight();
+        let min_dt = self
+            .flows
+            .values()
+            .map(|f| {
+                let rate = rpw * f.weight;
+                let outstanding = (f.remaining - already * rate).max(0.0);
+                if outstanding <= done_threshold(rate) {
+                    0.0
+                } else {
+                    outstanding / rate
+                }
+            })
+            .fold(f64::INFINITY, f64::min);
+        Some(now + SimDuration::from_nanos((min_dt * 1e9).ceil() as u64))
+    }
+
+    /// Advances to `now` and removes every transfer that has finished,
+    /// returning `(id, total_bytes, started_at)` for each in start order.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<(TransferId, f64, SimTime)> {
+        self.advance(now);
+        let rpw = self.rate_per_weight();
+        let mut done: Vec<(TransferId, f64, SimTime)> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= done_threshold(rpw * f.weight))
+            .map(|(&id, f)| (id, f.total, f.started))
+            .collect();
+        done.sort_by_key(|&(id, _, _)| id);
+        for &(id, _, _) in &done {
+            let f = self.flows.remove(&id).expect("listed as done");
+            // Account the rounding remainder so bytes_moved stays exact.
+            self.bytes_moved += f.remaining;
+        }
+        if !done.is_empty() {
+            self.epoch += 1;
+        }
+        done
+    }
+
+    /// Monotone counter incremented on every membership change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of active transfers.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if no transfers are in flight.
+    pub fn is_idle(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Total bytes delivered since construction.
+    pub fn bytes_moved(&self) -> f64 {
+        self.bytes_moved
+    }
+
+    /// Remaining bytes of an active transfer (as of the last advance).
+    pub fn remaining(&self, id: TransferId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    // Spot checks that the oracle still behaves; the full 15-case suite
+    // lives in the parent module against the virtual-time engine, and the
+    // property tests pin the two implementations to each other.
+    #[test]
+    fn reference_basics_hold() {
+        let mut link = ReferenceFlowLink::with_constant_capacity(100.0);
+        let a = link.start(t(0.0), 100.0);
+        let b = link.start(t(0.5), 100.0);
+        let fin_a = link.next_completion(t(0.5)).unwrap();
+        assert!((fin_a.as_secs() - 1.5).abs() < 1e-6);
+        assert_eq!(link.take_completed(fin_a)[0].0, a);
+        let fin_b = link.next_completion(fin_a).unwrap();
+        assert!((fin_b.as_secs() - 2.0).abs() < 1e-6);
+        assert_eq!(link.take_completed(fin_b)[0].0, b);
+        assert!(link.is_idle());
+        assert!((link.bytes_moved() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reference_weighted_shares() {
+        let mut link = ReferenceFlowLink::with_constant_capacity(100.0);
+        link.start_weighted(t(0.0), 300.0, 3.0);
+        link.start_weighted(t(0.0), 100.0, 1.0);
+        let fin = link.next_completion(t(0.0)).unwrap();
+        assert!((fin.as_secs() - 4.0).abs() < 1e-6);
+        assert_eq!(link.take_completed(fin).len(), 2);
+    }
+}

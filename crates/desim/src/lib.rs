@@ -40,6 +40,7 @@ pub mod time;
 
 pub use engine::{Ctx, Model, Simulation};
 pub use flow::{FlowLink, TransferId};
+pub use flow::reference::ReferenceFlowLink;
 pub use monitor::{Counter, TimeSeries, TimeWeighted};
 pub use queue::{EventId, EventQueue};
 pub use time::{SimDuration, SimTime};

@@ -4,9 +4,12 @@
 //! futures all the time: a pending failure event is cancelled when live
 //! migration moves the process off the vulnerable node; an LM-completion
 //! event is cancelled when a shorter-lead prediction aborts the migration
-//! (Fig. 5 of the paper). Cancellation is *lazy*: entries stay in the heap
-//! and are dropped when popped, which keeps both `schedule` and `cancel`
-//! O(log n) / O(1) amortized.
+//! (Fig. 5 of the paper). Cancellation is *lazy*: the heap entry stays
+//! put and the id is dropped from the live-id set, so `cancel` is O(1)
+//! and `schedule`/`pop` stay O(log n). Dead entries are skipped when
+//! they surface and the heap is compacted in one O(n) pass whenever dead
+//! entries outnumber live ones, so memory stays proportional to the live
+//! event count no matter how much is cancelled.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -43,6 +46,10 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Compaction is skipped below this heap size: scanning a few dozen
+/// entries is cheaper than bookkeeping about them.
+const COMPACT_MIN_HEAP: usize = 64;
+
 /// A deterministic pending-event set.
 ///
 /// Events are `(time, payload)` pairs; simultaneous events pop in the order
@@ -51,7 +58,9 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<EventId>,
+    /// Ids scheduled but not yet popped or cancelled. The single source
+    /// of truth for liveness: a heap entry whose id is absent is dead.
+    pending: HashSet<EventId>,
     now: SimTime,
     next_seq: u64,
     scheduled_total: u64,
@@ -68,7 +77,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            pending: HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             scheduled_total: 0,
@@ -98,6 +107,7 @@ impl<E> EventQueue<E> {
             id,
             payload,
         }));
+        self.pending.insert(id);
         self.next_seq += 1;
         self.scheduled_total += 1;
         id
@@ -111,36 +121,31 @@ impl<E> EventQueue<E> {
 
     /// Cancels a scheduled event. Returns `true` if the event was still
     /// pending (and is now guaranteed never to fire), `false` if it had
-    /// already fired or been cancelled.
+    /// already fired or been cancelled. O(1).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false; // never issued
+        // Already-popped and never-issued ids are simply absent from
+        // `pending`, so they can't re-tombstone anything.
+        let was_pending = self.pending.remove(&id);
+        if was_pending {
+            self.maybe_compact();
         }
-        // Membership in the heap is not tracked directly; inserting into
-        // `cancelled` is harmless for already-popped ids because pop()
-        // removes ids from the set when it skips them, and popped ids are
-        // never re-issued.
-        if self.is_pending(id) {
-            self.cancelled.insert(id);
-            true
-        } else {
-            false
-        }
+        was_pending
     }
 
-    fn is_pending(&self, id: EventId) -> bool {
-        // O(n) scan; only used on the cancel path which is rare compared to
-        // schedule/pop. (The C/R models cancel a handful of events per
-        // failure, and failures are sparse.)
-        !self.cancelled.contains(&id) && self.heap.iter().any(|Reverse(e)| e.id == id)
+    /// Drops dead heap entries wholesale once they outnumber live ones.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() > COMPACT_MIN_HEAP && self.heap.len() >= 2 * self.pending.len() {
+            let pending = &self.pending;
+            self.heap.retain(|Reverse(e)| pending.contains(&e.id));
+        }
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue; // tombstone
+            if !self.pending.remove(&entry.id) {
+                continue; // dead entry: cancelled earlier
             }
             debug_assert!(entry.time >= self.now, "heap returned a past event");
             self.now = entry.time;
@@ -151,31 +156,35 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop leading tombstones so the peek is accurate.
+        // Drop leading dead entries so the peek is accurate.
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let Reverse(entry) = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.id);
-            } else {
+            if self.pending.contains(&entry.id) {
                 return Some(entry.time);
             }
+            self.heap.pop();
         }
         None
     }
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.pending.is_empty()
     }
 
     /// Total number of events ever scheduled (monotone; for metrics).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Heap slots currently held, live or dead (for memory diagnostics
+    /// and the compaction regression test).
+    pub fn heap_slots(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -280,5 +289,47 @@ mod tests {
         assert_eq!(survivors, vec![0, 2, 4]);
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 5);
+    }
+
+    #[test]
+    fn cancel_after_pop_does_not_tombstone_future_events() {
+        // Regression: the old implementation inserted a tombstone for any
+        // id that looked pending; a cancel racing a pop must not poison
+        // the set or miscount len().
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(secs(1.0), "a");
+        q.schedule_at(secs(2.0), "b");
+        let (_, popped, _) = q.pop().unwrap();
+        assert_eq!(popped, a);
+        assert!(!q.cancel(a), "popped event is not cancellable");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().2, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heavy_cancellation_keeps_heap_bounded() {
+        // Regression for the tombstone leak: schedule/cancel churn with a
+        // small live set must not grow the heap with dead entries.
+        let mut q = EventQueue::new();
+        let keep: Vec<_> = (0..10).map(|i| q.schedule_at(secs(1e6 + i as f64), i)).collect();
+        for round in 0..1_000 {
+            let ids: Vec<_> = (0..100)
+                .map(|i| q.schedule_at(secs(10.0 + (round * 100 + i) as f64), i))
+                .collect();
+            for id in ids {
+                assert!(q.cancel(id));
+            }
+            assert!(
+                q.heap_slots() <= 2 * q.len() + COMPACT_MIN_HEAP + 100,
+                "heap grew to {} slots with {} live events",
+                q.heap_slots(),
+                q.len()
+            );
+        }
+        assert_eq!(q.len(), keep.len());
+        // The survivors still pop in order.
+        let popped: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(popped, (0..10).collect::<Vec<_>>());
     }
 }

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use pckpt_desim::resource::{Acquire, Resource};
-use pckpt_desim::{EventQueue, FlowLink, SimTime};
+use pckpt_desim::{EventQueue, FlowLink, ReferenceFlowLink, SimTime};
 
 proptest! {
     /// Whatever is scheduled (minus cancellations) pops in
@@ -146,5 +146,106 @@ proptest! {
         }
         prop_assert_eq!(q.len(), schedule.len() - popped);
         prop_assert_eq!(q.scheduled_total(), schedule.len() as u64);
+    }
+
+    /// The virtual-time [`FlowLink`] is observationally equivalent to the
+    /// per-flow [`ReferenceFlowLink`] it replaced: identical completion
+    /// order and membership, completion instants within 1 ns, matching
+    /// cancel returns and byte accounting, under randomized interleavings
+    /// of weighted starts, cancels, and completion harvests on both
+    /// constant and load-dependent capacity curves.
+    #[test]
+    fn virtual_time_link_matches_reference(
+        ops in proptest::collection::vec(
+            (0u8..4, 1u64..1_000_000_000, 1u64..=64, 0u64..2_000),
+            1..120,
+        ),
+        base_capacity in 1_000.0f64..1e9,
+        load_dependent in any::<bool>(),
+    ) {
+        let make_cap = |base: f64, dep: bool| {
+            move |writers: usize| {
+                if dep {
+                    // Saturating weak-scaling curve, like the PFS matrix.
+                    base * (writers as f64).sqrt().min(16.0)
+                } else {
+                    base
+                }
+            }
+        };
+        let mut virt = FlowLink::with_capacity_fn(make_cap(base_capacity, load_dependent));
+        let mut refl = ReferenceFlowLink::with_capacity_fn(make_cap(base_capacity, load_dependent));
+        let mut t = 0.0f64;
+        let mut live: Vec<pckpt_desim::TransferId> = Vec::new();
+        for &(op, bytes, weight, dt_ms) in &ops {
+            t += dt_ms as f64 * 1e-3;
+            let now = SimTime::from_secs(t);
+            match op {
+                0 | 1 => {
+                    // Both links issue ids from the same counter sequence,
+                    // so the handles must agree.
+                    let a = virt.start_weighted(now, bytes as f64, weight as f64);
+                    let b = refl.start_weighted(now, bytes as f64, weight as f64);
+                    prop_assert_eq!(a, b);
+                    live.push(a);
+                }
+                2 => {
+                    if let Some(id) = live.pop() {
+                        let a = virt.cancel(now, id);
+                        let b = refl.cancel(now, id);
+                        prop_assert_eq!(a.is_some(), b.is_some());
+                        if let (Some(ra), Some(rb)) = (a, b) {
+                            prop_assert!(
+                                (ra - rb).abs() < 1.0 + rb.abs() * 1e-6,
+                                "cancel remainder diverged: {ra} vs {rb}"
+                            );
+                        }
+                    } else {
+                        virt.advance(now);
+                        refl.advance(now);
+                    }
+                }
+                _ => {
+                    let a = virt.take_completed(now);
+                    let b = refl.take_completed(now);
+                    let ids_a: Vec<_> = a.iter().map(|&(id, _, _)| id).collect();
+                    let ids_b: Vec<_> = b.iter().map(|&(id, _, _)| id).collect();
+                    prop_assert_eq!(ids_a, ids_b);
+                    live.retain(|id| a.iter().all(|&(done, _, _)| done != *id));
+                }
+            }
+            prop_assert_eq!(virt.active(), refl.active());
+            match (virt.next_completion(now), refl.next_completion(now)) {
+                (None, None) => {}
+                (Some(fa), Some(fb)) => prop_assert!(
+                    fa.as_nanos().abs_diff(fb.as_nanos()) <= 1,
+                    "completion instants diverged: {fa} vs {fb}"
+                ),
+                (a, b) => prop_assert!(false, "one link idle, one not: {a:?} vs {b:?}"),
+            }
+        }
+        // Drain both to completion, following the *virtual* link's
+        // schedule (the reference is within 1 ns of it at every step).
+        let mut now = SimTime::from_secs(t);
+        while let Some(fin) = virt.next_completion(now) {
+            now = fin.max(now);
+            let a = virt.take_completed(now);
+            let b = refl.take_completed(now);
+            let ids_a: Vec<_> = a.iter().map(|&(id, _, _)| id).collect();
+            let ids_b: Vec<_> = b.iter().map(|&(id, _, _)| id).collect();
+            prop_assert_eq!(ids_a, ids_b);
+            if a.is_empty() && !virt.is_idle() {
+                now += pckpt_desim::SimDuration::from_nanos(1);
+            }
+            if virt.is_idle() {
+                break;
+            }
+        }
+        prop_assert!(virt.is_idle() && refl.is_idle());
+        let (ma, mb) = (virt.bytes_moved(), refl.bytes_moved());
+        prop_assert!(
+            (ma - mb).abs() < 1.0 + mb.abs() * 1e-6,
+            "bytes_moved diverged: {ma} vs {mb}"
+        );
     }
 }

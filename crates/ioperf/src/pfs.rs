@@ -258,6 +258,64 @@ impl PfsModel {
     pub fn node_model(&self) -> &NodeIoModel {
         &self.node_model
     }
+
+    /// Precomputes the writer-count → aggregate-bandwidth curve at a
+    /// fixed per-node size. See [`CapacityTable`].
+    pub fn capacity_table(&self, per_node_bytes: f64, max_writers: usize) -> CapacityTable {
+        CapacityTable::new(self, per_node_bytes, max_writers)
+    }
+}
+
+/// A memoized `writers → aggregate bandwidth` lookup at a fixed per-node
+/// transfer size.
+///
+/// The fluid-flow link consults its capacity function on *every* advance
+/// and completion query — the hottest call site in a campaign. The full
+/// [`PfsModel::aggregate_write_bw`] path does two binary searches plus a
+/// bilinear interpolation per call; for a fixed job the per-node size
+/// never changes and the writer count is a small integer, so the curve is
+/// precomputed once here and the hot path is a bounds-checked array index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityTable {
+    /// `bw[w-1]` = aggregate bandwidth for `w` writers; queries above the
+    /// table clamp to the last entry (the curve is ceiling-saturated
+    /// there anyway).
+    bw: Vec<f64>,
+}
+
+impl CapacityTable {
+    /// Samples `pfs.aggregate_write_bw(w, per_node_bytes)` for
+    /// `w = 1..=max_writers`.
+    pub fn new(pfs: &PfsModel, per_node_bytes: f64, max_writers: usize) -> Self {
+        assert!(max_writers >= 1, "table needs at least one writer count");
+        assert!(
+            per_node_bytes > 0.0 && per_node_bytes.is_finite(),
+            "per-node size must be positive"
+        );
+        let bw = (1..=max_writers as u64)
+            .map(|w| pfs.aggregate_write_bw(w, per_node_bytes))
+            .collect();
+        Self { bw }
+    }
+
+    /// Aggregate bandwidth (bytes/sec) for `writers` concurrent writers.
+    /// `writers = 0` is answered as 1 (the link never queries capacity
+    /// with no active weight, but callers clamp defensively).
+    #[inline]
+    pub fn capacity(&self, writers: usize) -> f64 {
+        let idx = writers.clamp(1, self.bw.len()) - 1;
+        self.bw[idx]
+    }
+
+    /// Number of precomputed writer counts.
+    pub fn len(&self) -> usize {
+        self.bw.len()
+    }
+
+    /// Always false: the constructor rejects empty tables.
+    pub fn is_empty(&self) -> bool {
+        self.bw.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +428,26 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn matrix_rejects_unsorted_axes() {
         let _ = PerfMatrix::from_fn(&[4, 1], &[8.0], |_, _| 1.0);
+    }
+
+    #[test]
+    fn capacity_table_matches_direct_lookup() {
+        let pfs = PfsModel::summit();
+        let per_node = 32.0 * GB;
+        let table = pfs.capacity_table(per_node, 4096);
+        for w in [1usize, 2, 7, 64, 513, 4096] {
+            assert_eq!(
+                table.capacity(w),
+                pfs.aggregate_write_bw(w as u64, per_node),
+                "writer count {w}"
+            );
+        }
+        // Above the table: clamped to the last sampled count.
+        assert_eq!(table.capacity(10_000), table.capacity(4096));
+        // Zero writers: defensively answered as one.
+        assert_eq!(table.capacity(0), table.capacity(1));
+        assert_eq!(table.len(), 4096);
+        assert!(!table.is_empty());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specifications accepted by [`vec`].
+pub trait SizeRange {
+    /// Lower and upper (inclusive) length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec length range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty vec length range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and
+/// whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.bounds();
+    VecStrategy {
+        element,
+        min_len,
+        max_len,
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max_len - self.min_len) as u64 + 1;
+        let len = self.min_len + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        let s = vec(0u64..100, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+        let fixed = vec(crate::strategy::any::<bool>(), 3usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+        let incl = vec(0u8..=1, 0..=2usize);
+        for _ in 0..50 {
+            assert!(incl.generate(&mut rng).len() <= 2);
+        }
+    }
+}

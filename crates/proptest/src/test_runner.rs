@@ -1,0 +1,191 @@
+//! The property-test runner: configuration, RNG, and the case loop.
+
+/// Runner configuration (`ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum rejected cases (`prop_assume!`) tolerated before the
+    /// property errors out as too restrictive.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic RNG driving value generation (SplitMix64 core).
+///
+/// Deliberately small and self-contained: the shim must not depend on
+/// workspace crates (they dev-depend on it).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; unbiased via rejection.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53-bit precision.
+    pub fn uniform01(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a over the test name: stable per-test seed diversification.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` successes, panicking on the first
+/// failure. Each case draws from an independent, deterministic stream,
+/// so a reported `case` number always reproduces.
+pub fn run_property<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let master = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x5052_4F50_5445_5354u64); // "PROPTEST"
+    let base = master ^ name_hash(name);
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    let mut case_idx = 0u64;
+    while successes < config.cases {
+        let mut rng = TestRng::new(base.wrapping_add(case_idx.wrapping_mul(0x9E37_79B9)));
+        match case(&mut rng) {
+            Ok(()) => successes += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "property {name}: too many prop_assume! rejections \
+                         ({rejects}) — strategy too restrictive"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name} failed at case {case_idx} \
+                     (seed 0x{master:016x}): {msg}"
+                );
+            }
+        }
+        case_idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_successes() {
+        let mut calls = 0;
+        run_property(&ProptestConfig::with_cases(10), "t", |_| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn rejects_are_redrawn() {
+        let mut n = 0u32;
+        run_property(&ProptestConfig::with_cases(5), "t2", |rng| {
+            n += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(n >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        run_property(&ProptestConfig::with_cases(5), "t3", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Offline compatibility shim for the subset of the `rand` 0.8 API used
+//! by this workspace.
+//!
+//! The build environment has no access to crates.io, so the real `rand`
+//! crate cannot be fetched. This path crate shadows it with the handful
+//! of traits the workspace actually uses: [`RngCore`], [`SeedableRng`],
+//! and the [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`,
+//! `fill`). The algorithms live in `pckpt-simrng`; this crate is pure
+//! trait plumbing with no generator of its own, so swapping the real
+//! `rand` back in (when a registry is available) is a one-line
+//! `Cargo.toml` change.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type carried by [`RngCore::try_fill_bytes`]. Infallible for
+/// every generator in this workspace; exists for signature parity.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core trait every generator implements (rand 0.8 shape).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Constructing a generator from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Convenience: expands a `u64` into the seed bytes (little-endian,
+    /// repeated) and builds the generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let bytes = state.to_le_bytes();
+        for (i, b) in seed.as_mut().iter_mut().enumerate() {
+            *b = bytes[i % 8];
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a generator's raw output
+/// (the `Standard` distribution of real `rand`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Canonical 53-bit mapping into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges a value can be drawn from (`gen_range` argument).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on an empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = sample_below(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on an empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = sample_below(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on an empty range");
+                let u = <$t as Standard>::sample(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on an empty range");
+                let u = <$t as Standard>::sample(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Unbiased draw below `n` (Lemire's multiply-shift with rejection),
+/// generalized to u128 spans so i64/u64 full ranges work.
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, n: u128) -> u128 {
+    debug_assert!(n > 0);
+    if n == 1 {
+        return 0;
+    }
+    // All workspace spans fit in u64; keep the fast path there.
+    if n <= u64::MAX as u128 {
+        let n = n as u64;
+        let mut x = rng.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = rng.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        m >> 64
+    } else {
+        // Span wider than u64 (e.g. the full i128 conversion of
+        // u64::MAX..=u64::MAX ranges): rejection-sample 128-bit words.
+        loop {
+            let hi = rng.next_u64() as u128;
+            let lo = rng.next_u64() as u128;
+            let v = (hi << 64) | lo;
+            // Rejection zone keeps the draw unbiased.
+            let zone = u128::MAX - (u128::MAX % n);
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// Convenience extension trait (rand 0.8's `Rng`), blanket-implemented
+/// for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        <f64 as Standard>::sample(self) < p
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// `rand::prelude` parity.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter "generator" good enough to exercise the trait plumbing.
+    struct Seq(u64);
+
+    impl RngCore for Seq {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so range sampling sees well-mixed bits.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Seq(1);
+        for _ in 0..1000 {
+            let a: u64 = rng.gen_range(5..17);
+            assert!((5..17).contains(&a));
+            let b: i64 = rng.gen_range(-10..=10);
+            assert!((-10..=10).contains(&b));
+            let c: f64 = rng.gen_range(0.0..10.0);
+            assert!((0.0..10.0).contains(&c));
+            let d: usize = rng.gen_range(0..1);
+            assert_eq!(d, 0);
+        }
+    }
+
+    #[test]
+    fn standard_draws_cover_types() {
+        let mut rng = Seq(2);
+        let _: u64 = rng.gen();
+        let _: u32 = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+        let mut both = [false, false];
+        for _ in 0..64 {
+            both[rng.gen::<bool>() as usize] = true;
+        }
+        assert!(both[0] && both[1]);
+    }
+
+    #[test]
+    fn fill_bytes_partial_chunks() {
+        let mut rng = Seq(3);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Perf trajectory harness for the PR sequence.
+#
+# Runs the criterion micro-benchmarks (event dispatch, flow-link churn
+# virtual-vs-reference) and the end-to-end campaign timer, then folds
+# the machine-parsable CRITERION_JSON / CAMPAIGN_JSON lines into one
+# BENCH_pr1.json snapshot:
+#
+#   median_ns_per_event            engine dispatch cost
+#   events_per_sec                 its reciprocal
+#   flow_churn_speedup_vs_reference  virtual-time link vs O(n) reference
+#   runs_per_sec / runs_per_sec_fluid  1000-run P2/XGC campaign throughput
+#
+# Usage: scripts/bench.sh [output.json]
+# Env:   PCKPT_RUNS (campaign size, default 1000), PCKPT_SEED,
+#        PCKPT_BENCH_SAMPLES / PCKPT_BENCH_SAMPLE_MS (criterion shim).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_pr1.json}
+BENCH_LOG=$(mktemp)
+CAMPAIGN_LOG=$(mktemp)
+trap 'rm -f "$BENCH_LOG" "$CAMPAIGN_LOG"' EXIT
+
+echo "== criterion benches (pckpt-bench) =="
+cargo bench -p pckpt-bench 2>&1 | tee "$BENCH_LOG"
+
+echo
+echo "== end-to-end campaign timing =="
+cargo run --release -q -p pckpt-bench --bin bench_campaign 2>&1 | tee "$CAMPAIGN_LOG"
+
+python3 - "$BENCH_LOG" "$CAMPAIGN_LOG" "$OUT" <<'PYEOF'
+import json
+import sys
+
+bench_log, campaign_log, out_path = sys.argv[1:4]
+
+def parse(path, tag):
+    out = {}
+    with open(path) as f:
+        for line in f:
+            if line.startswith(tag):
+                rec = json.loads(line[len(tag):])
+                out[rec["name"]] = rec
+    return out
+
+benches = parse(bench_log, "CRITERION_JSON ")
+campaigns = parse(campaign_log, "CAMPAIGN_JSON ")
+
+doc = {"benchmarks": benches, "campaigns": campaigns}
+
+dispatch = benches.get("engine_dispatch_100k_events")
+if dispatch:
+    ns_per_event = dispatch["median_ns"] / 100_000
+    doc["median_ns_per_event"] = round(ns_per_event, 3)
+    doc["events_per_sec"] = round(1e9 / ns_per_event, 1)
+
+virt = benches.get("flow_link_churn/virtual_1k_concurrent")
+ref = benches.get("flow_link_churn/reference_1k_concurrent")
+if virt and ref:
+    doc["flow_churn_speedup_vs_reference"] = round(
+        ref["median_ns"] / virt["median_ns"], 2
+    )
+
+if "p2_xgc_analytic" in campaigns:
+    doc["runs_per_sec"] = campaigns["p2_xgc_analytic"]["runs_per_sec"]
+if "p2_xgc_fluid" in campaigns:
+    doc["runs_per_sec_fluid"] = campaigns["p2_xgc_fluid"]["runs_per_sec"]
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+print(f"\nwrote {out_path}")
+for key in (
+    "median_ns_per_event",
+    "events_per_sec",
+    "flow_churn_speedup_vs_reference",
+    "runs_per_sec",
+    "runs_per_sec_fluid",
+):
+    if key in doc:
+        print(f"  {key}: {doc[key]}")
+PYEOF

@@ -46,6 +46,26 @@ fn per_run_streams_are_stable_under_campaign_size() {
 }
 
 #[test]
+fn fluid_mode_is_bit_reproducible_across_threads() {
+    // The fluid PFS path exercises the virtual-time flow link on every
+    // checkpoint; its float arithmetic must be identical no matter how
+    // runs are spread over workers.
+    use pckpt::core::iosim::PfsMode;
+    let leads = LeadTimeModel::desh_default();
+    let mut params = xgc_params();
+    params.pfs_mode = PfsMode::Fluid;
+    let mut serial = RunnerConfig::new(6, 11);
+    serial.threads = 1;
+    let mut wide = RunnerConfig::new(6, 11);
+    wide.threads = 4;
+    let a = run_many(&params, &leads, &serial);
+    let b = run_many(&params, &leads, &wide);
+    assert_eq!(a.total_hours.mean().to_bits(), b.total_hours.mean().to_bits());
+    assert_eq!(a.ft_ratio_pooled().to_bits(), b.ft_ratio_pooled().to_bits());
+    assert_eq!(a.failures.sum().to_bits(), b.failures.sum().to_bits());
+}
+
+#[test]
 fn seeds_actually_matter() {
     let leads = LeadTimeModel::desh_default();
     let a = run_many(&xgc_params(), &leads, &RunnerConfig::new(10, 1));
