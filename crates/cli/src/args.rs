@@ -247,10 +247,15 @@ fn parse_options<'a>(
 fn extract_kv<T: std::str::FromStr>(extra: &[String], key: &str) -> Result<Option<T>, String> {
     match extra.iter().position(|k| k == key) {
         None => Ok(None),
-        Some(pos) => extra[pos + 1]
-            .parse()
-            .map(Some)
-            .map_err(|_| format!("{key}: cannot parse {:?}", extra[pos + 1])),
+        Some(pos) => {
+            let value = extra
+                .get(pos + 1)
+                .ok_or_else(|| format!("{key} requires a value"))?;
+            value
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{key}: cannot parse {value:?}"))
+        }
     }
 }
 
@@ -259,7 +264,9 @@ fn extract_model(extra: &[String]) -> Result<ModelKind, String> {
         .iter()
         .position(|k| k == "--model")
         .ok_or("simulate requires --model")?;
-    let value = &extra[pos + 1];
+    let value = extra
+        .get(pos + 1)
+        .ok_or("--model requires a value (B, M1, M2, P1 or P2)")?;
     ModelKind::ALL
         .into_iter()
         .find(|m| m.name().eq_ignore_ascii_case(value))
@@ -304,6 +311,23 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn dangling_flags_error_instead_of_panicking() {
+        // A trailing key with no value used to index past the end.
+        let err = parse(&v(&["simulate", "--app", "XGC", "--model"])).unwrap_err();
+        assert!(err.contains("--model requires a value"), "got: {err}");
+        let err = parse(&v(&["simulate", "--app", "XGC", "--model", "p2", "--run"])).unwrap_err();
+        assert!(err.contains("--run requires a value"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_app_error_lists_the_catalog() {
+        use pckpt_workloads::Application;
+        let err = "NOPE".parse::<Application>().unwrap_err();
+        assert!(err.contains("unknown application"), "got: {err}");
+        assert!(err.contains("CHIMERA") && err.contains("VULCAN"), "got: {err}");
     }
 
     #[test]

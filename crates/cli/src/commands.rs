@@ -119,12 +119,7 @@ fn logs_analyze(path: &str) -> Result<(), String> {
 }
 
 fn lookup(app: &str) -> Result<Application, String> {
-    Application::by_name(app).ok_or_else(|| {
-        format!(
-            "unknown application {app:?}; known: {}",
-            TABLE_I.map(|a| a.name).join(", ")
-        )
-    })
+    app.parse()
 }
 
 fn build_params(opts: &SimOptions) -> Result<SimParams, String> {

@@ -188,6 +188,7 @@ impl Aggregate {
     /// fraction of *failures* mitigated rather than a per-run average.
     pub fn ft_ratio_pooled(&self) -> f64 {
         let failures = self.failures.sum();
+        // Exact-zero guard on a sum of integral counts. simlint: allow(no-float-eq)
         if failures == 0.0 {
             return 1.0;
         }
@@ -198,6 +199,7 @@ impl Aggregate {
     /// Pooled FT contribution of live migration alone (Fig. 8 numerator).
     pub fn ft_ratio_lm_pooled(&self) -> f64 {
         let failures = self.failures.sum();
+        // Exact-zero guard on a sum of integral counts. simlint: allow(no-float-eq)
         if failures == 0.0 {
             return 0.0;
         }
@@ -207,6 +209,7 @@ impl Aggregate {
     /// Pooled FT contribution of p-ckpt alone (Fig. 8 numerator).
     pub fn ft_ratio_pckpt_pooled(&self) -> f64 {
         let failures = self.failures.sum();
+        // Exact-zero guard on a sum of integral counts. simlint: allow(no-float-eq)
         if failures == 0.0 {
             return 0.0;
         }
@@ -226,6 +229,7 @@ impl Aggregate {
     /// aggregate: `100·(1 − total/total_base)`.
     pub fn reduction_vs(&self, base: &Aggregate) -> f64 {
         let b = base.total_hours.mean();
+        // Exact-zero guard against division by zero. simlint: allow(no-float-eq)
         if b == 0.0 {
             return 0.0;
         }

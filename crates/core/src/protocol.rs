@@ -135,6 +135,7 @@ impl PckptRound {
     /// Marks the current writer's PFS commit complete (the mitigation
     /// point for its failure). Returns the committed entry.
     pub fn writer_committed(&mut self) -> Vulnerable {
+        // State-machine invariant, documented to panic. simlint: allow(no-unwrap-in-lib)
         let w = self.writer.take().expect("writer_committed without writer");
         self.committed.push(w);
         w

@@ -91,6 +91,7 @@ fn trace_config(params: &SimParams) -> TraceConfig {
 /// Runs one configuration `config.runs` times and aggregates.
 pub fn run_many(params: &SimParams, leads: &LeadTimeModel, config: &RunnerConfig) -> Aggregate {
     let campaign = run_models(params, &[params.model], leads, config);
+    // run_models returns one aggregate per requested model. simlint: allow(no-unwrap-in-lib)
     campaign.aggregates.into_iter().next().expect("one model")
 }
 
@@ -151,12 +152,14 @@ pub fn run_models(
         let mut indexed: Vec<Option<Vec<crate::metrics::RunResult>>> =
             (0..config.runs).map(|_| None).collect();
         for handle in handles {
+            // A worker panic is already fatal; re-raise it here. simlint: allow(no-unwrap-in-lib)
             for (run, results) in handle.join().expect("worker panicked") {
                 indexed[run] = Some(results);
             }
         }
         indexed
             .into_iter()
+            // The strided loops above cover 0..runs exactly. simlint: allow(no-unwrap-in-lib)
             .map(|r| r.expect("every run produced"))
             .collect()
     });

@@ -30,7 +30,7 @@
 //! the residual is zero, and `metrics::RunResult::accounting_residual_secs`
 //! exposes it to tests.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pckpt_desim::{Ctx, EventId, Model, SimDuration, SimTime, Simulation};
 use pckpt_failure::{FailureTrace, LeadTimeModel, RateEstimator};
@@ -145,9 +145,9 @@ pub struct CrSim {
     // Proactive machinery.
     round: Option<PckptRound>,
     safeguard_level: f64,
-    active_lms: HashMap<u32, ActiveLm>,
+    active_lms: BTreeMap<u32, ActiveLm>,
     lm_seq: u64,
-    pending: HashMap<usize, PendingPrediction>,
+    pending: BTreeMap<usize, PendingPrediction>,
     failure_events: Vec<Option<EventId>>,
     recovery_level: f64,
     recovery_dur: f64,
@@ -233,9 +233,9 @@ impl CrSim {
             best_pfs_all: 0.0,
             round: None,
             safeguard_level: 0.0,
-            active_lms: HashMap::new(),
+            active_lms: BTreeMap::new(),
             lm_seq: 0,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             failure_events: vec![None; failure_count],
             recovery_level: 0.0,
             recovery_dur: 0.0,
@@ -276,6 +276,7 @@ impl CrSim {
         let mut sim = Simulation::new(self).with_event_budget(budget);
         sim.run();
         let mut model = sim.into_model();
+        // run_traced installs the tracer two lines up. simlint: allow(no-unwrap-in-lib)
         let trace = model.tracer.take().expect("tracing was enabled");
         (model.finish(), trace)
     }
@@ -304,6 +305,7 @@ impl CrSim {
         let now = ctx.now();
         self.fluid
             .as_mut()
+            // Callers are gated on fluid mode. simlint: allow(no-unwrap-in-lib)
             .expect("fluid op in analytic mode")
             .start(now, op, bytes, weight);
         self.fluid_reschedule(ctx);
@@ -386,6 +388,7 @@ impl CrSim {
     fn finish(self) -> RunResult {
         let finished_at = self
             .finished_at
+            // Horizon misconfiguration; actionable message. simlint: allow(no-unwrap-in-lib)
             .expect("simulation ended before the application completed — raise the horizon");
         let result = RunResult {
             wall_secs: finished_at.as_secs(),
@@ -653,6 +656,7 @@ impl CrSim {
         if lm.seq != seq {
             return; // stale event from a superseded migration
         }
+        // Presence established by the get() above. simlint: allow(no-unwrap-in-lib)
         let lm = self.active_lms.remove(&node).expect("checked above");
         self.trace_ev(ctx.now(), TraceKind::LmDone(node));
         if let Some(idx) = lm.fail_idx {
@@ -677,10 +681,14 @@ impl CrSim {
         if self.active_lms.is_empty() {
             return;
         }
-        let lms: Vec<(u32, ActiveLm)> = self.active_lms.drain().collect();
+        // BTreeMap has no drain(); taking the map empties it in node order,
+        // so Vulnerable entries join the round deterministically.
+        let lms: Vec<(u32, ActiveLm)> =
+            std::mem::take(&mut self.active_lms).into_iter().collect();
         for (node, _) in &lms {
             self.trace_ev(ctx.now(), TraceKind::LmAbort(*node));
         }
+        // Only called while a round is active. simlint: allow(no-unwrap-in-lib)
         let round = self.round.as_mut().expect("abort into an active round");
         for (node, lm) in lms {
             self.ledger.lm_aborted += 1;
@@ -814,6 +822,7 @@ impl CrSim {
 
     /// Starts the next phase-1 writer, or phase 2 once the queue drains.
     fn advance_round(&mut self, ctx: &mut Ctx<'_, Ev>) {
+        // Round state implies an active round. simlint: allow(no-unwrap-in-lib)
         let round = self.round.as_mut().expect("advance without a round");
         if round.phase() == Phase::Phase2 {
             return;
@@ -855,6 +864,7 @@ impl CrSim {
 
     fn on_phase1_writer_done(&mut self, ctx: &mut Ctx<'_, Ev>) {
         debug_assert_eq!(self.state, AppState::Round);
+        // Round state implies an active round. simlint: allow(no-unwrap-in-lib)
         let round = self.round.as_mut().expect("writer done without a round");
         let committed = round.writer_committed();
         self.trace_ev(ctx.now(), TraceKind::Phase1Commit(committed.node));
@@ -872,6 +882,7 @@ impl CrSim {
 
     fn on_phase2_done(&mut self, ctx: &mut Ctx<'_, Ev>) {
         debug_assert_eq!(self.state, AppState::Round);
+        // Round state implies an active round. simlint: allow(no-unwrap-in-lib)
         let round = self.round.take().expect("phase 2 without a round");
         self.best_pfs_all = self.best_pfs_all.max(round.level_secs());
         // The full-app checkpoint is durable now: phase-1 commits and
@@ -917,6 +928,7 @@ impl CrSim {
     }
 
     fn abort_round(&mut self) -> Vec<Vulnerable> {
+        // Only called while a round is active. simlint: allow(no-unwrap-in-lib)
         let mut round = self.round.take().expect("abort without a round");
         round.drain_queue()
     }
@@ -947,6 +959,7 @@ impl CrSim {
             // Any previous drain (active or suspended) is superseded by
             // the fresher checkpoint.
             let now = ctx.now();
+            // is_some() checked by the enclosing if. simlint: allow(no-unwrap-in-lib)
             self.fluid.as_mut().expect("checked").void_drain(now);
             let bytes = self.p.app.nodes as f64 * self.p.per_node_bytes();
             let weight = self.drain_weight;
@@ -1017,6 +1030,7 @@ impl CrSim {
 
         match self.state {
             AppState::Round => {
+                // Round state implies an active round. simlint: allow(no-unwrap-in-lib)
                 let round = self.round.as_ref().expect("Round state without round");
                 let committed_here = round.is_committed(f.node);
                 // Whatever happens, this round will not complete; phase-1

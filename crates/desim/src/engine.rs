@@ -160,6 +160,7 @@ impl<M: Model> Simulation<M> {
                 Some(t) if t > horizon => return StopReason::Horizon,
                 Some(_) => {}
             }
+            // peek_time() above returned Some. simlint: allow(no-unwrap-in-lib)
             let (_, _, event) = self.queue.pop().expect("peeked event exists");
             self.events_handled += 1;
             let mut ctx = Ctx {

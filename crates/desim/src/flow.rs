@@ -43,7 +43,7 @@
 //! completion order and byte accounting) on randomized workloads.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -127,7 +127,7 @@ pub struct FlowLink {
     /// weight (= writer count for node-weighted transfers). Must be
     /// strictly positive for any non-zero weight.
     capacity: Box<dyn Fn(usize) -> f64 + Send>,
-    flows: HashMap<TransferId, VFlow>,
+    flows: BTreeMap<TransferId, VFlow>,
     /// Cumulative virtual time: bytes delivered per unit weight since the
     /// link was last idle. Rebased to zero whenever the link drains so
     /// float granularity cannot grow without bound over a long campaign.
@@ -145,6 +145,8 @@ pub struct FlowLink {
     by_tag: BinaryHeap<HeapEntry>,
     /// Min-heap on `finish_v`: drives `next_completion`.
     by_finish: BinaryHeap<HeapEntry>,
+    /// Debug-mode byte-conservation auditor (zero-sized in release).
+    audit: crate::audit::ByteLedger,
 }
 
 impl std::fmt::Debug for FlowLink {
@@ -170,7 +172,7 @@ impl FlowLink {
     pub fn with_capacity_fn(f: impl Fn(usize) -> f64 + Send + 'static) -> Self {
         Self {
             capacity: Box::new(f),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             v: 0.0,
             total_weight: 0.0,
             last_advance: SimTime::ZERO,
@@ -179,6 +181,7 @@ impl FlowLink {
             bytes_retired: 0.0,
             by_tag: BinaryHeap::new(),
             by_finish: BinaryHeap::new(),
+            audit: crate::audit::ByteLedger::default(),
         }
     }
 
@@ -231,6 +234,7 @@ impl FlowLink {
             "transfer weight must be positive, got {weight}"
         );
         self.advance(now);
+        self.audit.inject(bytes);
         let id = TransferId(self.next_id);
         self.next_id += 1;
         self.epoch += 1;
@@ -262,6 +266,7 @@ impl FlowLink {
         } else {
             self.prune_heaps();
         }
+        self.audit.give_back(flow.total - delivered);
         Some(flow.total - delivered)
     }
 
@@ -281,18 +286,20 @@ impl FlowLink {
         let v_proj = self.v + already * rpw;
         // Heap tops are always live (mutating methods prune), so both
         // peeks see the minimum over active flows.
+        // Non-empty checked above; tops are pruned live. simlint: allow(no-unwrap-in-lib)
         let Reverse((Key(min_tag), _)) = *self.by_tag.peek().expect("live flow in heap");
         let min_dt = if min_tag <= v_proj + rpw * 2e-9 {
             0.0 // some flow is already inside its done threshold
         } else {
             let Reverse((Key(min_finish), _)) =
+                // Non-empty checked above; tops are pruned live. simlint: allow(no-unwrap-in-lib)
                 *self.by_finish.peek().expect("live flow in heap");
             (min_finish - v_proj) / rpw
         };
         // Round *up* to the next nanosecond so the scheduled instant never
         // undershoots the completion (undershooting by even 1 ns leaves
         // bytes at multi-GB/s rates).
-        Some(now + SimDuration::from_nanos((min_dt * 1e9).ceil() as u64))
+        Some(now + SimDuration::from_secs_f64_ceil(min_dt))
     }
 
     /// Advances to `now` and removes every transfer that has finished,
@@ -352,6 +359,11 @@ impl FlowLink {
         } else {
             self.prune_heaps();
         }
+        // Per-wave conservation audit: everything injected is either
+        // retired, returned by cancel, or still in flight.
+        self.audit.check_conserved(self.bytes_retired, || {
+            self.flows.values().map(|f| f.total).sum()
+        });
     }
 
     /// The link just drained: reset virtual time and the weight

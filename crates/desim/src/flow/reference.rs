@@ -10,7 +10,7 @@
 //! observational equivalence; the benches in `crates/bench` measure the
 //! speedup of the virtual-time engine over this baseline.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -28,7 +28,7 @@ struct Flow {
 /// cost O(active flows) per operation.
 pub struct ReferenceFlowLink {
     capacity: Box<dyn Fn(usize) -> f64 + Send>,
-    flows: HashMap<TransferId, Flow>,
+    flows: BTreeMap<TransferId, Flow>,
     last_advance: SimTime,
     next_id: u64,
     epoch: u64,
@@ -57,7 +57,7 @@ impl ReferenceFlowLink {
     pub fn with_capacity_fn(f: impl Fn(usize) -> f64 + Send + 'static) -> Self {
         Self {
             capacity: Box::new(f),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             last_advance: SimTime::ZERO,
             next_id: 0,
             epoch: 0,
@@ -164,7 +164,7 @@ impl ReferenceFlowLink {
                 }
             })
             .fold(f64::INFINITY, f64::min);
-        Some(now + SimDuration::from_nanos((min_dt * 1e9).ceil() as u64))
+        Some(now + SimDuration::from_secs_f64_ceil(min_dt))
     }
 
     /// Advances to `now` and removes every transfer that has finished,
@@ -180,6 +180,7 @@ impl ReferenceFlowLink {
             .collect();
         done.sort_by_key(|&(id, _, _)| id);
         for &(id, _, _) in &done {
+            // `done` was built from this map two lines up. simlint: allow(no-unwrap-in-lib)
             let f = self.flows.remove(&id).expect("listed as done");
             // Account the rounding remainder so bytes_moved stays exact.
             self.bytes_moved += f.remaining;

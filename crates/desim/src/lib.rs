@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod flow;
 pub mod monitor;

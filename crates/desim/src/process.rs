@@ -22,7 +22,7 @@
 //! `process.interrupt()` — that is how failure injection reaches the
 //! application processes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::engine::{Ctx, Model};
 use crate::queue::EventId;
@@ -160,7 +160,7 @@ pub struct Resume(Pid, Wake);
 /// A [`Model`] hosting cooperative processes over shared state `S`.
 pub struct ProcessWorld<S> {
     shared: S,
-    procs: HashMap<Pid, Entry<S>>,
+    procs: BTreeMap<Pid, Entry<S>>,
     next_pid: usize,
     signals: Vec<Vec<Pid>>,
     resources: Vec<Resource<Pid>>,
@@ -173,7 +173,7 @@ impl<S> ProcessWorld<S> {
     pub fn new(shared: S) -> Self {
         Self {
             shared,
-            procs: HashMap::new(),
+            procs: BTreeMap::new(),
             next_pid: 0,
             signals: Vec::new(),
             resources: Vec::new(),
@@ -336,6 +336,7 @@ impl<S> ProcessWorld<S> {
                     return;
                 }
                 Step::Done => {
+                    // A stepping process is necessarily registered. simlint: allow(no-unwrap-in-lib)
                     let entry = self.procs.remove(&pid).expect("alive");
                     self.finished += 1;
                     for rid in entry.held {
@@ -385,6 +386,7 @@ impl<S> ProcessWorld<S> {
                             .held
                             .iter()
                             .position(|&r| r == rid)
+                            // Holder bookkeeping invariant. simlint: allow(no-unwrap-in-lib)
                             .expect("release of a resource not held");
                         e.held.swap_remove(pos);
                     }

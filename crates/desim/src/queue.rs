@@ -12,7 +12,7 @@
 //! event count no matter how much is cancelled.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -60,10 +60,12 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     /// Ids scheduled but not yet popped or cancelled. The single source
     /// of truth for liveness: a heap entry whose id is absent is dead.
-    pending: HashSet<EventId>,
+    pending: BTreeSet<EventId>,
     now: SimTime,
     next_seq: u64,
     scheduled_total: u64,
+    /// Debug-mode pop-monotonicity auditor (zero-sized in release).
+    audit: crate::audit::PopAudit,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -77,10 +79,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            pending: BTreeSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             scheduled_total: 0,
+            audit: crate::audit::PopAudit::default(),
         }
     }
 
@@ -137,6 +140,7 @@ impl<E> EventQueue<E> {
         if self.heap.len() > COMPACT_MIN_HEAP && self.heap.len() >= 2 * self.pending.len() {
             let pending = &self.pending;
             self.heap.retain(|Reverse(e)| pending.contains(&e.id));
+            crate::audit::check_compaction(self.heap.len(), self.pending.len());
         }
     }
 
@@ -148,6 +152,7 @@ impl<E> EventQueue<E> {
                 continue; // dead entry: cancelled earlier
             }
             debug_assert!(entry.time >= self.now, "heap returned a past event");
+            self.audit.observe_pop(entry.time, entry.seq);
             self.now = entry.time;
             return Some((entry.time, entry.id, entry.payload));
         }

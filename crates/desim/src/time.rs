@@ -34,7 +34,21 @@ impl SimTime {
 
     /// Creates a time from seconds. Panics if negative or non-finite.
     pub fn from_secs(secs: f64) -> Self {
+        Self::from_secs_f64(secs)
+    }
+
+    /// Checked f64-seconds → nanosecond conversion: the single blessed
+    /// entry point for building a `SimTime` from real-valued seconds.
+    /// Panics on negative/non-finite input or clock overflow.
+    pub fn from_secs_f64(secs: f64) -> Self {
         SimTime(secs_to_nanos(secs))
+    }
+
+    /// Checked nanosecond → f64-seconds conversion; the inverse of
+    /// [`SimTime::from_secs_f64`]. Debug builds assert the value is
+    /// exactly representable (see [`nanos_to_secs`]).
+    pub fn to_secs_f64(self) -> f64 {
+        nanos_to_secs(self.0)
     }
 
     /// Creates a time from hours. Panics if negative or non-finite.
@@ -49,7 +63,7 @@ impl SimTime {
 
     /// Time as fractional seconds.
     pub fn as_secs(self) -> f64 {
-        self.0 as f64 / NANOS_PER_SEC
+        self.to_secs_f64()
     }
 
     /// Time as fractional hours.
@@ -88,7 +102,37 @@ impl SimDuration {
 
     /// Creates a duration from seconds. Panics if negative or non-finite.
     pub fn from_secs(secs: f64) -> Self {
+        Self::from_secs_f64(secs)
+    }
+
+    /// Checked f64-seconds → nanosecond conversion (round-to-nearest);
+    /// the blessed entry point mirroring [`SimTime::from_secs_f64`].
+    pub fn from_secs_f64(secs: f64) -> Self {
         SimDuration(secs_to_nanos(secs))
+    }
+
+    /// Like [`SimDuration::from_secs_f64`] but rounds **up** to the next
+    /// whole nanosecond. Use this when the duration is a lower bound —
+    /// e.g. the wake-up delay that must cover a fluid transfer's
+    /// completion — so rounding can never make an event fire early.
+    pub fn from_secs_f64_ceil(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time values must be finite and non-negative, got {secs}"
+        );
+        let ns = (secs * NANOS_PER_SEC).ceil();
+        assert!(
+            ns <= u64::MAX as f64,
+            "time value {secs}s overflows the simulation clock"
+        );
+        // The assertions above establish the range. simlint: allow(no-lossy-time-cast)
+        SimDuration(ns as u64)
+    }
+
+    /// Checked nanosecond → f64-seconds conversion; the inverse of
+    /// [`SimDuration::from_secs_f64`].
+    pub fn to_secs_f64(self) -> f64 {
+        nanos_to_secs(self.0)
     }
 
     /// Creates a duration from minutes.
@@ -113,7 +157,7 @@ impl SimDuration {
 
     /// Duration as fractional seconds.
     pub fn as_secs(self) -> f64 {
-        self.0 as f64 / NANOS_PER_SEC
+        self.to_secs_f64()
     }
 
     /// Duration as fractional hours.
@@ -142,6 +186,10 @@ impl SimDuration {
     }
 }
 
+/// Nanoseconds at or below which an f64 holds every integer exactly
+/// (2^53 ns ≈ 104 simulated days — well past the 720-hour VULCAN run).
+const MAX_EXACT_NANOS: u64 = 1 << 53;
+
 fn secs_to_nanos(secs: f64) -> u64 {
     assert!(
         secs.is_finite() && secs >= 0.0,
@@ -152,7 +200,21 @@ fn secs_to_nanos(secs: f64) -> u64 {
         ns <= u64::MAX as f64,
         "time value {secs}s overflows the simulation clock"
     );
+    // The assertions above establish the range. simlint: allow(no-lossy-time-cast)
     ns.round() as u64
+}
+
+/// The blessed nanosecond → f64-seconds conversion. Debug builds check
+/// the count is small enough for the f64 mantissa to hold it exactly,
+/// so accumulated-time readouts cannot silently lose nanoseconds
+/// (`u64::MAX` — the "never" sentinel — is exempt).
+fn nanos_to_secs(ns: u64) -> f64 {
+    debug_assert!(
+        ns <= MAX_EXACT_NANOS || ns == u64::MAX,
+        "nanosecond count {ns} exceeds exact f64 range; readout would lose precision"
+    );
+    // Range checked above (debug); division by 1e9 is exact-mantissa safe. simlint: allow(no-lossy-time-cast)
+    ns as f64 / NANOS_PER_SEC
 }
 
 impl Add<SimDuration> for SimTime {
@@ -161,6 +223,8 @@ impl Add<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_add(d.0)
+                // Overflowing the 292-year clock is a programming error,
+                // not recoverable input. simlint: allow(no-unwrap-in-lib)
                 .expect("simulation clock overflow"),
         )
     }
@@ -178,6 +242,8 @@ impl Sub<SimDuration> for SimTime {
         SimTime(
             self.0
                 .checked_sub(d.0)
+                // Subtracting past t=0 is a programming error, not
+                // recoverable input. simlint: allow(no-unwrap-in-lib)
                 .expect("simulation clock underflow"),
         )
     }
@@ -189,6 +255,8 @@ impl Add for SimDuration {
         SimDuration(
             self.0
                 .checked_add(other.0)
+                // 292-year span overflow is a programming error, not
+                // recoverable input. simlint: allow(no-unwrap-in-lib)
                 .expect("duration overflow"),
         )
     }
@@ -206,6 +274,8 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(other.0)
+                // Negative spans cannot exist in u64 time; underflow is a
+                // programming error. simlint: allow(no-unwrap-in-lib)
                 .expect("duration underflow"),
         )
     }
@@ -324,6 +394,34 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_secs(1.5)), "1.500s");
         assert_eq!(format!("{}", SimDuration::from_micros(8.0)), "8.0µs");
         assert_eq!(format!("{}", SimTime::from_secs(1.0)), "t=1.000s");
+    }
+
+    #[test]
+    fn checked_f64_helpers_roundtrip() {
+        let t = SimTime::from_secs_f64(2.25);
+        assert_eq!(t.as_nanos(), 2_250_000_000);
+        assert_eq!(t.to_secs_f64(), 2.25);
+        let d = SimDuration::from_secs_f64(0.5);
+        assert_eq!(d.to_secs_f64(), 0.5);
+        // from_secs / as_secs are aliases of the checked helpers.
+        assert_eq!(SimTime::from_secs(2.25), t);
+        assert_eq!(d.as_secs(), d.to_secs_f64());
+    }
+
+    #[test]
+    fn ceil_conversion_never_rounds_down() {
+        // 1.25 ns of seconds: nearest rounds to 1 ns, ceil must give 2.
+        let secs = 1.25e-9;
+        assert_eq!(SimDuration::from_secs_f64(secs).as_nanos(), 1);
+        assert_eq!(SimDuration::from_secs_f64_ceil(secs).as_nanos(), 2);
+        // Exact values stay exact.
+        assert_eq!(SimDuration::from_secs_f64_ceil(1.0).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn ceil_rejects_negative() {
+        let _ = SimDuration::from_secs_f64_ceil(-1e-9);
     }
 
     #[test]

@@ -228,7 +228,7 @@ impl LogGenerator {
                 t += gap.sample(rng);
             }
         }
-        log.sort_by(|a, b| a.time_secs.partial_cmp(&b.time_secs).expect("finite times"));
+        log.sort_by(|a, b| a.time_secs.total_cmp(&b.time_secs));
         (log, truth)
     }
 
@@ -248,7 +248,7 @@ impl LogGenerator {
         let mut offsets: Vec<f64> = (0..k.saturating_sub(2))
             .map(|_| Uniform::new(0.05, 0.95).sample(rng))
             .collect();
-        offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        offsets.sort_by(f64::total_cmp);
         let mut times = Vec::with_capacity(k);
         times.push(first_time);
         for off in offsets {
@@ -376,8 +376,8 @@ impl ChainAnalyzer {
             "log must be time-sorted"
         );
         // cursor state per (node, template): (next phrase index, first ts)
-        use std::collections::HashMap;
-        let mut cursors: HashMap<(u32, usize), (usize, f64)> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut cursors: BTreeMap<(u32, usize), (usize, f64)> = BTreeMap::new();
         let mut chains = Vec::new();
         for event in log {
             for (ti, template) in self.templates.iter().enumerate() {

@@ -101,6 +101,7 @@ impl LeadTimeModel {
         let total: f64 = self.sequences.iter().map(|s| s.occurrences as f64).sum();
         self.sequences
             .iter()
+            // Occurrence-count weighting, not a time cast. simlint: allow(no-lossy-time-cast)
             .map(|s| s.mean_secs * s.occurrences as f64 / total)
             .sum()
     }

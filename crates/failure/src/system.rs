@@ -62,6 +62,7 @@ impl FailureDistribution {
 
     /// Mean per-node failure rate, failures/hour — `1 / (N · MTBF_sys)`.
     pub fn per_node_rate(&self) -> f64 {
+        // Node-count cast, not a time cast. simlint: allow(no-lossy-time-cast)
         1.0 / (self.system_nodes as f64 * self.system_mtbf_hours())
     }
 

@@ -1,0 +1,5 @@
+// Seeded violation for the `no-float-eq` rule: exact equality against
+// a float literal in library code.
+pub fn is_done(progress: f64) -> bool {
+    progress == 1.0
+}

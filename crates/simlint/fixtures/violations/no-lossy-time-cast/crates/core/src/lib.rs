@@ -1,0 +1,5 @@
+// Seeded violation for the `no-lossy-time-cast` rule: a raw `as u64`
+// nanosecond conversion outside desim::time's blessed helpers.
+pub fn to_nanos(dt_secs: f64) -> u64 {
+    (dt_secs * 1e9) as u64
+}

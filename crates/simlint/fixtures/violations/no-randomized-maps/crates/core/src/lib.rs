@@ -1,0 +1,5 @@
+// Seeded violation for the `no-randomized-maps` rule: a HashMap in a
+// sim-semantic crate's library code.
+pub fn build() -> std::collections::HashMap<u32, f64> {
+    Default::default()
+}

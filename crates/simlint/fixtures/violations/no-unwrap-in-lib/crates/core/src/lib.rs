@@ -1,0 +1,5 @@
+// Seeded violation for the `no-unwrap-in-lib` rule: an unwrap() in a
+// sim crate's library code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

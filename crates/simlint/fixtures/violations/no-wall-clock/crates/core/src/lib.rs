@@ -1,0 +1,5 @@
+// Seeded violation for the `no-wall-clock` rule: an Instant::now()
+// read outside the bench crates.
+pub fn stamp_micros() -> u128 {
+    std::time::Instant::now().elapsed().as_micros()
+}

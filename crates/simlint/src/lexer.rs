@@ -1,0 +1,490 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lint rules need token-level structure — identifiers, punctuation,
+//! numeric literals — with line positions, and they need comments and
+//! string/char literals *stripped* so that prose mentioning `HashMap` or
+//! `Instant::now` never produces a finding. The registry is unreachable
+//! in this build environment, so no `syn`/`proc-macro2`; this lexer
+//! implements exactly the subset the rules need:
+//!
+//! * line (`//`) and nested block (`/* */`) comments, including doc
+//!   comments — skipped, but `// simlint: allow(<rule>)` directives are
+//!   recorded with their line so rules can be suppressed in place;
+//! * string (`"…"`), raw string (`r#"…"#`), byte string, and char
+//!   literals — skipped, with the lifetime-vs-char-literal ambiguity
+//!   (`'a` vs `'a'`) resolved the same way rustc's lexer does;
+//! * identifiers/keywords, numeric literals (with a float-ness flag the
+//!   `no-float-eq` rule relies on), and punctuation, with `==`, `!=`,
+//!   `::`, `->` and `=>` fused into single tokens.
+//!
+//! It does not build an AST; rules work on the flat token stream plus a
+//! little context (brace matching for `#[cfg(test)]` item skipping, which
+//! lives in [`crate::rules`]).
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's text (for punctuation, the fused operator).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What kind of token this is.
+    pub kind: TokenKind,
+}
+
+/// Classification of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including `as`, `fn`, `mod`, …).
+    Ident,
+    /// Numeric literal; `true` iff it is a float literal (`1.0`, `1e9`,
+    /// `2.5e-3`, or an explicit `f32`/`f64` suffix).
+    Number {
+        /// Whether the literal is floating-point.
+        float: bool,
+    },
+    /// Punctuation / operator (possibly fused, e.g. `==`).
+    Punct,
+    /// A lifetime (`'a`) — kept distinct so rules never confuse it with
+    /// an identifier.
+    Lifetime,
+}
+
+/// An inline `// simlint: allow(rule-a, rule-b)` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// The rule names inside `allow(...)`, trimmed.
+    pub rules: Vec<String>,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literals stripped.
+    pub tokens: Vec<Token>,
+    /// Every `simlint: allow` directive found in comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lexes `src`, returning tokens plus allow directives.
+///
+/// The lexer is total: malformed input (unterminated strings, stray
+/// bytes) never panics — it consumes what it can and moves on, which is
+/// the right failure mode for a linter that must not crash the build on
+/// a half-written file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' => self.slash(),
+                b'"' => self.string_literal(),
+                b'\'' => self.quote(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                b if b.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.bytes.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// `/` starts a comment or is a plain operator.
+    fn slash(&mut self) {
+        match self.peek(1) {
+            b'/' => self.line_comment(),
+            b'*' => self.block_comment(),
+            _ => self.punct(),
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = &self.bytes[start..self.pos];
+        self.record_allow(text, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let line0 = self.line;
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let text = &self.bytes[start..self.pos.min(self.bytes.len())];
+        self.record_allow(text, line0);
+    }
+
+    /// Parses `simlint: allow(a, b)` out of a comment's bytes.
+    fn record_allow(&mut self, comment: &[u8], line: u32) {
+        let Ok(text) = std::str::from_utf8(comment) else {
+            return;
+        };
+        let Some(idx) = text.find("simlint:") else {
+            return;
+        };
+        let rest = text[idx + "simlint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow") else {
+            return;
+        };
+        let args = args.trim_start();
+        let Some(open) = args.strip_prefix('(') else {
+            return;
+        };
+        let Some(close) = open.find(')') else {
+            return;
+        };
+        let rules: Vec<String> = open[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            self.out.allows.push(AllowDirective { line, rules });
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// `'` is a char literal or a lifetime. rustc's rule: `'x` followed
+    /// by another `'` is a char literal; `'ident` not followed by `'` is
+    /// a lifetime.
+    fn quote(&mut self) {
+        let c1 = self.peek(1);
+        if c1 == b'\\' {
+            // Escaped char literal: consume through the closing quote.
+            self.pos += 2; // ' and backslash
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            return;
+        }
+        if (c1 == b'_' || c1.is_ascii_alphanumeric()) && self.peek(2) != b'\'' {
+            // Lifetime: consume the identifier part.
+            let line = self.line;
+            let start = self.pos;
+            self.pos += 1;
+            while self.pos < self.bytes.len()
+                && (self.bytes[self.pos] == b'_' || self.bytes[self.pos].is_ascii_alphanumeric())
+            {
+                self.pos += 1;
+            }
+            self.push(start, line, TokenKind::Lifetime);
+            return;
+        }
+        // Char literal `'x'` (or a stray quote: consume defensively).
+        self.pos += 2;
+        if self.pos <= self.bytes.len() && self.peek(0) == b'\'' {
+            self.pos += 1;
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns
+    /// `true` if a literal was consumed; `false` means the `r`/`b` starts
+    /// a plain identifier.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut i = self.pos;
+        if self.bytes[i] == b'b' {
+            i += 1;
+            if self.peek(i - self.pos) == b'\'' {
+                // byte char literal b'x'
+                self.pos = i;
+                self.quote();
+                return true;
+            }
+        }
+        let mut hashes = 0usize;
+        if self.bytes.get(i) == Some(&b'r') {
+            i += 1;
+            while self.bytes.get(i) == Some(&b'#') {
+                hashes += 1;
+                i += 1;
+            }
+        }
+        if self.bytes.get(i) != Some(&b'"') {
+            return false; // plain identifier starting with r/b
+        }
+        if hashes == 0 && self.bytes[self.pos] == b'b' && self.bytes.get(i) == Some(&b'"') {
+            // b"..." — ordinary escape rules.
+            self.pos = i;
+            self.string_literal();
+            return true;
+        }
+        // Raw string: scan for `"` followed by `hashes` hash marks.
+        i += 1;
+        while i < self.bytes.len() {
+            if self.bytes[i] == b'\n' {
+                self.line += 1;
+                i += 1;
+                continue;
+            }
+            if self.bytes[i] == b'"' {
+                let mut j = 0;
+                while j < hashes && self.bytes.get(i + 1 + j) == Some(&b'#') {
+                    j += 1;
+                }
+                if j == hashes {
+                    self.pos = i + 1 + hashes;
+                    return true;
+                }
+            }
+            i += 1;
+        }
+        self.pos = self.bytes.len();
+        true
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos] == b'_' || self.bytes[self.pos].is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        self.push(start, line, TokenKind::Ident);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut float = false;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+        {
+            // `1e9` / `2.5E-3`: a trailing exponent sign belongs to the
+            // literal (and makes it a float) unless this is a hex literal.
+            let b = self.bytes[self.pos];
+            if (b == b'e' || b == b'E')
+                && !self.bytes[start..self.pos].starts_with(b"0x")
+                && (self.peek(1).is_ascii_digit() || self.peek(1) == b'-' || self.peek(1) == b'+')
+            {
+                float = true;
+                self.pos += 1; // the e/E
+                if self.peek(0) == b'-' || self.peek(0) == b'+' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            self.pos += 1;
+        }
+        // Fractional part: `.` followed by a digit (NOT `..` ranges or
+        // `1.method()` calls).
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            float = true;
+            self.pos += 1;
+            while self.pos < self.bytes.len()
+                && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+            {
+                let b = self.bytes[self.pos];
+                if (b == b'e' || b == b'E')
+                    && (self.peek(1).is_ascii_digit()
+                        || self.peek(1) == b'-'
+                        || self.peek(1) == b'+')
+                {
+                    self.pos += 1;
+                    if self.peek(0) == b'-' || self.peek(0) == b'+' {
+                        self.pos += 1;
+                    }
+                    continue;
+                }
+                self.pos += 1;
+            }
+        }
+        let text = &self.bytes[start..self.pos];
+        if text.ends_with(b"f64") || text.ends_with(b"f32") {
+            float = true;
+        }
+        self.push(start, line, TokenKind::Number { float });
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let fused = match (self.peek(0), self.peek(1)) {
+            (b'=', b'=') | (b'!', b'=') | (b':', b':') | (b'-', b'>') | (b'=', b'>') => 2,
+            _ => 1,
+        };
+        self.pos += fused;
+        self.push(start, line, TokenKind::Punct);
+    }
+
+    fn push(&mut self, start: usize, line: u32, kind: TokenKind) {
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.tokens.push(Token { text, line, kind });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let toks = texts(
+            "let x = \"HashMap in a string\"; // HashMap in a comment\n/* Instant::now */ y",
+        );
+        assert_eq!(toks, vec!["let", "x", "=", ";", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(texts("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        assert_eq!(texts(r##"a r#"HashMap "quoted" inside"# b"##), vec!["a", "b"]);
+        assert_eq!(texts("a b\"bytes\" c"), vec!["a", "c"]);
+        assert_eq!(texts("a br#\"raw bytes\"# c"), vec!["a", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'q'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        // Char literal contents never surface as tokens.
+        assert!(!lexed.tokens.iter().any(|t| t.text == "q" && t.kind == TokenKind::Ident));
+    }
+
+    #[test]
+    fn float_detection() {
+        let lexed = lex("1.0 1e9 2.5e-3 1_000 0x1f 42 3f64 7 1..2");
+        let floats: Vec<(String, bool)> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Number { float } => Some((t.text.clone(), float)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            floats,
+            vec![
+                ("1.0".into(), true),
+                ("1e9".into(), true),
+                ("2.5e-3".into(), true),
+                ("1_000".into(), false),
+                ("0x1f".into(), false),
+                ("42".into(), false),
+                ("3f64".into(), true),
+                ("7".into(), false),
+                ("1".into(), false),
+                ("2".into(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn fused_operators() {
+        assert_eq!(texts("a == b != c :: d -> e => f <= g"), vec![
+            "a", "==", "b", "!=", "c", "::", "d", "->", "e", "=>", "f", "<", "=", "g"
+        ]);
+    }
+
+    #[test]
+    fn allow_directives_are_recorded() {
+        let lexed = lex(
+            "x; // simlint: allow(no-unwrap-in-lib)\ny; // simlint: allow(no-float-eq, no-wall-clock)\nz; // unrelated",
+        );
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].line, 1);
+        assert_eq!(lexed.allows[0].rules, vec!["no-unwrap-in-lib"]);
+        assert_eq!(lexed.allows[1].line, 2);
+        assert_eq!(
+            lexed.allows[1].rules,
+            vec!["no-float-eq", "no-wall-clock"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let lexed = lex("a\n\"two\nlines\"\nb /* c\nd */ e");
+        let a = lexed.tokens.iter().find(|t| t.text == "a").unwrap();
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        let e = lexed.tokens.iter().find(|t| t.text == "e").unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(b.line, 4);
+        assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        lex("\"unterminated");
+        lex("/* unterminated");
+        lex("r#\"unterminated");
+        lex("'");
+    }
+}

@@ -1,0 +1,114 @@
+//! simlint — in-workspace determinism & invariant static-analysis pass.
+//!
+//! The p-ckpt evaluation depends on bit-reproducible campaigns: the same
+//! seed must produce the same report, byte for byte, on every run and
+//! every machine. This crate enforces the source-level discipline behind
+//! that property (no randomized containers, no wall-clock reads, no
+//! float equality, centralized time casts, no library panics) without
+//! any external dependency — the registry is unreachable here, so the
+//! lexer in [`lexer`] is hand-rolled.
+//!
+//! Entry points:
+//! - [`lint_tree`] lints every `.rs` file under a root directory.
+//! - [`rules::lint_file`] lints one file's source text.
+//!
+//! The `simlint` binary (see `src/main.rs`) walks the enclosing cargo
+//! workspace and exits non-zero on any finding; `scripts/lint.sh` and
+//! the root `tests/simlint_clean.rs` wire it into tier-1.
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_file, Finding};
+
+/// Directory components that are never linted: build output, VCS
+/// metadata, and simlint's own seeded-violation fixtures.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", ".claude"];
+
+/// Lints every `.rs` file under `root`, returning findings sorted by
+/// path, line, then rule. Paths in findings are relative to `root` with
+/// `/` separators on every platform.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = rel_path(root, file);
+        let src = std::fs::read_to_string(file)?;
+        findings.extend(rules::lint_file(&rel, &src));
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
+    });
+    Ok(findings)
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the enclosing cargo workspace root: the nearest ancestor of
+/// `start` whose `Cargo.toml` contains a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_found_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn lint_tree_skips_fixture_dirs() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        // Linting simlint's own crate dir must not pick up the seeded
+        // violations under fixtures/.
+        let findings = lint_tree(here).expect("lint simlint");
+        assert!(
+            findings.is_empty(),
+            "unexpected findings in simlint itself: {findings:?}"
+        );
+    }
+}

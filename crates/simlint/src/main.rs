@@ -1,0 +1,84 @@
+//! The `simlint` binary: lints the enclosing cargo workspace (or an
+//! explicit `--root <dir>`) and exits non-zero on any finding.
+//!
+//! Usage:
+//! ```text
+//! cargo run -q -p simlint            # lint the workspace
+//! simlint --root path/to/tree        # lint an arbitrary tree
+//! simlint --list-rules               # print the rule names
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("simlint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for rule in simlint::rules::ALL_RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("simlint [--root <dir>] [--list-rules]");
+                println!("Lints the cargo workspace for determinism & invariant violations.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("simlint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match simlint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "simlint: no [workspace] Cargo.toml above {} (use --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match simlint::lint_tree(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("simlint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("simlint: {} finding(s) in {}", findings.len(), root.display());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("simlint: io error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Acceptance tests for the simlint binary: each fixture tree under
+//! `fixtures/violations/<rule>/` seeds exactly one violation of that
+//! rule, and the binary must exit non-zero on it while reporting the
+//! right rule name. The real workspace must lint clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root(rule: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("violations")
+        .join(rule)
+}
+
+fn run_on(root: &Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("spawn simlint");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.success(), stdout)
+}
+
+fn assert_fixture_trips(rule: &str) {
+    let (clean, stdout) = run_on(&fixture_root(rule));
+    assert!(!clean, "fixture for {rule} should fail the lint; got:\n{stdout}");
+    assert!(
+        stdout.contains(&format!("[{rule}]")),
+        "fixture for {rule} should report that rule; got:\n{stdout}"
+    );
+    // Exactly the seeded violation, nothing else.
+    let findings: Vec<&str> = stdout.lines().filter(|l| l.contains(": [")).collect();
+    assert_eq!(
+        findings.len(),
+        1,
+        "fixture for {rule} should produce exactly one finding; got:\n{stdout}"
+    );
+}
+
+#[test]
+fn fixture_no_randomized_maps() {
+    assert_fixture_trips("no-randomized-maps");
+}
+
+#[test]
+fn fixture_no_wall_clock() {
+    assert_fixture_trips("no-wall-clock");
+}
+
+#[test]
+fn fixture_no_float_eq() {
+    assert_fixture_trips("no-float-eq");
+}
+
+#[test]
+fn fixture_no_lossy_time_cast() {
+    assert_fixture_trips("no-lossy-time-cast");
+}
+
+#[test]
+fn fixture_no_unwrap_in_lib() {
+    assert_fixture_trips("no-unwrap-in-lib");
+}
+
+#[test]
+fn workspace_is_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = simlint::find_workspace_root(here).expect("workspace root");
+    let (clean, stdout) = run_on(&root);
+    assert!(clean, "workspace should lint clean; findings:\n{stdout}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--bogus")
+        .output()
+        .expect("spawn simlint");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -52,6 +52,21 @@ impl Application {
     }
 }
 
+impl std::str::FromStr for Application {
+    type Err = String;
+
+    /// Case-insensitive lookup in [`TABLE_I`], with the known names in
+    /// the error so CLI typos are self-explanatory.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        Application::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown application {name:?}; known: {}",
+                TABLE_I.map(|a| a.name).join(", ")
+            )
+        })
+    }
+}
+
 /// Table I of the paper: the six evaluated applications, checkpoint sizes
 /// already Summit-scaled per Eq. (3).
 pub const TABLE_I: [Application; 6] = [

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The single tier-1 gate: determinism lint, release build, test suite.
+# Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== simlint =="
+cargo run -q -p simlint
+
+echo "== release build =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "lint.sh: all gates passed"

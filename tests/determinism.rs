@@ -65,6 +65,70 @@ fn fluid_mode_is_bit_reproducible_across_threads() {
     assert_eq!(a.failures.sum().to_bits(), b.failures.sum().to_bits());
 }
 
+/// Digest of a small fluid campaign, printed by the child invocation of
+/// [`reports_are_identical_across_hasher_states`]. Everything that feeds
+/// a report figure is folded in, at full bit precision.
+fn campaign_digest() -> String {
+    use pckpt::core::iosim::PfsMode;
+    let leads = LeadTimeModel::desh_default();
+    let mut params = xgc_params();
+    params.pfs_mode = PfsMode::Fluid;
+    let agg = run_many(&params, &leads, &RunnerConfig::new(6, 41));
+    format!(
+        "{:016x}-{:016x}-{:016x}-{:016x}",
+        agg.total_hours.mean().to_bits(),
+        agg.ft_ratio_pooled().to_bits(),
+        agg.failures.sum().to_bits(),
+        agg.total_hours_quantile(0.9).to_bits(),
+    )
+}
+
+#[test]
+fn reports_are_identical_across_hasher_states() {
+    // Each std process seeds its SipHash RandomState differently, so any
+    // surviving HashMap iteration order would show up as a digest
+    // mismatch *between processes* even though in-process repetition
+    // (campaigns_are_bit_reproducible) passes. The test re-invokes its
+    // own binary twice and compares the childrens' digests.
+    if std::env::var_os("PCKPT_DIGEST_CHILD").is_some() {
+        println!("DIGEST={}", campaign_digest());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let digest_of = |label: &str| {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "reports_are_identical_across_hasher_states",
+                "--exact",
+                "--nocapture",
+                "--test-threads=1",
+            ])
+            .env("PCKPT_DIGEST_CHILD", label)
+            .output()
+            .expect("spawn child campaign");
+        assert!(out.status.success(), "child run failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        // --nocapture may interleave libtest chatter on the same line;
+        // take everything from the marker to the next whitespace.
+        stdout
+            .lines()
+            .find_map(|l| {
+                let at = l.find("DIGEST=")?;
+                let rest = &l[at + "DIGEST=".len()..];
+                Some(rest.split_whitespace().next().unwrap_or("").to_string())
+            })
+            .unwrap_or_else(|| panic!("no DIGEST line in child output:\n{stdout}"))
+    };
+    let a = digest_of("a");
+    let b = digest_of("b");
+    assert_eq!(
+        a, b,
+        "identical-seed campaigns diverged across process hasher states"
+    );
+    // Sanity: the parent process agrees too.
+    assert_eq!(a, campaign_digest());
+}
+
 #[test]
 fn seeds_actually_matter() {
     let leads = LeadTimeModel::desh_default();

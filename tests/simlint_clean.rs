@@ -1,0 +1,18 @@
+//! Workspace gate: `cargo test -q` fails if the tree stops linting
+//! clean, so determinism regressions cannot land silently.
+
+use std::process::Command;
+
+#[test]
+fn workspace_passes_simlint() {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "-q", "-p", "simlint"])
+        .output()
+        .expect("spawn cargo run -p simlint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "simlint reported findings:\n{stdout}\n{stderr}"
+    );
+}
