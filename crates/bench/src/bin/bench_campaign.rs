@@ -3,8 +3,8 @@
 //! in both PFS modes and reports runs/second.
 //!
 //! Emits one machine-parsable `CAMPAIGN_JSON {...}` line per mode;
-//! `scripts/bench.sh` folds these into `BENCH_pr1.json` alongside the
-//! criterion micro-benchmarks.
+//! `scripts/bench.sh` folds these into its snapshot (BENCH_pr3.json by
+//! default) alongside the criterion micro-benchmarks.
 
 use std::time::Instant;
 

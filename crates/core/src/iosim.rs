@@ -91,6 +91,18 @@ impl FluidPfs {
         }
     }
 
+    /// Clears all transfer state back to idle while retaining the link
+    /// (and its memoized capacity table — the dominant construction cost)
+    /// and every scratch allocation, so one `FluidPfs` serves a whole
+    /// campaign worker's run sequence without rebuilding.
+    pub fn reset(&mut self) {
+        self.link.reset();
+        self.ops.clear();
+        self.suspended_drain = None;
+        self.drain_active = None;
+        self.scratch.clear();
+    }
+
     /// Starts an operation moving `bytes` with `weight` writer shares.
     pub fn start(&mut self, now: SimTime, op: PfsOp, bytes: f64, weight: f64) {
         let id = self.link.start_weighted(now, bytes, weight);
@@ -300,6 +312,28 @@ mod tests {
         assert!(f.drain_pending());
         let fin = f.next_completion(t(1.0)).unwrap();
         assert_eq!(f.take_completed(fin), vec![PfsOp::Drain]);
+    }
+
+    #[test]
+    fn reset_replays_like_a_fresh_instance() {
+        let pfs = PfsModel::summit();
+        let per_node = 10.0 * GB;
+        let mut f = FluidPfs::new(&pfs, per_node);
+        // Dirty every piece of state: a drain suspended mid-flight plus an
+        // active commit.
+        f.start(t(0.0), PfsOp::Drain, 100.0 * per_node, 100.0);
+        f.suspend_drain(t(5.0));
+        f.start(t(5.0), PfsOp::Phase1, per_node, 1.0);
+        f.reset();
+        assert_eq!(f.active(), 0);
+        assert!(!f.drain_pending());
+        assert_eq!(f.epoch(), 0);
+        // The recycled instance reproduces a fresh one's timing exactly.
+        f.start(t(0.0), PfsOp::Safeguard, 64.0 * per_node, 64.0);
+        let fin = f.next_completion(t(0.0)).unwrap();
+        let analytic = pfs.write_secs(64, per_node);
+        assert!((fin.as_secs() - analytic).abs() / analytic < 1e-9);
+        assert_eq!(f.take_completed(fin), vec![PfsOp::Safeguard]);
     }
 
     #[test]

@@ -41,5 +41,5 @@ pub mod tracer;
 
 pub use config::{ModelKind, SimParams};
 pub use metrics::{Aggregate, OverheadLedger, RunResult};
-pub use runner::{run_many, run_models, CampaignResult, RunnerConfig};
+pub use runner::{run_many, run_models, CampaignResult, RunArena, RunnerConfig};
 pub use sim::CrSim;

@@ -11,15 +11,32 @@
 //! both thread-parallel with deterministic per-run RNG streams: run *i*
 //! always draws from `master.split(i)` regardless of thread count, so
 //! results are bit-identical from laptop to CI.
+//!
+//! ### Execution model
+//!
+//! Each worker thread owns a [`RunArena`]: one [`CrSim`] per model plus
+//! one event queue and one failure-trace buffer, built once and recycled
+//! with `reset_for_run` across every run the worker executes — after the
+//! first few runs the steady state performs no heap allocation (enforced
+//! by a counting-allocator test in `crates/core/tests/alloc_free.rs`).
+//! Runs are handed out by atomic chunk-claiming (work stealing): workers
+//! grab a shrinking batch of run indices from a shared counter, so a
+//! worker that lands expensive traces never straggles with a fixed
+//! stride's worth of leftover work. Determinism is unaffected — run *i*
+//! seeds from `master.split(i)` no matter which worker claims it, and the
+//! fold into aggregates happens on the main thread in run order.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
+use pckpt_desim::{run_with_queue, EventQueue};
 use pckpt_failure::{FailureTrace, LeadTimeModel, TraceConfig};
 use pckpt_simrng::SimRng;
 
 use crate::config::{ModelKind, SimParams};
-use crate::metrics::Aggregate;
-use crate::sim::CrSim;
+use crate::metrics::{Aggregate, RunResult};
+use crate::sim::{CrSim, Ev};
 
 /// Campaign size and execution parameters.
 #[derive(Debug, Clone, Copy)]
@@ -44,7 +61,17 @@ impl RunnerConfig {
 
     fn effective_threads(&self) -> usize {
         let t = if self.threads == 0 {
-            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            // `PCKPT_THREADS` overrides auto-detection (containers and CI
+            // runners often report the host's core count, not the cgroup
+            // quota); an unset/unparsable value falls through to the
+            // detected parallelism.
+            let from_env = std::env::var("PCKPT_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0);
+            from_env.unwrap_or_else(|| {
+                thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
         } else {
             self.threads
         };
@@ -59,6 +86,10 @@ pub struct CampaignResult {
     pub models: Vec<ModelKind>,
     /// One aggregate per model (index-aligned with `models`).
     pub aggregates: Vec<Aggregate>,
+    /// Worker threads the campaign actually ran on (after the
+    /// `PCKPT_THREADS` override, core auto-detection, and the
+    /// runs-per-thread clamp).
+    pub threads: usize,
 }
 
 impl CampaignResult {
@@ -88,6 +119,94 @@ fn trace_config(params: &SimParams) -> TraceConfig {
     .with_lead_error(params.lead_error_cv)
 }
 
+/// A reusable per-worker simulation arena: one [`CrSim`] per model, one
+/// event queue, and one failure-trace buffer, all built once and recycled
+/// across runs.
+///
+/// Building a `CrSim` is expensive in fluid mode (the PFS capacity table
+/// is memoized per instance) and every fresh build allocates queues, maps
+/// and trace storage. The arena pays those costs once per worker; each
+/// subsequent [`run_one`](RunArena::run_one) resets state in place and —
+/// after the first few runs have grown the buffers — allocates nothing.
+pub struct RunArena<'a> {
+    leads: &'a LeadTimeModel,
+    base: SimParams,
+    tcfg: TraceConfig,
+    sims: Vec<CrSim>,
+    queue: EventQueue<Ev>,
+    trace: FailureTrace,
+}
+
+impl<'a> RunArena<'a> {
+    /// Builds an arena simulating each of `models` with otherwise
+    /// identical parameters (`base_params.model` is ignored).
+    pub fn new(base_params: &SimParams, models: &[ModelKind], leads: &'a LeadTimeModel) -> Self {
+        assert!(!models.is_empty(), "at least one model required");
+        let sims = models
+            .iter()
+            .map(|&model| {
+                let mut p = base_params.clone();
+                p.model = model;
+                CrSim::new(p, FailureTrace::default(), leads)
+            })
+            .collect();
+        Self {
+            leads,
+            base: base_params.clone(),
+            tcfg: trace_config(base_params),
+            sims,
+            queue: EventQueue::new(),
+            trace: FailureTrace::default(),
+        }
+    }
+
+    /// Number of models this arena simulates per run.
+    pub fn models(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Executes run `run` for every model, writing one result per model
+    /// into `out` (index-aligned with the arena's model list).
+    ///
+    /// Draw-for-draw identical to building everything fresh: the run's
+    /// RNG stream is `master.split(run)`, trace generation consumes it
+    /// first, and every model shares the same background-traffic stream
+    /// `rng.split(0xB6)` (paired comparison).
+    // simlint: hot
+    pub fn run_one(&mut self, master: &SimRng, run: usize, out: &mut [Option<RunResult>]) {
+        assert_eq!(out.len(), self.sims.len(), "one slot per model");
+        let mut rng = master.split(run as u64);
+        self.trace
+            .generate_into(&self.tcfg, self.leads, &self.base.predictor, &mut rng);
+        let bg_rng = rng.split(0xB6);
+        for (sim, slot) in self.sims.iter_mut().zip(out.iter_mut()) {
+            self.queue.reset();
+            sim.reset_for_run(&self.trace, bg_rng.clone());
+            run_with_queue(sim, &mut self.queue, 10_000_000);
+            *slot = Some(sim.result());
+        }
+    }
+}
+
+/// Claims the next chunk of run indices `[start, end)` from the shared
+/// counter, or `None` when the campaign is exhausted. Chunks shrink as
+/// the tail approaches (¼ of the remaining work per thread, clamped to
+/// 1–16 runs) so no worker sits on a long private backlog while others
+/// idle.
+fn claim_chunk(next: &AtomicUsize, runs: usize, threads: usize) -> Option<(usize, usize)> {
+    loop {
+        let cur = next.load(Ordering::Relaxed);
+        if cur >= runs {
+            return None;
+        }
+        let k = ((runs - cur) / (threads * 4)).clamp(1, 16).min(runs - cur);
+        match next.compare_exchange(cur, cur + k, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return Some((cur, cur + k)),
+            Err(_) => continue, // lost the race; re-read and retry
+        }
+    }
+}
+
 /// Runs one configuration `config.runs` times and aggregates.
 pub fn run_many(params: &SimParams, leads: &LeadTimeModel, config: &RunnerConfig) -> Aggregate {
     let campaign = run_models(params, &[params.model], leads, config);
@@ -111,68 +230,58 @@ pub fn run_models(
     assert!(config.runs > 0, "at least one run required");
     let master = SimRng::seed_from(config.base_seed);
     let threads = config.effective_threads();
-    let tcfg = trace_config(base_params);
+    let n_models = models.len();
 
-    // Workers ship per-run results home; the fold happens on the main
-    // thread in run order, so the aggregate is *bit-identical* for any
-    // thread count (float accumulation is order-sensitive at the ulp
+    // Workers ship per-run results into preallocated flat slots; the fold
+    // happens on the main thread in run order, so the aggregate is
+    // *bit-identical* for any thread count and any work-stealing
+    // interleaving (float accumulation is order-sensitive at the ulp
     // level, and "same seed, same numbers" is part of this crate's
     // contract).
-    let per_run: Vec<Vec<crate::metrics::RunResult>> = thread::scope(|scope| {
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; config.runs * n_models]);
+    thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for worker in 0..threads {
+        for _ in 0..threads {
             let master = master.clone();
+            let next = &next;
+            let slots = &slots;
             let handle = scope.spawn(move || {
-                let mut out: Vec<(usize, Vec<crate::metrics::RunResult>)> = Vec::new();
-                let mut run = worker;
-                while run < config.runs {
-                    let mut rng = master.split(run as u64);
-                    let trace =
-                        FailureTrace::generate(&tcfg, leads, &base_params.predictor, &mut rng);
-                    // Every model of this run sees the same background-
-                    // traffic stream (paired comparison).
-                    let bg_rng = rng.split(0xB6);
-                    let results: Vec<crate::metrics::RunResult> = models
-                        .iter()
-                        .map(|&model| {
-                            let mut p = base_params.clone();
-                            p.model = model;
-                            CrSim::new(p, trace.clone(), leads)
-                                .with_bg_rng(bg_rng.clone())
-                                .run()
-                        })
-                        .collect();
-                    out.push((run, results));
-                    run += threads;
+                let mut arena = RunArena::new(base_params, models, leads);
+                let mut local: Vec<Option<RunResult>> = vec![None; n_models];
+                while let Some((start, end)) = claim_chunk(next, config.runs, threads) {
+                    for run in start..end {
+                        arena.run_one(&master, run, &mut local);
+                        // Lock poisoning implies a worker already panicked,
+                        // which join() re-raises. simlint: allow(no-unwrap-in-lib)
+                        let mut guard = slots.lock().expect("result store poisoned");
+                        for (m, slot) in local.iter_mut().enumerate() {
+                            guard[run * n_models + m] = slot.take();
+                        }
+                    }
                 }
-                out
             });
             handles.push(handle);
         }
-        let mut indexed: Vec<Option<Vec<crate::metrics::RunResult>>> =
-            (0..config.runs).map(|_| None).collect();
         for handle in handles {
             // A worker panic is already fatal; re-raise it here. simlint: allow(no-unwrap-in-lib)
-            for (run, results) in handle.join().expect("worker panicked") {
-                indexed[run] = Some(results);
-            }
+            handle.join().expect("worker panicked");
         }
-        indexed
-            .into_iter()
-            // The strided loops above cover 0..runs exactly. simlint: allow(no-unwrap-in-lib)
-            .map(|r| r.expect("every run produced"))
-            .collect()
     });
+
     let mut aggregates: Vec<Aggregate> = models.iter().map(|_| Aggregate::new()).collect();
-    for results in &per_run {
-        for (agg, result) in aggregates.iter_mut().zip(results) {
-            agg.push(result);
-        }
+    // Same guard as above. simlint: allow(no-unwrap-in-lib)
+    let slots = slots.into_inner().expect("result store poisoned");
+    for (i, slot) in slots.into_iter().enumerate() {
+        // claim_chunk hands out 0..runs exactly once. simlint: allow(no-unwrap-in-lib)
+        let result = slot.expect("every run produced");
+        aggregates[i % n_models].push(&result);
     }
 
     CampaignResult {
         models: models.to_vec(),
         aggregates,
+        threads,
     }
 }
 
@@ -232,6 +341,112 @@ mod tests {
         assert!(p2.ft_ratio_mean() > b.ft_ratio_mean());
         let red = campaign.reduction(ModelKind::P2, ModelKind::B).unwrap();
         assert!(red > 0.0, "P2 must reduce overhead vs B, got {red}%");
+    }
+
+    #[test]
+    fn chunk_claiming_covers_every_run_exactly_once() {
+        // Drive claim_chunk directly: any threads/runs combination must
+        // partition 0..runs into disjoint, exhaustive chunks.
+        for (runs, threads) in [(1, 1), (7, 3), (100, 8), (1000, 13)] {
+            let next = AtomicUsize::new(0);
+            let mut covered = vec![false; runs];
+            while let Some((start, end)) = claim_chunk(&next, runs, threads) {
+                assert!(start < end && end <= runs);
+                for slot in &mut covered[start..end] {
+                    assert!(!*slot, "run claimed twice");
+                    *slot = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "runs left unclaimed");
+        }
+    }
+
+    #[test]
+    fn campaign_reports_thread_count() {
+        let leads = LeadTimeModel::desh_default();
+        let mut cfg = RunnerConfig::new(4, 3);
+        cfg.threads = 3;
+        let campaign = run_models(
+            &app_params(ModelKind::B, "POP"),
+            &[ModelKind::B],
+            &leads,
+            &cfg,
+        );
+        assert_eq!(campaign.threads, 3);
+        // The clamp caps threads at the run count.
+        cfg.threads = 64;
+        let campaign = run_models(
+            &app_params(ModelKind::B, "POP"),
+            &[ModelKind::B],
+            &leads,
+            &cfg,
+        );
+        assert_eq!(campaign.threads, 4);
+    }
+
+    #[test]
+    fn pckpt_threads_env_overrides_auto_detection() {
+        // Auto mode (threads = 0) honors PCKPT_THREADS. The variable is
+        // process-global, so restore it before the test ends; results are
+        // thread-count-independent, so a concurrent reader only sees a
+        // different (still correct) parallelism.
+        std::env::set_var("PCKPT_THREADS", "2");
+        let cfg = RunnerConfig::new(5, 9);
+        assert_eq!(cfg.effective_threads(), 2);
+        std::env::set_var("PCKPT_THREADS", "not-a-number");
+        assert!(cfg.effective_threads() >= 1, "garbage falls back to cores");
+        std::env::remove_var("PCKPT_THREADS");
+        let mut pinned = cfg;
+        pinned.threads = 7;
+        std::env::set_var("PCKPT_THREADS", "2");
+        assert_eq!(pinned.effective_threads(), 5, "explicit threads win (clamped to runs)");
+        std::env::remove_var("PCKPT_THREADS");
+    }
+
+    #[test]
+    fn matches_serial_fresh_build_reference() {
+        // The arena + work-stealing scheduler must reproduce the
+        // pre-refactor semantics bit-for-bit: run i draws from
+        // master.split(i), the trace is generated first, and every model
+        // runs against a fresh clone with bg stream split(0xB6).
+        let leads = LeadTimeModel::desh_default();
+        let base = app_params(ModelKind::B, "XGC");
+        let models = [ModelKind::B, ModelKind::P2];
+        let cfg = RunnerConfig {
+            runs: 12,
+            base_seed: 41,
+            threads: 3,
+        };
+        let campaign = run_models(&base, &models, &leads, &cfg);
+
+        let master = SimRng::seed_from(cfg.base_seed);
+        let tcfg = trace_config(&base);
+        let mut reference: Vec<Aggregate> = models.iter().map(|_| Aggregate::new()).collect();
+        for run in 0..cfg.runs {
+            let mut rng = master.split(run as u64);
+            let trace = FailureTrace::generate(&tcfg, &leads, &base.predictor, &mut rng);
+            let bg_rng = rng.split(0xB6);
+            for (m, &model) in models.iter().enumerate() {
+                let mut p = base.clone();
+                p.model = model;
+                let result = CrSim::new(p, trace.clone(), &leads)
+                    .with_bg_rng(bg_rng.clone())
+                    .run();
+                reference[m].push(&result);
+            }
+        }
+        for (agg, reference) in campaign.aggregates.iter().zip(&reference) {
+            assert_eq!(agg.runs(), reference.runs());
+            assert_eq!(
+                agg.total_hours.mean().to_bits(),
+                reference.total_hours.mean().to_bits(),
+                "campaign diverged from the serial fresh-build reference"
+            );
+            assert_eq!(
+                agg.ft_ratio_pooled().to_bits(),
+                reference.ft_ratio_pooled().to_bits()
+            );
+        }
     }
 
     #[test]

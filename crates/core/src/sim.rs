@@ -30,9 +30,7 @@
 //! the residual is zero, and `metrics::RunResult::accounting_residual_secs`
 //! exposes it to tests.
 
-use std::collections::BTreeMap;
-
-use pckpt_desim::{Ctx, EventId, Model, SimDuration, SimTime, Simulation};
+use pckpt_desim::{Ctx, EventId, Model, SimDuration, SimTime, Simulation, SmallMap};
 use pckpt_failure::{FailureTrace, LeadTimeModel, RateEstimator};
 
 use crate::config::{ModelKind, SimParams};
@@ -144,10 +142,13 @@ pub struct CrSim {
 
     // Proactive machinery.
     round: Option<PckptRound>,
+    /// A finished/aborted round parked for reuse: `request_pckpt` resets
+    /// it instead of allocating a fresh queue + commit lists.
+    spare_round: Option<PckptRound>,
     safeguard_level: f64,
-    active_lms: BTreeMap<u32, ActiveLm>,
+    active_lms: SmallMap<u32, ActiveLm>,
     lm_seq: u64,
-    pending: BTreeMap<usize, PendingPrediction>,
+    pending: SmallMap<usize, PendingPrediction>,
     failure_events: Vec<Option<EventId>>,
     recovery_level: f64,
     recovery_dur: f64,
@@ -178,6 +179,14 @@ pub struct CrSim {
     pfs_done_scratch: Vec<crate::iosim::PfsOp>,
     /// Reused buffer for the re-arm sweep after computing resumes.
     rearm_scratch: Vec<(usize, u32, SimTime)>,
+    /// Reused buffer for aborting in-flight migrations into a round.
+    lm_scratch: Vec<(u32, ActiveLm)>,
+    /// Reused buffer for the coverage-retraction sweep on mid-round
+    /// failures.
+    commit_scratch: Vec<usize>,
+    /// The initial OCI (recomputed rates may adjust it mid-run); kept so
+    /// [`CrSim::reset_for_run`] can restore the exact fresh-build state.
+    oci0: f64,
 }
 
 impl CrSim {
@@ -232,10 +241,11 @@ impl CrSim {
             best_bb_pfs: 0.0,
             best_pfs_all: 0.0,
             round: None,
+            spare_round: None,
             safeguard_level: 0.0,
-            active_lms: BTreeMap::new(),
+            active_lms: SmallMap::new(),
             lm_seq: 0,
-            pending: BTreeMap::new(),
+            pending: SmallMap::new(),
             failure_events: vec![None; failure_count],
             recovery_level: 0.0,
             recovery_dur: 0.0,
@@ -256,9 +266,64 @@ impl CrSim {
             tracer: None,
             pfs_done_scratch: Vec::new(),
             rearm_scratch: Vec::new(),
+            lm_scratch: Vec::new(),
+            commit_scratch: Vec::new(),
+            oci0,
             p: params,
             trace,
         }
+    }
+
+    /// Rewinds the simulation to its just-built state for a new run
+    /// against `trace`, retaining every internal allocation (trace
+    /// storage, maps, scratch buffers, the fluid link and its memoized
+    /// capacity table, a parked p-ckpt round).
+    ///
+    /// After this call the model behaves exactly like
+    /// `CrSim::new(params, trace, leads).with_bg_rng(bg_rng)` — the
+    /// arena-reuse campaign path depends on that equivalence (checked by
+    /// a proptest in the workspace test suite).
+    pub fn reset_for_run(&mut self, trace: &FailureTrace, bg_rng: pckpt_simrng::SimRng) {
+        // Field-wise Vec::clone_from reuses the existing buffers; the
+        // struct-level clone_from would fall back on `*self = clone()`
+        // (derived Clone has no clone_from specialization) and reallocate.
+        self.trace.failures.clone_from(&trace.failures);
+        self.trace.false_positives.clone_from(&trace.false_positives);
+        self.state = AppState::Computing;
+        self.state_entered = SimTime::ZERO;
+        self.epoch = 0;
+        self.work_done = 0.0;
+        self.seg_start = SimTime::ZERO;
+        self.seg_rate = 1.0;
+        self.oci_secs = self.oci0;
+        self.next_ckpt_work = self.oci0;
+        self.inflight_bb_level = 0.0;
+        self.drain_gen = 0;
+        self.drain_level = 0.0;
+        self.best_bb_pfs = 0.0;
+        self.best_pfs_all = 0.0;
+        if let Some(r) = self.round.take() {
+            self.spare_round = Some(r);
+        }
+        self.safeguard_level = 0.0;
+        self.active_lms.clear();
+        self.lm_seq = 0;
+        self.pending.clear();
+        self.failure_events.clear();
+        self.failure_events.resize(self.trace.failures.len(), None);
+        self.recovery_level = 0.0;
+        self.recovery_dur = 0.0;
+        self.estimator.reset();
+        self.ledger = OverheadLedger::default();
+        self.finished_at = None;
+        self.bg_rng = bg_rng;
+        if let Some(fluid) = self.fluid.as_mut() {
+            fluid.reset();
+        }
+        self.recovery_started = SimTime::ZERO;
+        self.recovery_floor = SimTime::ZERO;
+        self.recovery_all_pfs = false;
+        self.tracer = None;
     }
 
     /// Records a trace event when tracing is enabled.
@@ -386,6 +451,14 @@ impl CrSim {
     }
 
     fn finish(self) -> RunResult {
+        self.result()
+    }
+
+    /// The result of a completed run, without consuming the model — the
+    /// arena-reuse path reads it between [`CrSim::reset_for_run`] cycles.
+    ///
+    /// Panics if the simulation has not run to completion.
+    pub fn result(&self) -> RunResult {
         let finished_at = self
             .finished_at
             // Horizon misconfiguration; actionable message. simlint: allow(no-unwrap-in-lib)
@@ -394,7 +467,7 @@ impl CrSim {
             wall_secs: finished_at.as_secs(),
             ideal_secs: self.target,
             final_oci_secs: self.oci_secs,
-            ledger: self.ledger,
+            ledger: self.ledger.clone(),
         };
         debug_assert!(
             result.accounting_residual_secs().abs() < 1.0,
@@ -681,16 +754,18 @@ impl CrSim {
         if self.active_lms.is_empty() {
             return;
         }
-        // BTreeMap has no drain(); taking the map empties it in node order,
-        // so Vulnerable entries join the round deterministically.
-        let lms: Vec<(u32, ActiveLm)> =
-            std::mem::take(&mut self.active_lms).into_iter().collect();
+        // Drain empties the map in node order, so Vulnerable entries join
+        // the round deterministically; the scratch buffer keeps the sweep
+        // allocation-free.
+        let mut lms = std::mem::take(&mut self.lm_scratch);
+        lms.clear();
+        lms.extend(self.active_lms.drain());
         for (node, _) in &lms {
             self.trace_ev(ctx.now(), TraceKind::LmAbort(*node));
         }
         // Only called while a round is active. simlint: allow(no-unwrap-in-lib)
         let round = self.round.as_mut().expect("abort into an active round");
-        for (node, lm) in lms {
+        for &(node, lm) in &lms {
             self.ledger.lm_aborted += 1;
             round.enqueue(Vulnerable {
                 node,
@@ -698,6 +773,8 @@ impl CrSim {
                 fail_idx: lm.fail_idx,
             });
         }
+        lms.clear();
+        self.lm_scratch = lms;
         self.rate_changed(ctx);
     }
 
@@ -789,7 +866,13 @@ impl CrSim {
         match self.state {
             AppState::Computing | AppState::BbCkpt => {
                 self.leave_state(ctx.now());
-                let mut round = PckptRound::new(self.work_done, ctx.now());
+                let mut round = match self.spare_round.take() {
+                    Some(mut r) => {
+                        r.reset(self.work_done, ctx.now());
+                        r
+                    }
+                    None => PckptRound::new(self.work_done, ctx.now()),
+                };
                 round.enqueue(entry);
                 self.round = Some(round);
                 self.state = AppState::Round;
@@ -895,6 +978,7 @@ impl CrSim {
             }
         }
         self.trace_ev(ctx.now(), TraceKind::RoundComplete);
+        self.spare_round = Some(round);
         self.leave_state(ctx.now());
         // The round is over: a suspended drain resumes.
         if let Some(fluid) = self.fluid.as_mut() {
@@ -927,10 +1011,13 @@ impl CrSim {
         }
     }
 
-    fn abort_round(&mut self) -> Vec<Vulnerable> {
+    /// Abandons the active round, parking it for reuse. Queued entries
+    /// are simply dropped with the round state — predicted failures stay
+    /// in `pending` and are re-armed when computing resumes.
+    fn abort_round(&mut self) {
         // Only called while a round is active. simlint: allow(no-unwrap-in-lib)
-        let mut round = self.round.take().expect("abort without a round");
-        round.drain_queue()
+        let round = self.round.take().expect("abort without a round");
+        self.spare_round = Some(round);
     }
 
     // ------------------------------------------------------------------
@@ -1030,6 +1117,8 @@ impl CrSim {
 
         match self.state {
             AppState::Round => {
+                let mut commits = std::mem::take(&mut self.commit_scratch);
+                commits.clear();
                 // Round state implies an active round. simlint: allow(no-unwrap-in-lib)
                 let round = self.round.as_ref().expect("Round state without round");
                 let committed_here = round.is_committed(f.node);
@@ -1037,17 +1126,18 @@ impl CrSim {
                 // commits without phase 2 are not a durable full-app
                 // checkpoint, so retract coverage they granted (the
                 // failing node's own coverage is consumed right here).
-                let this_rounds_commits: Vec<usize> =
-                    round.committed_fail_idxs().filter(|&i| i != idx).collect();
-                for i in this_rounds_commits {
+                commits.extend(round.committed_fail_idxs().filter(|&i| i != idx));
+                for &i in &commits {
                     if let Some(pp) = self.pending.get_mut(&i) {
                         if pp.covered == Some(Mechanism::Pckpt) {
                             pp.covered = None;
                         }
                     }
                 }
-                let queued = self.abort_round();
-                drop(queued); // entries stay in `pending`; re-armed later
+                commits.clear();
+                self.commit_scratch = commits;
+                // Queued entries stay in `pending`; re-armed later.
+                self.abort_round();
                 self.leave_state(ctx.now());
                 if committed_here {
                     self.trace_ev(
@@ -2207,6 +2297,56 @@ mod tests {
         };
         let plain = CrSim::new(p2, trace2, &leads()).run();
         assert_eq!(plain, result);
+    }
+
+    #[test]
+    fn reset_for_run_replays_exactly_like_a_fresh_build() {
+        use pckpt_desim::{run_with_queue, EventQueue};
+        use pckpt_simrng::SimRng;
+        let theta = params(ModelKind::P2, "XGC").theta_secs();
+        // Three traces exercising LM, p-ckpt, unmitigated failure, and a
+        // false positive — the states a recycled sim must fully unwind.
+        let traces = [
+            FailureTrace {
+                failures: vec![
+                    failure(50.0, 1, theta + 10.0, true),
+                    failure(120.0, 2, theta * 0.5, true),
+                ],
+                false_positives: vec![],
+            },
+            FailureTrace {
+                failures: vec![failure(80.0, 3, 10.0, false)],
+                false_positives: vec![Prediction {
+                    at_hours: 30.0,
+                    node: 7,
+                    lead_secs: theta + 20.0,
+                    sequence_id: 1,
+                    genuine: false,
+                }],
+            },
+            FailureTrace::default(),
+        ];
+        for mode in [crate::iosim::PfsMode::Analytic, crate::iosim::PfsMode::Fluid] {
+            let mut p = params(ModelKind::P2, "XGC");
+            p.pfs_mode = mode;
+            // Arena path: one sim + one queue recycled across all traces,
+            // including a warmup pass so reuse is actually exercised.
+            let mut sim = CrSim::new(p.clone(), FailureTrace::default(), &leads());
+            let mut queue = EventQueue::new();
+            let mut reused = Vec::new();
+            for trace in traces.iter().chain(traces.iter()) {
+                queue.reset();
+                sim.reset_for_run(trace, SimRng::seed_from(0xFEED));
+                run_with_queue(&mut sim, &mut queue, 10_000_000);
+                reused.push(sim.result());
+            }
+            for (i, trace) in traces.iter().chain(traces.iter()).enumerate() {
+                let fresh = CrSim::new(p.clone(), trace.clone(), &leads())
+                    .with_bg_rng(SimRng::seed_from(0xFEED))
+                    .run();
+                assert_eq!(reused[i], fresh, "trace {i} diverged ({mode:?})");
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,17 @@ pub struct PopAudit {
 }
 
 impl PopAudit {
+    /// Forgets the last observed pop, for queue reuse across runs: the
+    /// recycled queue restarts at `(t = 0, seq = 0)`, which would
+    /// otherwise trip the monotonicity check.
+    #[inline]
+    pub fn reset(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            self.last = None;
+        }
+    }
+
     /// Records a pop and asserts it is strictly after the previous one.
     #[inline]
     pub fn observe_pop(&mut self, time: SimTime, seq: u64) {
@@ -92,6 +103,16 @@ pub struct ByteLedger {
 }
 
 impl ByteLedger {
+    /// Zeroes the ledger, for link reuse across runs.
+    #[inline]
+    pub fn reset(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            self.injected = 0.0;
+            self.cancel_returned = 0.0;
+        }
+    }
+
     /// Records bytes entering the link via `start`/`start_weighted`.
     #[inline]
     pub fn inject(&mut self, bytes: f64) {

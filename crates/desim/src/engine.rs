@@ -201,6 +201,56 @@ impl<M: Model> Simulation<M> {
     }
 }
 
+/// Runs `model` to completion against a caller-owned queue: the arena
+/// path for campaign workers that recycle one [`EventQueue`] across many
+/// runs via [`EventQueue::reset`] instead of constructing a
+/// [`Simulation`] (and its queue) per run.
+///
+/// The queue must be empty and at t = 0 — i.e. freshly constructed or
+/// just reset. `init` runs first, then events are handled until the
+/// queue drains, the model stops, or `event_budget` events have been
+/// handled. Returns the stop reason and the number of events handled.
+// simlint: hot
+pub fn run_with_queue<M: Model>(
+    model: &mut M,
+    queue: &mut EventQueue<M::Event>,
+    event_budget: u64,
+) -> (StopReason, u64) {
+    assert!(
+        queue.is_empty() && queue.now() == SimTime::ZERO,
+        "run_with_queue needs an empty queue at t = 0 (call reset() between runs)"
+    );
+    let mut stop = false;
+    let mut ctx = Ctx {
+        queue,
+        stop: &mut stop,
+    };
+    model.init(&mut ctx);
+    if stop {
+        return (StopReason::Requested, 0);
+    }
+    let mut handled = 0u64;
+    loop {
+        if handled >= event_budget {
+            return (StopReason::EventBudget, handled);
+        }
+        if queue.peek_time().is_none() {
+            return (StopReason::Drained, handled);
+        }
+        // peek_time() above returned Some. simlint: allow(no-unwrap-in-lib)
+        let (_, _, event) = queue.pop().expect("peeked event exists");
+        handled += 1;
+        let mut ctx = Ctx {
+            queue,
+            stop: &mut stop,
+        };
+        model.handle(&mut ctx, event);
+        if stop {
+            return (StopReason::Requested, handled);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +394,43 @@ mod tests {
                 ctx.schedule_now(2);
             }
         }
+    }
+
+    #[test]
+    fn run_with_queue_matches_owned_simulation_across_resets() {
+        let mut queue = EventQueue::new();
+        for _ in 0..3 {
+            queue.reset();
+            let mut model = Ticker {
+                period: SimDuration::from_secs(2.0),
+                remaining: 3,
+                fire_times: Vec::new(),
+            };
+            let (reason, handled) = run_with_queue(&mut model, &mut queue, u64::MAX);
+            assert_eq!(reason, StopReason::Drained);
+            assert_eq!(handled, 3);
+            assert_eq!(
+                model.fire_times,
+                vec![
+                    SimTime::from_secs(2.0),
+                    SimTime::from_secs(4.0),
+                    SimTime::from_secs(6.0)
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn run_with_queue_honors_event_budget() {
+        let mut queue = EventQueue::new();
+        let mut model = Ticker {
+            period: SimDuration::from_secs(1.0),
+            remaining: u32::MAX,
+            fire_times: Vec::new(),
+        };
+        let (reason, handled) = run_with_queue(&mut model, &mut queue, 50);
+        assert_eq!(reason, StopReason::EventBudget);
+        assert_eq!(handled, 50);
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //! completion order and byte accounting) on randomized workloads.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -127,7 +127,11 @@ pub struct FlowLink {
     /// weight (= writer count for node-weighted transfers). Must be
     /// strictly positive for any non-zero weight.
     capacity: Box<dyn Fn(usize) -> f64 + Send>,
-    flows: BTreeMap<TransferId, VFlow>,
+    /// Active flows, sorted by id. Ids are issued monotonically, so
+    /// insertion is a push at the end and lookup is a binary search; a
+    /// plain Vec (not a tree map) keeps the table allocation-free in
+    /// steady state — [`reset`](Self::reset) retains its capacity.
+    flows: Vec<(TransferId, VFlow)>,
     /// Cumulative virtual time: bytes delivered per unit weight since the
     /// link was last idle. Rebased to zero whenever the link drains so
     /// float granularity cannot grow without bound over a long campaign.
@@ -172,7 +176,7 @@ impl FlowLink {
     pub fn with_capacity_fn(f: impl Fn(usize) -> f64 + Send + 'static) -> Self {
         Self {
             capacity: Box::new(f),
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
             v: 0.0,
             total_weight: 0.0,
             last_advance: SimTime::ZERO,
@@ -183,6 +187,29 @@ impl FlowLink {
             by_finish: BinaryHeap::new(),
             audit: crate::audit::ByteLedger::default(),
         }
+    }
+
+    /// Clears the link back to its just-constructed idle state while
+    /// retaining the capacity function and all allocated storage (flow
+    /// table and both heaps), so a recycled link starts transfers without
+    /// heap allocation. Outstanding [`TransferId`]s are invalidated.
+    pub fn reset(&mut self) {
+        self.flows.clear();
+        self.v = 0.0;
+        self.total_weight = 0.0;
+        self.last_advance = SimTime::ZERO;
+        self.next_id = 0;
+        self.epoch = 0;
+        self.bytes_retired = 0.0;
+        self.by_tag.clear();
+        self.by_finish.clear();
+        self.audit.reset();
+    }
+
+    /// Index of `id` in the id-sorted flow table.
+    #[inline]
+    fn flow_idx(&self, id: TransferId) -> Option<usize> {
+        self.flows.binary_search_by_key(&id, |&(i, _)| i).ok()
     }
 
     /// Bandwidth of one unit of weight at the current membership.
@@ -248,7 +275,8 @@ impl FlowLink {
         self.by_tag.push(Reverse((Key(flow.snap_tag()), id)));
         self.by_finish.push(Reverse((Key(flow.finish_v), id)));
         self.total_weight += weight;
-        self.flows.insert(id, flow);
+        // Ids are monotone, so pushing keeps the table sorted.
+        self.flows.push((id, flow));
         id
     }
 
@@ -256,7 +284,8 @@ impl FlowLink {
     /// if it was not active (already completed or cancelled).
     pub fn cancel(&mut self, now: SimTime, id: TransferId) -> Option<f64> {
         self.advance(now);
-        let flow = self.flows.remove(&id)?;
+        let idx = self.flow_idx(id)?;
+        let (_, flow) = self.flows.remove(idx);
         self.epoch += 1;
         let delivered = flow.delivered(self.v);
         self.bytes_retired += delivered;
@@ -332,7 +361,7 @@ impl FlowLink {
         // computes `rpw` once before removing anything.
         let bound = self.v + self.rate_per_weight() * 2e-9;
         while let Some(&Reverse((Key(tag), id))) = self.by_tag.peek() {
-            let Some(flow) = self.flows.get(&id) else {
+            let Some(idx) = self.flow_idx(id) else {
                 self.by_tag.pop(); // stale: cancelled earlier
                 continue;
             };
@@ -340,6 +369,7 @@ impl FlowLink {
                 break;
             }
             self.by_tag.pop();
+            let (_, flow) = self.flows.remove(idx);
             // Retire the flow's *full* byte count: delivered progress plus
             // the sub-threshold rounding remainder, accounted before the
             // epoch bump below so observers at the new epoch see a
@@ -347,7 +377,6 @@ impl FlowLink {
             self.bytes_retired += flow.total;
             self.total_weight -= flow.weight;
             out.push((id, flow.total, flow.started));
-            self.flows.remove(&id);
         }
         // Heap order is by snap tag; the public contract is start order.
         out.sort_unstable_by_key(|&(id, _, _)| id);
@@ -362,7 +391,7 @@ impl FlowLink {
         // Per-wave conservation audit: everything injected is either
         // retired, returned by cancel, or still in flight.
         self.audit.check_conserved(self.bytes_retired, || {
-            self.flows.values().map(|f| f.total).sum()
+            self.flows.iter().map(|(_, f)| f.total).sum()
         });
     }
 
@@ -380,24 +409,25 @@ impl FlowLink {
     /// and compacts either heap when stale entries dominate it.
     fn prune_heaps(&mut self) {
         let flows = &self.flows;
-        while let Some(Reverse((_, id))) = self.by_tag.peek() {
-            if flows.contains_key(id) {
+        let contains = |id: TransferId| flows.binary_search_by_key(&id, |&(i, _)| i).is_ok();
+        while let Some(&Reverse((_, id))) = self.by_tag.peek() {
+            if contains(id) {
                 break;
             }
             self.by_tag.pop();
         }
-        while let Some(Reverse((_, id))) = self.by_finish.peek() {
-            if flows.contains_key(id) {
+        while let Some(&Reverse((_, id))) = self.by_finish.peek() {
+            if contains(id) {
                 break;
             }
             self.by_finish.pop();
         }
         let cap = flows.len() * 2 + 64;
         if self.by_tag.len() > cap {
-            self.by_tag.retain(|Reverse((_, id))| flows.contains_key(id));
+            self.by_tag.retain(|Reverse((_, id))| contains(*id));
         }
         if self.by_finish.len() > cap {
-            self.by_finish.retain(|Reverse((_, id))| flows.contains_key(id));
+            self.by_finish.retain(|Reverse((_, id))| contains(*id));
         }
     }
 
@@ -426,14 +456,17 @@ impl FlowLink {
         self.bytes_retired
             + self
                 .flows
-                .values()
-                .map(|f| f.delivered(self.v))
+                .iter()
+                .map(|(_, f)| f.delivered(self.v))
                 .sum::<f64>()
     }
 
     /// Remaining bytes of an active transfer (as of the last advance).
     pub fn remaining(&self, id: TransferId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.total - f.delivered(self.v))
+        self.flow_idx(id).map(|i| {
+            let f = &self.flows[i].1;
+            f.total - f.delivered(self.v)
+        })
     }
 }
 
@@ -689,6 +722,29 @@ mod tests {
         link.cancel(t(1.0), keep);
         assert!(link.is_idle());
         assert_eq!(link.by_tag.len(), 0, "idle rebase clears heaps");
+    }
+
+    #[test]
+    fn reset_behaves_like_a_fresh_link() {
+        let mut link = FlowLink::with_constant_capacity(100.0);
+        let a = link.start(t(0.0), 1000.0);
+        link.start(t(1.0), 300.0);
+        link.cancel(t(2.0), a);
+        link.reset();
+        assert!(link.is_idle());
+        assert_eq!(link.epoch(), 0);
+        assert_eq!(link.bytes_moved(), 0.0);
+        assert_eq!(link.v, 0.0);
+        assert_eq!(link.total_weight, 0.0);
+        // The recycled link replays the single-transfer scenario exactly,
+        // including reissuing ids from zero.
+        let b = link.start(t(0.0), 500.0);
+        assert_eq!(b, a, "transfer ids restart after reset");
+        let finish = link.next_completion(t(0.0)).unwrap();
+        assert!((finish.as_secs() - 5.0).abs() < 1e-6);
+        let done = link.take_completed(finish);
+        assert_eq!(done.len(), 1);
+        assert!((link.bytes_moved() - 500.0).abs() < 1e-6);
     }
 
     #[test]

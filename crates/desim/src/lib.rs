@@ -36,12 +36,14 @@ pub mod monitor;
 pub mod process;
 pub mod queue;
 pub mod resource;
+pub mod smallmap;
 pub mod store;
 pub mod time;
 
-pub use engine::{Ctx, Model, Simulation};
+pub use engine::{run_with_queue, Ctx, Model, Simulation};
 pub use flow::{FlowLink, TransferId};
 pub use flow::reference::ReferenceFlowLink;
 pub use monitor::{Counter, TimeSeries, TimeWeighted};
 pub use queue::{EventId, EventQueue};
+pub use smallmap::SmallMap;
 pub use time::{SimDuration, SimTime};

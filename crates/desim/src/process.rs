@@ -182,6 +182,24 @@ impl<S> ProcessWorld<S> {
         }
     }
 
+    /// Clears all processes, wait lists, and resource holds back to an
+    /// empty just-built world while retaining registered signals and
+    /// resources (and their allocations), for reuse across runs. Shared
+    /// state is kept as-is; reset it through
+    /// [`shared_mut`](Self::shared_mut) before respawning processes.
+    pub fn reset(&mut self) {
+        self.procs.clear();
+        self.next_pid = 0;
+        for waitlist in &mut self.signals {
+            waitlist.clear();
+        }
+        for resource in &mut self.resources {
+            resource.reset();
+        }
+        self.start_queue.clear();
+        self.finished = 0;
+    }
+
     /// Registers a broadcast signal.
     pub fn add_signal(&mut self) -> SignalId {
         self.signals.push(Vec::new());

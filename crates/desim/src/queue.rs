@@ -12,7 +12,7 @@
 //! event count no matter how much is cancelled.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -58,9 +58,15 @@ const COMPACT_MIN_HEAP: usize = 64;
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Ids scheduled but not yet popped or cancelled. The single source
-    /// of truth for liveness: a heap entry whose id is absent is dead.
-    pending: BTreeSet<EventId>,
+    /// Liveness bitset indexed by sequence number (= the id's value).
+    /// The single source of truth for liveness: a heap entry whose bit is
+    /// clear is dead. A bitset (not a tree set) so that scheduling and
+    /// cancellation never allocate in steady state: [`reset`](Self::reset)
+    /// zeroes the words in place and the backing storage is reused across
+    /// runs.
+    live: Vec<u64>,
+    /// Number of set bits in `live`.
+    live_count: usize,
     now: SimTime,
     next_seq: u64,
     scheduled_total: u64,
@@ -79,12 +85,50 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
-            pending: BTreeSet::new(),
+            live: Vec::new(),
+            live_count: 0,
             now: SimTime::ZERO,
             next_seq: 0,
             scheduled_total: 0,
             audit: crate::audit::PopAudit::default(),
         }
+    }
+
+    /// Clears the queue back to its t = 0 state while retaining all
+    /// allocated storage (heap slots and liveness words), so a recycled
+    /// queue schedules without heap allocation until it outgrows the
+    /// largest run it has hosted.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.live.fill(0);
+        self.live_count = 0;
+        self.now = SimTime::ZERO;
+        self.next_seq = 0;
+        self.scheduled_total = 0;
+        self.audit.reset();
+    }
+
+    #[inline]
+    fn is_live(&self, id: EventId) -> bool {
+        let idx = id.0 as usize;
+        self.live
+            .get(idx >> 6)
+            .is_some_and(|w| w & (1 << (idx & 63)) != 0)
+    }
+
+    /// Clears the liveness bit for `id`; `true` if it was set.
+    #[inline]
+    fn clear_live(&mut self, id: EventId) -> bool {
+        let idx = id.0 as usize;
+        if let Some(w) = self.live.get_mut(idx >> 6) {
+            let bit = 1u64 << (idx & 63);
+            if *w & bit != 0 {
+                *w &= !bit;
+                self.live_count -= 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -110,7 +154,12 @@ impl<E> EventQueue<E> {
             id,
             payload,
         }));
-        self.pending.insert(id);
+        let word = (self.next_seq as usize) >> 6;
+        if word >= self.live.len() {
+            self.live.resize(word + 1, 0);
+        }
+        self.live[word] |= 1 << (self.next_seq & 63);
+        self.live_count += 1;
         self.next_seq += 1;
         self.scheduled_total += 1;
         id
@@ -126,9 +175,9 @@ impl<E> EventQueue<E> {
     /// pending (and is now guaranteed never to fire), `false` if it had
     /// already fired or been cancelled. O(1).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // Already-popped and never-issued ids are simply absent from
-        // `pending`, so they can't re-tombstone anything.
-        let was_pending = self.pending.remove(&id);
+        // Already-popped and never-issued ids have a clear (or absent)
+        // liveness bit, so they can't re-tombstone anything.
+        let was_pending = self.clear_live(id);
         if was_pending {
             self.maybe_compact();
         }
@@ -137,10 +186,13 @@ impl<E> EventQueue<E> {
 
     /// Drops dead heap entries wholesale once they outnumber live ones.
     fn maybe_compact(&mut self) {
-        if self.heap.len() > COMPACT_MIN_HEAP && self.heap.len() >= 2 * self.pending.len() {
-            let pending = &self.pending;
-            self.heap.retain(|Reverse(e)| pending.contains(&e.id));
-            crate::audit::check_compaction(self.heap.len(), self.pending.len());
+        if self.heap.len() > COMPACT_MIN_HEAP && self.heap.len() >= 2 * self.live_count {
+            let live = &self.live;
+            self.heap.retain(|Reverse(e)| {
+                let idx = e.id.0 as usize;
+                live.get(idx >> 6).is_some_and(|w| w & (1 << (idx & 63)) != 0)
+            });
+            crate::audit::check_compaction(self.heap.len(), self.live_count);
         }
     }
 
@@ -148,7 +200,7 @@ impl<E> EventQueue<E> {
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if !self.pending.remove(&entry.id) {
+            if !self.clear_live(entry.id) {
                 continue; // dead entry: cancelled earlier
             }
             debug_assert!(entry.time >= self.now, "heap returned a past event");
@@ -163,7 +215,7 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drop leading dead entries so the peek is accurate.
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.pending.contains(&entry.id) {
+            if self.is_live(entry.id) {
                 return Some(entry.time);
             }
             self.heap.pop();
@@ -173,12 +225,12 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) pending events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live_count
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live_count == 0
     }
 
     /// Total number of events ever scheduled (monotone; for metrics).
@@ -310,6 +362,47 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().2, "b");
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reset_recycles_storage_and_restarts_clock() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(secs(1.0), 1);
+        q.schedule_at(secs(2.0), 2);
+        q.cancel(a);
+        q.pop().unwrap();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.scheduled_total(), 0);
+        assert_eq!(q.heap_slots(), 0);
+        // A recycled queue behaves exactly like a fresh one: ids restart
+        // from zero, the clock from t = 0, FIFO ties still hold.
+        let b = q.schedule_at(secs(5.0), 7);
+        q.schedule_at(secs(5.0), 8);
+        assert_eq!(q.len(), 2);
+        let (t, id, p) = q.pop().unwrap();
+        assert_eq!((t, id, p), (secs(5.0), b, 7));
+        assert_eq!(q.pop().unwrap().2, 8);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn reset_after_heavy_churn_leaves_no_ghosts() {
+        let mut q = EventQueue::new();
+        for round in 0..50 {
+            let ids: Vec<_> =
+                (0..40).map(|i| q.schedule_at(secs((round * 40 + i) as f64 + 1.0), i)).collect();
+            for id in ids.iter().skip(1) {
+                q.cancel(*id);
+            }
+        }
+        q.reset();
+        // Nothing from before the reset may surface.
+        assert_eq!(q.peek_time(), None);
+        q.schedule_at(secs(1.0), 99);
+        assert_eq!(q.pop().unwrap().2, 99);
+        assert!(q.pop().is_none());
     }
 
     #[test]

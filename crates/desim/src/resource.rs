@@ -69,6 +69,15 @@ impl<T> Resource<T> {
         }
     }
 
+    /// Forgets all held slots and queued waiters while retaining the
+    /// capacity and the wait queue's allocation, for world reuse across
+    /// runs.
+    pub fn reset(&mut self) {
+        self.in_use = 0;
+        self.waiters.clear();
+        self.next_seq = 0;
+    }
+
     /// Attempts to take a slot, enqueueing `token` at `priority` (lower is
     /// served first) if none is free.
     pub fn acquire(&mut self, token: T, priority: i64) -> Acquire {
@@ -241,6 +250,18 @@ mod tests {
     fn release_without_hold_panics() {
         let mut r: Resource<()> = Resource::new(1);
         r.release();
+    }
+
+    #[test]
+    fn reset_frees_slots_and_forgets_waiters() {
+        let mut r = Resource::new(1);
+        r.acquire("holder", 0);
+        r.acquire("waiter", 0);
+        r.reset();
+        assert_eq!(r.in_use(), 0);
+        assert_eq!(r.queued(), 0);
+        assert!(r.available());
+        assert_eq!(r.acquire("fresh", 0), Acquire::Granted);
     }
 
     #[test]

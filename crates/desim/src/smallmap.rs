@@ -1,0 +1,182 @@
+//! A sorted-vector map for small, hot key sets.
+//!
+//! The C/R models keep a handful of keyed entries alive at any instant
+//! (active live migrations, outstanding predictions) and mutate them on
+//! every event. A `BTreeMap` allocates tree nodes as it crosses the
+//! empty/non-empty boundary, which it does thousands of times per
+//! campaign — precisely the churn the allocation-free steady state must
+//! avoid. [`SmallMap`] stores `(key, value)` pairs in a single Vec kept
+//! sorted by key: lookups are a binary search, iteration is in key order
+//! (the same determinism contract a `BTreeMap` gives), and
+//! [`clear`](SmallMap::clear) retains the backing storage so a recycled
+//! map never allocates after warmup.
+
+/// A map backed by a key-sorted `Vec`, tuned for few (≲ dozens of)
+/// entries and allocation-free reuse.
+#[derive(Debug, Clone)]
+pub struct SmallMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Ord, V> SmallMap<K, V> {
+    /// Creates an empty map (no allocation until the first insert).
+    pub const fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    #[inline]
+    fn idx(&self, key: &K) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.cmp(key))
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.idx(&key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the value at `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        match self.idx(key) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Borrows the value at `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.idx(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutably borrows the value at `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        match self.idx(key) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.idx(key).is_ok()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes all entries, retaining the backing allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Mutably iterates values in ascending key order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.entries.iter_mut().map(|(_, v)| v)
+    }
+
+    /// Drains all entries in ascending key order, retaining the backing
+    /// allocation (unlike `mem::take`, which surrenders it).
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (K, V)> {
+        self.entries.drain(..)
+    }
+}
+
+impl<K: Ord, V> Default for SmallMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = SmallMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(3, "c"), None);
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(2, "b"), None);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&2), Some(&"b"));
+        assert_eq!(m.insert(2, "B"), Some("b"), "insert replaces");
+        assert_eq!(m.remove(&1), Some("a"));
+        assert_eq!(m.remove(&1), None);
+        assert!(!m.contains_key(&1));
+        assert!(m.contains_key(&3));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut m = SmallMap::new();
+        for k in [5u32, 1, 9, 3, 7] {
+            m.insert(k, k * 10);
+        }
+        let keys: Vec<u32> = m.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        let vals: Vec<u32> = m.values().copied().collect();
+        assert_eq!(vals, vec![10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn drain_yields_key_order_and_keeps_capacity() {
+        let mut m = SmallMap::new();
+        for k in [4, 2, 8] {
+            m.insert(k, ());
+        }
+        let cap = m.entries.capacity();
+        let drained: Vec<i32> = m.drain().map(|(k, _)| k).collect();
+        assert_eq!(drained, vec![2, 4, 8]);
+        assert!(m.is_empty());
+        assert_eq!(m.entries.capacity(), cap, "drain retains storage");
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut m = SmallMap::new();
+        m.insert("k", 1);
+        *m.get_mut(&"k").unwrap() += 10;
+        assert_eq!(m.get(&"k"), Some(&11));
+        for v in m.values_mut() {
+            *v *= 2;
+        }
+        assert_eq!(m.get(&"k"), Some(&22));
+    }
+
+    #[test]
+    fn clear_retains_storage() {
+        let mut m = SmallMap::new();
+        for k in 0..16 {
+            m.insert(k, k);
+        }
+        let cap = m.entries.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.entries.capacity(), cap);
+        m.insert(1, 1);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -191,7 +191,26 @@ impl FailureTrace {
         predictor: &Predictor,
         rng: &mut SimRng,
     ) -> Self {
-        let mut failures = Vec::new();
+        let mut trace = Self::default();
+        trace.generate_into(config, leads, predictor, rng);
+        trace
+    }
+
+    /// Regenerates this trace in place: clears and refills the failure and
+    /// false-positive buffers, retaining their allocations, with exactly
+    /// the same RNG draw sequence as [`generate`](Self::generate) — so a
+    /// campaign worker recycling one trace across runs produces
+    /// bit-identical streams to one constructing a fresh trace per run.
+    pub fn generate_into(
+        &mut self,
+        config: &TraceConfig,
+        leads: &LeadTimeModel,
+        predictor: &Predictor,
+        rng: &mut SimRng,
+    ) {
+        self.failures.clear();
+        self.false_positives.clear();
+        let failures = &mut self.failures;
         match config.projection {
             Projection::MinStability => {
                 let w = config.distribution.job_weibull(config.job_nodes);
@@ -246,7 +265,6 @@ impl FailureTrace {
         let expected_true_predictions =
             failures.iter().filter(|f| f.predicted).count() as f64;
         let expected_fp = expected_true_predictions * predictor.fp_per_true_prediction();
-        let mut false_positives = Vec::new();
         if expected_fp > 0.0 {
             let gap = Exponential::from_rate(expected_fp / config.horizon_hours);
             let mut t = gap.sample(rng);
@@ -254,7 +272,7 @@ impl FailureTrace {
                 let (sequence_id, raw_lead) = leads.sample(rng);
                 let lead_secs =
                     predictor.usable_lead_secs(raw_lead * config.lead_scale);
-                false_positives.push(Prediction {
+                self.false_positives.push(Prediction {
                     node: config.node_selection.pick(rng, config.job_nodes),
                     at_hours: t,
                     lead_secs,
@@ -263,10 +281,6 @@ impl FailureTrace {
                 });
                 t += gap.sample(rng);
             }
-        }
-        Self {
-            failures,
-            false_positives,
         }
     }
 
@@ -486,6 +500,28 @@ mod tests {
             assert!(
                 hot as f64 / t.failure_count() as f64 > 0.25,
                 "hotspots must attract failures"
+            );
+        }
+    }
+
+    #[test]
+    fn generate_into_matches_generate_and_reuses_buffers() {
+        let (leads, predictor) = setup();
+        let cfg_a = TraceConfig::new(FailureDistribution::OLCF_TITAN, 505, 5_000.0);
+        let cfg_b = TraceConfig::new(FailureDistribution::LANL_SYSTEM_18, 1024, 2_000.0)
+            .with_projection(Projection::Thinning);
+        let mut reused = FailureTrace::default();
+        for (i, cfg) in [cfg_a, cfg_b, cfg_a].iter().enumerate() {
+            let seed = 100 + i as u64;
+            let mut r1 = SimRng::seed_from(seed);
+            let mut r2 = SimRng::seed_from(seed);
+            let fresh = FailureTrace::generate(cfg, &leads, &predictor, &mut r1);
+            reused.generate_into(cfg, &leads, &predictor, &mut r2);
+            assert_eq!(fresh, reused, "identical draws for config {i}");
+            assert_eq!(
+                r1.uniform01().to_bits(),
+                r2.uniform01().to_bits(),
+                "RNGs left in the same state"
             );
         }
     }

@@ -112,6 +112,13 @@ impl RateEstimator {
         }
     }
 
+    /// Forgets all recorded failures (retaining the event buffer's
+    /// allocation), returning the estimator to its just-built prior-only
+    /// state — for recycling one estimator across campaign runs.
+    pub fn reset(&mut self) {
+        self.events.clear();
+    }
+
     /// Records a failure at absolute time `now_hours`.
     pub fn record(&mut self, now_hours: f64) {
         if let Some(&last) = self.events.last() {

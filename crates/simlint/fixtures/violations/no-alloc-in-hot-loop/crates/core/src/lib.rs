@@ -1,0 +1,8 @@
+// Seeded violation for the `no-alloc-in-hot-loop` rule: a fresh Vec
+// built inside a function marked as steady-state hot-path code.
+// simlint: hot
+pub fn hot_loop_step(xs: &[u64]) -> usize {
+    let mut scratch = Vec::new();
+    scratch.extend(xs.iter().copied());
+    scratch.len()
+}

@@ -66,6 +66,10 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// Every `simlint: allow` directive found in comments.
     pub allows: Vec<AllowDirective>,
+    /// Lines carrying a `// simlint: hot` marker — the next function is
+    /// treated as allocation-free hot-path code by
+    /// `no-alloc-in-hot-loop`.
+    pub hots: Vec<u32>,
 }
 
 /// Lexes `src`, returning tokens plus allow directives.
@@ -169,6 +173,10 @@ impl<'a> Lexer<'a> {
             return;
         };
         let rest = text[idx + "simlint:".len()..].trim_start();
+        if rest == "hot" || rest.starts_with("hot ") || rest.starts_with("hot\n") {
+            self.out.hots.push(line);
+            return;
+        }
         let Some(args) = rest.strip_prefix("allow") else {
             return;
         };
@@ -467,6 +475,15 @@ mod tests {
             lexed.allows[1].rules,
             vec!["no-float-eq", "no-wall-clock"]
         );
+    }
+
+    #[test]
+    fn hot_markers_are_recorded() {
+        let lexed = lex(
+            "// simlint: hot\nfn a() {}\n/* simlint: hot */\nfn b() {}\n// simlint: hotel? no\n// simlint: allow(no-float-eq)\n",
+        );
+        assert_eq!(lexed.hots, vec![1, 3]);
+        assert_eq!(lexed.allows.len(), 1, "hot is not an allow");
     }
 
     #[test]

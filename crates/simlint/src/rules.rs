@@ -10,6 +10,7 @@
 //! | `no-float-eq`        | library code of the sim-semantic crates      |
 //! | `no-lossy-time-cast` | library code of the sim-semantic crates      |
 //! | `no-unwrap-in-lib`   | library code of the sim-semantic crates      |
+//! | `no-alloc-in-hot-loop` | fns marked `// simlint: hot` in sim crates |
 //!
 //! "Sim-semantic crates" are the five crates whose behaviour defines a
 //! simulated campaign: `desim`, `core`, `failure`, `workloads`,
@@ -33,12 +34,13 @@ pub const SIM_CRATES: [&str; 5] = ["desim", "core", "failure", "workloads", "ana
 pub const WALL_CLOCK_EXEMPT: [&str; 2] = ["criterion", "bench"];
 
 /// All rule names, in reporting order.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     "no-randomized-maps",
     "no-wall-clock",
     "no-float-eq",
     "no-lossy-time-cast",
     "no-unwrap-in-lib",
+    "no-alloc-in-hot-loop",
 ];
 
 /// File-level allowlist: `(rule, path substring)`. A file whose
@@ -130,6 +132,10 @@ pub fn lint_file(rel_path: &str, src: &str) -> Vec<Finding> {
         if wall_clock_applies {
             wall_clock(rel_path, tok, &mut findings);
         }
+    }
+
+    if in_sim_crate {
+        no_alloc_in_hot_loop(rel_path, &lexed, &test_mask, &mut findings);
     }
 
     findings.retain(|f| !suppressed(f, rel_path, &lexed));
@@ -374,6 +380,90 @@ fn unwrap_in_lib(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>)
     }
 }
 
+// ----------------------------------------------------------------------
+// Rule 6: no-alloc-in-hot-loop
+// ----------------------------------------------------------------------
+
+/// Flags obvious heap constructors inside functions marked with a
+/// `// simlint: hot` comment (the campaign steady-state paths that the
+/// counting-allocator test requires to be allocation-free). Detected
+/// patterns: `Vec::new(` / `Box::new(` / any `::with_capacity(`.
+/// Arena-friendly calls like `SmallMap::new()` (const, storage-free) or
+/// `clear()` + `extend()` on a reused buffer pass untouched.
+fn no_alloc_in_hot_loop(path: &str, lexed: &Lexed, test_mask: &[bool], out: &mut Vec<Finding>) {
+    let tokens = &lexed.tokens;
+    for &hot_line in &lexed.hots {
+        // The marker annotates the next fn item at or below it.
+        let Some(fn_idx) = tokens
+            .iter()
+            .position(|t| t.line >= hot_line && t.kind == TokenKind::Ident && t.text == "fn")
+        else {
+            continue;
+        };
+        if test_mask.get(fn_idx).copied().unwrap_or(false) {
+            continue;
+        }
+        // Brace-match the fn body: from its opening `{` to the matching `}`.
+        let mut j = fn_idx;
+        while j < tokens.len() && tokens[j].text != "{" {
+            j += 1;
+        }
+        let body_start = j;
+        let mut depth = 0usize;
+        let mut body_end = tokens.len();
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        body_end = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for k in body_start..body_end {
+            hot_alloc_site(path, tokens, k, out);
+        }
+    }
+}
+
+fn hot_alloc_site(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let tok = &tokens[i];
+    if tok.kind != TokenKind::Ident {
+        return;
+    }
+    let called = tokens.get(i + 1).is_some_and(|t| t.text == "(");
+    let via_path = i > 0 && tokens[i - 1].text == "::";
+    if !called || !via_path {
+        return;
+    }
+    let what = match tok.text.as_str() {
+        "with_capacity" => "::with_capacity",
+        "new" if i >= 2 && matches!(tokens[i - 2].text.as_str(), "Vec" | "Box") => {
+            if tokens[i - 2].text == "Vec" {
+                "Vec::new"
+            } else {
+                "Box::new"
+            }
+        }
+        _ => return,
+    };
+    out.push(Finding {
+        rule: "no-alloc-in-hot-loop",
+        path: path.to_string(),
+        line: tok.line,
+        message: format!(
+            "`{what}` allocates inside a `// simlint: hot` function; the campaign steady \
+             state must be allocation-free — reuse an arena buffer (clear() + extend(), \
+             field-wise clone_from) or hoist the allocation to construction time"
+        ),
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,6 +558,43 @@ mod tests {
         // The allow is rule-specific.
         let wrong = "let x = opt.unwrap(); // simlint: allow(no-float-eq)";
         assert_eq!(lint_file(LIB, wrong).len(), 1);
+    }
+
+    #[test]
+    fn hot_loop_alloc_detection() {
+        let vec_new = "// simlint: hot\nfn step(out: &mut Vec<u64>) {\n    let mut s = Vec::new();\n    s.push(1);\n}";
+        assert_eq!(rules_fired(LIB, vec_new), vec!["no-alloc-in-hot-loop"]);
+        let box_new = "// simlint: hot\nfn step() { let b = Box::new(3_u64); }";
+        assert_eq!(rules_fired(LIB, box_new), vec!["no-alloc-in-hot-loop"]);
+        let cap = "// simlint: hot\nfn step() { let q = EventQueue::with_capacity(64); }";
+        assert_eq!(rules_fired(LIB, cap), vec!["no-alloc-in-hot-loop"]);
+        // Line points at the allocation, not the marker.
+        let f = lint_file(LIB, vec_new);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn hot_loop_scope_is_the_marked_fn_only() {
+        // Unmarked functions may allocate freely.
+        assert!(rules_fired(LIB, "fn cold() { let v: Vec<u8> = Vec::new(); }").is_empty());
+        // Only the first fn after the marker is in scope.
+        let next_fn = "// simlint: hot\nfn a() { step(); }\nfn b() { let v: Vec<u8> = Vec::new(); }";
+        assert!(rules_fired(LIB, next_fn).is_empty());
+        // Const, storage-free constructors pass.
+        let smallmap = "// simlint: hot\nfn a(m: &mut SmallMap<u32, u64>) { let n = SmallMap::new(); }";
+        assert!(rules_fired(LIB, smallmap).is_empty());
+        // Outside sim-semantic crates the marker is inert.
+        assert!(
+            rules_fired("crates/cli/src/commands.rs", "// simlint: hot\nfn a() { let v: Vec<u8> = Vec::new(); }")
+                .is_empty()
+        );
+        // Test-gated hot fns are the allocator test's business, not ours.
+        let in_tests = "#[cfg(test)]\nmod tests {\n    // simlint: hot\n    fn f() { let v: Vec<u8> = Vec::new(); }\n}";
+        assert!(rules_fired(LIB, in_tests).is_empty());
+        // An inline allow with justification suppresses as usual.
+        let allowed = "// simlint: hot\nfn a() {\n    // one-time lazy init. simlint: allow(no-alloc-in-hot-loop)\n    let v: Vec<u8> = Vec::new();\n}";
+        assert!(rules_fired(LIB, allowed).is_empty());
     }
 
     #[test]

@@ -65,6 +65,11 @@ fn fixture_no_unwrap_in_lib() {
 }
 
 #[test]
+fn fixture_no_alloc_in_hot_loop() {
+    assert_fixture_trips("no-alloc-in-hot-loop");
+}
+
+#[test]
 fn workspace_is_clean() {
     let here = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = simlint::find_workspace_root(here).expect("workspace root");

@@ -2,23 +2,27 @@
 # Perf trajectory harness for the PR sequence.
 #
 # Runs the criterion micro-benchmarks (event dispatch, flow-link churn
-# virtual-vs-reference) and the end-to-end campaign timer, then folds
-# the machine-parsable CRITERION_JSON / CAMPAIGN_JSON lines into one
-# BENCH_pr1.json snapshot:
+# virtual-vs-reference, arena-reuse vs fresh-build campaign runs) and
+# the end-to-end campaign timer, then folds the machine-parsable
+# CRITERION_JSON / CAMPAIGN_JSON lines into one snapshot (default
+# BENCH_pr3.json; earlier BENCH_pr<N>.json files are kept as the perf
+# trajectory across the PR sequence):
 #
 #   median_ns_per_event            engine dispatch cost
 #   events_per_sec                 its reciprocal
 #   flow_churn_speedup_vs_reference  virtual-time link vs O(n) reference
+#   arena_reuse_speedup[_fluid]    warm RunArena run vs fresh-build run
 #   runs_per_sec / runs_per_sec_fluid  1000-run P2/XGC campaign throughput
 #
 # Usage: scripts/bench.sh [output.json]
 # Env:   PCKPT_RUNS (campaign size, default 1000), PCKPT_SEED,
+#        PCKPT_THREADS (campaign worker threads),
 #        PCKPT_BENCH_SAMPLES / PCKPT_BENCH_SAMPLE_MS (criterion shim).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr1.json}
+OUT=${1:-BENCH_pr3.json}
 BENCH_LOG=$(mktemp)
 CAMPAIGN_LOG=$(mktemp)
 trap 'rm -f "$BENCH_LOG" "$CAMPAIGN_LOG"' EXIT
@@ -63,6 +67,13 @@ if virt and ref:
         ref["median_ns"] / virt["median_ns"], 2
     )
 
+for label, key in (("analytic", "arena_reuse_speedup"),
+                   ("fluid", "arena_reuse_speedup_fluid")):
+    warm = benches.get(f"campaign_run/arena_reuse_{label}")
+    fresh = benches.get(f"campaign_run/fresh_build_{label}")
+    if warm and fresh:
+        doc[key] = round(fresh["median_ns"] / warm["median_ns"], 2)
+
 if "p2_xgc_analytic" in campaigns:
     doc["runs_per_sec"] = campaigns["p2_xgc_analytic"]["runs_per_sec"]
 if "p2_xgc_fluid" in campaigns:
@@ -77,6 +88,8 @@ for key in (
     "median_ns_per_event",
     "events_per_sec",
     "flow_churn_speedup_vs_reference",
+    "arena_reuse_speedup",
+    "arena_reuse_speedup_fluid",
     "runs_per_sec",
     "runs_per_sec_fluid",
 ):

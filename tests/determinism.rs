@@ -65,6 +65,40 @@ fn fluid_mode_is_bit_reproducible_across_threads() {
     assert_eq!(a.failures.sum().to_bits(), b.failures.sum().to_bits());
 }
 
+#[test]
+fn campaign_digest_is_byte_identical_across_thread_counts() {
+    // The work-stealing scheduler hands runs to whichever worker claims
+    // them first, so the execution interleaving differs wildly between
+    // thread counts — but run i always draws master.split(i) and the
+    // aggregate fold happens in run order, so every figure-feeding
+    // number must come out bit-for-bit the same.
+    use pckpt::core::iosim::PfsMode;
+    let leads = LeadTimeModel::desh_default();
+    let mut params = xgc_params();
+    params.pfs_mode = PfsMode::Fluid;
+    let digest = |threads: usize| {
+        let mut cfg = RunnerConfig::new(10, 41);
+        cfg.threads = threads;
+        let c = run_models(&params, &[ModelKind::B, ModelKind::P2], &leads, &cfg);
+        assert_eq!(c.threads, threads, "requested thread count respected");
+        let mut s = String::new();
+        for (m, a) in c.models.iter().zip(&c.aggregates) {
+            s.push_str(&format!(
+                "{}:{:016x}-{:016x}-{:016x}-{:016x};",
+                m.name(),
+                a.total_hours.mean().to_bits(),
+                a.ft_ratio_pooled().to_bits(),
+                a.failures.sum().to_bits(),
+                a.total_hours_quantile(0.9).to_bits(),
+            ));
+        }
+        s
+    };
+    let one = digest(1);
+    assert_eq!(one, digest(3), "3 workers must reproduce the serial digest");
+    assert_eq!(one, digest(8), "8 workers must reproduce the serial digest");
+}
+
 /// Digest of a small fluid campaign, printed by the child invocation of
 /// [`reports_are_identical_across_hasher_states`]. Everything that feeds
 /// a report figure is folded in, at full bit precision.

@@ -126,6 +126,39 @@ proptest! {
             worse.wall_secs, base.wall_secs);
     }
 
+    /// Arena reuse is invisible: a `CrSim` dirtied by one full run and
+    /// then `reset_for_run` onto a new trace must produce exactly the
+    /// result of a freshly built simulation of that trace — for any
+    /// model and any pair of arbitrary traces.
+    #[test]
+    fn reset_then_run_equals_fresh_build(
+        first in arb_trace(8),
+        second in arb_trace(8),
+        model in arb_model(),
+    ) {
+        use pckpt::desim::{run_with_queue, EventQueue};
+        use pckpt::simrng::SimRng;
+        let app = Application::by_name("POP").unwrap();
+        let params = SimParams::paper_defaults(model, app);
+        let leads = LeadTimeModel::desh_default();
+        let budget = 10_000_000;
+
+        let mut queue = EventQueue::new();
+        let mut sim = CrSim::new(params.clone(), first, &leads)
+            .with_bg_rng(SimRng::seed_from(1));
+        run_with_queue(&mut sim, &mut queue, budget);
+
+        queue.reset();
+        sim.reset_for_run(&second, SimRng::seed_from(7));
+        run_with_queue(&mut sim, &mut queue, budget);
+        let reused = sim.result();
+
+        let fresh = CrSim::new(params, second, &leads)
+            .with_bg_rng(SimRng::seed_from(7))
+            .run();
+        prop_assert_eq!(reused, fresh);
+    }
+
     /// OCI formulas: positive, monotone in their arguments, Eq. 2 ≥ Eq. 1.
     #[test]
     fn oci_properties(
