@@ -2,9 +2,11 @@
 //! (default 1000 runs, `PCKPT_RUNS` to override) of the P2 model on XGC
 //! in both PFS modes and reports runs/second.
 //!
-//! Emits one machine-parsable `CAMPAIGN_JSON {...}` line per mode;
-//! `scripts/bench.sh` folds these into its snapshot (BENCH_pr3.json by
-//! default) alongside the criterion micro-benchmarks.
+//! Emits one machine-parsable `CAMPAIGN_JSON {...}` line per mode plus
+//! one `METRICS_JSON {...}` line with the aggregated per-run simobs
+//! metrics (event counts, queue depth high-water mark, latency
+//! histograms); `scripts/bench.sh` folds these into its snapshot
+//! (BENCH_pr4.json by default) alongside the criterion micro-benchmarks.
 
 use std::time::Instant;
 
@@ -38,5 +40,6 @@ fn main() {
             "CAMPAIGN_JSON {{\"name\":\"p2_xgc_{label}\",\"runs\":{},\"wall_secs\":{wall:.6},\"runs_per_sec\":{rps:.3}}}",
             agg.runs()
         );
+        println!("METRICS_JSON {}", agg.obs.to_json(&format!("p2_xgc_{label}")));
     }
 }

@@ -103,6 +103,13 @@ impl FluidPfs {
         self.scratch.clear();
     }
 
+    /// Installs a trace recorder on the underlying flow link, so PFS
+    /// wave completions show up in the structured event stream. A no-op
+    /// unless the `trace` feature is enabled.
+    pub fn set_recorder(&mut self, rec: pckpt_simobs::Recorder) {
+        self.link.set_recorder(rec);
+    }
+
     /// Starts an operation moving `bytes` with `weight` writer shares.
     pub fn start(&mut self, now: SimTime, op: PfsOp, bytes: f64, weight: f64) {
         let id = self.link.start_weighted(now, bytes, weight);

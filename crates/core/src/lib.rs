@@ -41,5 +41,9 @@ pub mod tracer;
 
 pub use config::{ModelKind, SimParams};
 pub use metrics::{Aggregate, OverheadLedger, RunResult};
-pub use runner::{run_many, run_models, CampaignResult, RunArena, RunnerConfig};
+pub use runner::{record_run, run_many, run_models, CampaignResult, RunArena, RunnerConfig};
 pub use sim::CrSim;
+
+/// Re-export of the structured observability layer (recorders, metrics,
+/// trace exporters) so downstream bins need only depend on `pckpt-core`.
+pub use pckpt_simobs as obs;

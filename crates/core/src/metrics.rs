@@ -12,6 +12,7 @@
 //! and the **FT ratio** (Tables II & IV): successfully mitigated failures
 //! over all failures.
 
+use pckpt_simobs::{ObsAggregate, RunObs};
 use pckpt_simrng::stats::Summary;
 
 /// Per-run overhead ledger, filled in by the simulator.
@@ -90,6 +91,10 @@ pub struct RunResult {
     pub ideal_secs: f64,
     /// The OCI in force at the end of the run, seconds.
     pub final_oci_secs: f64,
+    /// Always-on observability snapshot (event counts, queue high-water
+    /// mark, fixed-bucket latency histograms). Fixed-size: carrying it
+    /// here keeps the campaign steady state allocation-free.
+    pub obs: RunObs,
 }
 
 impl RunResult {
@@ -129,6 +134,9 @@ pub struct Aggregate {
     pub mitigated_safeguard: Summary,
     /// Wall time, hours.
     pub wall_hours: Summary,
+    /// Aggregated observability metrics (event counts, queue high-water
+    /// mark, latency histograms) across the runs.
+    pub obs: ObsAggregate,
     /// Per-run total-overhead samples (hours) for percentile error bars.
     total_samples: Vec<f64>,
 }
@@ -153,6 +161,7 @@ impl Aggregate {
         self.mitigated_safeguard
             .push(run.ledger.mitigated_by_safeguard as f64);
         self.wall_hours.push(run.wall_secs / H);
+        self.obs.push(&run.obs);
         self.total_samples
             .push(run.ledger.total_overhead_secs() / H);
     }
@@ -169,6 +178,7 @@ impl Aggregate {
         self.mitigated_pckpt.merge(&other.mitigated_pckpt);
         self.mitigated_safeguard.merge(&other.mitigated_safeguard);
         self.wall_hours.merge(&other.wall_hours);
+        self.obs.merge(&other.obs);
         self.total_samples.extend_from_slice(&other.total_samples);
     }
 
@@ -257,6 +267,7 @@ mod tests {
             wall_secs: 100_000.0 + 5796.0,
             ideal_secs: 100_000.0,
             final_oci_secs: 5000.0,
+            obs: RunObs::default(),
         }
     }
 

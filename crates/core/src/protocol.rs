@@ -190,6 +190,14 @@ impl PckptRound {
         self.committed.iter().filter_map(|v| v.fail_idx)
     }
 
+    /// Number of vulnerable nodes still waiting in the phase-1 priority
+    /// queue (excluding the active writer). Recorded as the payload of
+    /// each `PHASE1_COMMIT` trace record: the backlog at commit time
+    /// shows how contended the round was.
+    pub fn queued_count(&self) -> usize {
+        self.queue.len()
+    }
+
     /// True if phase 1 has no queued nodes and no active writer.
     pub fn phase1_drained(&self) -> bool {
         self.queue.is_empty() && self.writer.is_none()
@@ -236,6 +244,23 @@ mod tests {
         r.writer_committed();
         assert!(r.next_writer().is_none());
         assert_eq!(r.committed_count(), 3);
+    }
+
+    #[test]
+    fn queued_count_tracks_backlog_not_writer() {
+        let mut r = PckptRound::new(0.0, t(0.0));
+        assert_eq!(r.queued_count(), 0);
+        r.enqueue(v(1, 50.0, Some(0)));
+        r.enqueue(v(2, 20.0, Some(1)));
+        assert_eq!(r.queued_count(), 2);
+        // Popping a writer moves it out of the backlog.
+        r.next_writer();
+        assert_eq!(r.queued_count(), 1);
+        r.writer_committed();
+        assert_eq!(r.queued_count(), 1);
+        r.next_writer();
+        r.writer_committed();
+        assert_eq!(r.queued_count(), 0);
     }
 
     #[test]

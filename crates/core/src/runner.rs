@@ -32,6 +32,7 @@ use std::thread;
 
 use pckpt_desim::{run_with_queue, EventQueue};
 use pckpt_failure::{FailureTrace, LeadTimeModel, TraceConfig};
+use pckpt_simobs::{Recorder, Recording};
 use pckpt_simrng::SimRng;
 
 use crate::config::{ModelKind, SimParams};
@@ -182,10 +183,52 @@ impl<'a> RunArena<'a> {
         for (sim, slot) in self.sims.iter_mut().zip(out.iter_mut()) {
             self.queue.reset();
             sim.reset_for_run(&self.trace, bg_rng.clone());
-            run_with_queue(sim, &mut self.queue, 10_000_000);
+            let sched_before = self.queue.scheduled_total();
+            let (_, handled) = run_with_queue(sim, &mut self.queue, 10_000_000);
+            sim.set_queue_obs(
+                handled,
+                self.queue.scheduled_total() - sched_before,
+                self.queue.depth_hwm() as u64,
+            );
             *slot = Some(sim.result());
         }
     }
+
+    /// Installs a structured-event recorder on the event queue and every
+    /// model simulator in this arena. With the `trace` feature disabled
+    /// the recorder is a ZST and this is a no-op.
+    pub fn install_recorder(&mut self, rec: Recorder) {
+        self.queue.set_recorder(rec.clone());
+        for sim in &mut self.sims {
+            sim.set_recorder(rec.clone());
+        }
+    }
+}
+
+/// Executes a single run of one model under a structured-event recorder
+/// and returns both the run's result and the captured [`Recording`].
+///
+/// The run is draw-for-draw identical to the same `(base_seed, run)` pair
+/// inside a campaign: the run's RNG stream is `master.split(run)` and the
+/// background-traffic stream is `rng.split(0xB6)`. With the `trace`
+/// feature disabled the recorder records nothing and the returned
+/// recording is empty.
+pub fn record_run(
+    params: &SimParams,
+    leads: &LeadTimeModel,
+    base_seed: u64,
+    run: usize,
+    capacity: usize,
+) -> (RunResult, Recording) {
+    let rec = Recorder::enabled(capacity);
+    let mut arena = RunArena::new(params, &[params.model], leads);
+    arena.install_recorder(rec.clone());
+    let master = SimRng::seed_from(base_seed);
+    let mut out = [None];
+    arena.run_one(&master, run, &mut out);
+    // run_one fills every slot. simlint: allow(no-unwrap-in-lib)
+    let result = out[0].take().expect("run produced a result");
+    (result, rec.take())
 }
 
 /// Claims the next chunk of run indices `[start, end)` from the shared

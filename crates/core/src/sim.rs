@@ -32,6 +32,7 @@
 
 use pckpt_desim::{Ctx, EventId, Model, SimDuration, SimTime, Simulation, SmallMap};
 use pckpt_failure::{FailureTrace, LeadTimeModel, RateEstimator};
+use pckpt_simobs::{kind as obskind, Recorder, RunObs};
 
 use crate::config::{ModelKind, SimParams};
 use crate::metrics::{OverheadLedger, RunResult};
@@ -79,6 +80,18 @@ pub enum Ev {
     /// A fluid-mode PFS transfer may have completed (stamped with the
     /// fluid link's epoch; stale ticks are dropped).
     PfsTick(u64),
+}
+
+/// Stable numeric code for [`obskind::STATE`] trace records.
+fn state_code(state: AppState) -> u64 {
+    match state {
+        AppState::Computing => 0,
+        AppState::BbCkpt => 1,
+        AppState::Round => 2,
+        AppState::Safeguard => 3,
+        AppState::Recovering => 4,
+        AppState::Done => 5,
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -174,6 +187,14 @@ pub struct CrSim {
     recovery_all_pfs: bool,
     /// Optional run trace (enabled by [`CrSim::run_traced`]).
     tracer: Option<RunTrace>,
+    /// Always-on fixed-size run metrics (no heap storage; folded into
+    /// [`RunResult`] by [`CrSim::result`]).
+    obs: RunObs,
+    /// Structured trace sink; zero-sized no-op unless the `trace`
+    /// feature is enabled and a live recorder is installed.
+    rec: Recorder,
+    /// When the current p-ckpt phase-1 writer started (obs latency).
+    phase1_started: SimTime,
     /// Reused buffer for fluid-mode completion batches (hot path: one
     /// `PfsTick` per transfer completion; no per-tick allocation).
     pfs_done_scratch: Vec<crate::iosim::PfsOp>,
@@ -264,6 +285,9 @@ impl CrSim {
             recovery_floor: SimTime::ZERO,
             recovery_all_pfs: false,
             tracer: None,
+            obs: RunObs::default(),
+            rec: Recorder::disabled(),
+            phase1_started: SimTime::ZERO,
             pfs_done_scratch: Vec::new(),
             rearm_scratch: Vec::new(),
             lm_scratch: Vec::new(),
@@ -324,12 +348,105 @@ impl CrSim {
         self.recovery_floor = SimTime::ZERO;
         self.recovery_all_pfs = false;
         self.tracer = None;
+        // The recorder stays installed: per-run recordings are cut by the
+        // owner via `Recorder::take`/`clear` between runs.
+        self.obs.reset();
+        self.phase1_started = SimTime::ZERO;
     }
 
-    /// Records a trace event when tracing is enabled.
+    /// Installs a structured trace recorder on the model and its fluid
+    /// link (the campaign runner wires the event queue separately). A
+    /// no-op unless the `trace` feature is enabled.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        if let Some(fluid) = self.fluid.as_mut() {
+            fluid.set_recorder(rec.clone());
+        }
+        self.rec = rec;
+    }
+
+    /// The always-on per-run observability metrics accumulated so far.
+    pub fn obs(&self) -> &RunObs {
+        &self.obs
+    }
+
+    /// Records a trace event: always feeds the structured simobs stream
+    /// and the fixed-size run metrics; additionally feeds the legacy
+    /// allocating tracer when one is enabled via [`CrSim::run_traced`].
     fn trace_ev(&mut self, at: SimTime, kind: TraceKind) {
+        self.observe(at, &kind);
         if let Some(tr) = self.tracer.as_mut() {
             tr.push(at, kind);
+        }
+    }
+
+    /// Maps one trace event onto the structured recorder and the run
+    /// metrics. Allocation-free; every `rec` call compiles to nothing
+    /// without the `trace` feature.
+    fn observe(&mut self, at: SimTime, kind: &TraceKind) {
+        let t = at.as_nanos();
+        match *kind {
+            // State transitions are emitted by `enter_state` directly
+            // (the TraceKind variant is only built when the legacy
+            // tracer is on).
+            TraceKind::State(_) => {}
+            TraceKind::Prediction {
+                node,
+                lead_secs,
+                genuine,
+            } => self.rec.emit(
+                t,
+                obskind::PREDICTION,
+                u64::from(node) | (u64::from(genuine) << 32),
+                lead_secs.to_bits(),
+            ),
+            TraceKind::LmStart(n) => self.rec.emit(t, obskind::LM_START, n.into(), 0),
+            TraceKind::LmDone(n) => self.rec.emit(t, obskind::LM_COMMIT, n.into(), 0),
+            TraceKind::LmAbort(n) => self.rec.emit(t, obskind::LM_ABORT, n.into(), 0),
+            TraceKind::RoundStart => self.rec.emit(t, obskind::ROUND_START, 0, 0),
+            TraceKind::Phase1Commit(n) => {
+                self.obs
+                    .lat_phase1
+                    .record(at.since(self.phase1_started).as_nanos());
+                // Payload b: the phase-1 backlog at commit time — how many
+                // vulnerable nodes were still waiting behind this writer.
+                let queued = self.round.as_ref().map_or(0, |r| r.queued_count() as u64);
+                self.rec.emit(t, obskind::PHASE1_COMMIT, n.into(), queued);
+            }
+            TraceKind::RoundComplete => {
+                self.obs
+                    .lat_pfs_full
+                    .record(at.since(self.state_entered).as_nanos());
+                self.rec.emit(t, obskind::ROUND_COMPLETE, 0, 0);
+            }
+            TraceKind::SafeguardStart => self.rec.emit(t, obskind::SAFEGUARD_START, 0, 0),
+            TraceKind::SafeguardDone => {
+                self.obs
+                    .lat_pfs_full
+                    .record(at.since(self.state_entered).as_nanos());
+                self.rec.emit(t, obskind::SAFEGUARD_DONE, 0, 0);
+            }
+            TraceKind::BbCkpt => {
+                self.obs
+                    .lat_bb
+                    .record(at.since(self.state_entered).as_nanos());
+                self.rec.emit(t, obskind::BB_CKPT, 0, 0);
+            }
+            TraceKind::DrainDone => self.rec.emit(t, obskind::DRAIN_DONE, 0, 0),
+            TraceKind::Failure { node, mitigated } => self.rec.emit(
+                t,
+                obskind::FAILURE,
+                u64::from(node) | (u64::from(mitigated) << 32),
+                0,
+            ),
+            TraceKind::RecoveryStart { lost_secs } => {
+                self.obs
+                    .recomp
+                    .record(SimDuration::from_secs(lost_secs).as_nanos());
+                self.rec
+                    .emit(t, obskind::RECOVERY_START, 0, lost_secs.to_bits());
+            }
+            TraceKind::RecoveryDone => self.rec.emit(t, obskind::RECOVERY_DONE, 0, 0),
+            TraceKind::Complete => self.rec.emit(t, obskind::COMPLETE, 0, 0),
         }
     }
 
@@ -338,12 +455,26 @@ impl CrSim {
     pub fn run_traced(mut self) -> (RunResult, RunTrace) {
         self.tracer = Some(RunTrace::new());
         let budget = 10_000_000;
+        let rec = self.rec.clone();
         let mut sim = Simulation::new(self).with_event_budget(budget);
+        sim.set_recorder(rec);
         sim.run();
         let mut model = sim.into_model();
-        // run_traced installs the tracer two lines up. simlint: allow(no-unwrap-in-lib)
+        // run_traced installs the tracer above. simlint: allow(no-unwrap-in-lib)
         let trace = model.tracer.take().expect("tracing was enabled");
         (model.finish(), trace)
+    }
+
+    /// Injects engine-level queue statistics into the obs snapshot.
+    ///
+    /// The queue lives outside the model, so the campaign runner (which
+    /// measures these around `run_with_queue`) hands them in before
+    /// reading [`CrSim::result`]. One-shot [`CrSim::run`] paths leave
+    /// them zero — queue statistics are campaign-level metrics.
+    pub fn set_queue_obs(&mut self, handled: u64, scheduled: u64, depth_hwm: u64) {
+        self.obs.events_handled = handled;
+        self.obs.events_scheduled = scheduled;
+        self.obs.queue_depth_hwm = depth_hwm;
     }
 
     // ------------------------------------------------------------------
@@ -444,10 +575,11 @@ impl CrSim {
     /// Runs the simulation to completion and returns the result.
     pub fn run(self) -> RunResult {
         let budget = 10_000_000;
+        let rec = self.rec.clone();
         let mut sim = Simulation::new(self).with_event_budget(budget);
+        sim.set_recorder(rec);
         sim.run();
-        let model = sim.into_model();
-        model.finish()
+        sim.into_model().finish()
     }
 
     fn finish(self) -> RunResult {
@@ -468,6 +600,7 @@ impl CrSim {
             ideal_secs: self.target,
             final_oci_secs: self.oci_secs,
             ledger: self.ledger.clone(),
+            obs: self.obs.clone(),
         };
         debug_assert!(
             result.accounting_residual_secs().abs() < 1.0,
@@ -552,6 +685,8 @@ impl CrSim {
     }
 
     fn enter_state(&mut self, ctx: &mut Ctx<'_, Ev>, state: AppState) {
+        self.rec
+            .emit(ctx.now().as_nanos(), obskind::STATE, state_code(state), 0);
         if self.tracer.is_some() {
             let name = match state {
                 AppState::Computing => "computing",
@@ -875,6 +1010,12 @@ impl CrSim {
                 };
                 round.enqueue(entry);
                 self.round = Some(round);
+                self.rec.emit(
+                    ctx.now().as_nanos(),
+                    obskind::STATE,
+                    state_code(AppState::Round),
+                    0,
+                );
                 self.state = AppState::Round;
                 self.state_entered = ctx.now();
                 self.ledger.pckpt_rounds += 1;
@@ -911,6 +1052,7 @@ impl CrSim {
             return;
         }
         if round.next_writer().is_some() {
+            self.phase1_started = ctx.now();
             if self.fluid.is_some() {
                 let bytes = self.p.per_node_bytes();
                 self.fluid_start(ctx, crate::iosim::PfsOp::Phase1, bytes, 1.0);
@@ -1301,6 +1443,12 @@ impl CrSim {
         debug_assert_eq!(self.state, AppState::Computing);
         self.close_segment(ctx.now());
         self.epoch += 1;
+        self.rec.emit(
+            ctx.now().as_nanos(),
+            obskind::STATE,
+            state_code(AppState::Done),
+            0,
+        );
         self.state = AppState::Done;
         self.trace_ev(ctx.now(), TraceKind::Complete);
         self.finished_at = Some(ctx.now());

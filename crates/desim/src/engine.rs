@@ -184,6 +184,17 @@ impl<M: Model> Simulation<M> {
         self.events_handled
     }
 
+    /// Installs a structured-event recorder on the owned queue.
+    pub fn set_recorder(&mut self, rec: pckpt_simobs::Recorder) {
+        self.queue.set_recorder(rec);
+    }
+
+    /// Read-only access to the owned queue (observability: depth
+    /// high-water mark, scheduled totals).
+    pub fn queue(&self) -> &EventQueue<M::Event> {
+        &self.queue
+    }
+
     /// Immutable access to the model.
     pub fn model(&self) -> &M {
         &self.model

@@ -45,6 +45,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use pckpt_simobs::{kind, Recorder};
+
 use crate::time::{SimDuration, SimTime};
 
 pub mod reference;
@@ -151,6 +153,9 @@ pub struct FlowLink {
     by_finish: BinaryHeap<HeapEntry>,
     /// Debug-mode byte-conservation auditor (zero-sized in release).
     audit: crate::audit::ByteLedger,
+    /// Structured trace sink; zero-sized no-op unless the `trace`
+    /// feature is enabled and a live recorder is installed.
+    rec: Recorder,
 }
 
 impl std::fmt::Debug for FlowLink {
@@ -186,7 +191,15 @@ impl FlowLink {
             by_tag: BinaryHeap::new(),
             by_finish: BinaryHeap::new(),
             audit: crate::audit::ByteLedger::default(),
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Installs a trace recorder; every completed wave is emitted as a
+    /// [`kind::FLOW_WAVE`] record. A no-op unless the `trace` feature is
+    /// active.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// Clears the link back to its just-constructed idle state while
@@ -382,6 +395,10 @@ impl FlowLink {
         out.sort_unstable_by_key(|&(id, _, _)| id);
         if !out.is_empty() {
             self.epoch += 1;
+            for &(id, total, _) in out.iter() {
+                self.rec
+                    .emit(now.as_nanos(), kind::FLOW_WAVE, id.0, total.to_bits());
+            }
         }
         if self.flows.is_empty() {
             self.rebase_idle();

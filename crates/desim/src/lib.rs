@@ -47,3 +47,7 @@ pub use monitor::{Counter, TimeSeries, TimeWeighted};
 pub use queue::{EventId, EventQueue};
 pub use smallmap::SmallMap;
 pub use time::{SimDuration, SimTime};
+
+/// Re-export of the structured observability layer threaded through the
+/// engine, queue, flow link, and process world (see `pckpt-simobs`).
+pub use pckpt_simobs as obs;

@@ -24,6 +24,8 @@
 
 use std::collections::BTreeMap;
 
+use pckpt_simobs::{kind, Recorder};
+
 use crate::engine::{Ctx, Model};
 use crate::queue::EventId;
 use crate::resource::{Acquire, Resource};
@@ -136,6 +138,20 @@ impl<S> ProcCtx<S> {
     }
 }
 
+/// Compact wake encoding for [`kind::PROC_WAKE`] trace records: the low
+/// three decimal digits carry the payload (signal/resource index, or the
+/// interrupt reason truncated), the next digit the variant.
+fn wake_code(wake: Wake) -> u64 {
+    match wake {
+        Wake::Started => 0,
+        Wake::TimerFired => 1_000,
+        Wake::Signal(s) => 2_000 + (s.0 as u64) % 1_000,
+        Wake::TimedOut => 3_000,
+        Wake::Acquired(r) => 4_000 + (r.0 as u64) % 1_000,
+        Wake::Interrupted(code) => 5_000 + code % 1_000,
+    }
+}
+
 /// What a live process is currently blocked on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Blocked {
@@ -166,6 +182,9 @@ pub struct ProcessWorld<S> {
     resources: Vec<Resource<Pid>>,
     start_queue: Vec<Pid>,
     finished: u64,
+    /// Structured trace sink; zero-sized no-op unless the `trace`
+    /// feature is enabled and a live recorder is installed.
+    rec: Recorder,
 }
 
 impl<S> ProcessWorld<S> {
@@ -179,7 +198,15 @@ impl<S> ProcessWorld<S> {
             resources: Vec::new(),
             start_queue: Vec::new(),
             finished: 0,
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Installs a trace recorder; every process resumption is emitted as a
+    /// [`kind::PROC_WAKE`] record carrying the pid and a wake code. A
+    /// no-op unless the `trace` feature is active.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// Clears all processes, wait lists, and resource holds back to an
@@ -301,6 +328,12 @@ impl<S> ProcessWorld<S> {
                 return; // interrupted/finished concurrently
             };
             entry.blocked = Blocked::Running;
+            self.rec.emit(
+                ctx.now().as_nanos(),
+                kind::PROC_WAKE,
+                pid.0 as u64,
+                wake_code(wake),
+            );
             let mut pctx = ProcCtx {
                 now: ctx.now(),
                 me: pid,

@@ -14,6 +14,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use pckpt_simobs::Recorder;
+
 use crate::time::{SimDuration, SimTime};
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
@@ -70,8 +72,13 @@ pub struct EventQueue<E> {
     now: SimTime,
     next_seq: u64,
     scheduled_total: u64,
+    /// High-water mark of live pending events since the last reset.
+    depth_hwm: usize,
     /// Debug-mode pop-monotonicity auditor (zero-sized in release).
     audit: crate::audit::PopAudit,
+    /// Structured event recorder (ZST no-op unless the `trace` feature
+    /// of `pckpt-simobs` is enabled).
+    rec: Recorder,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -90,7 +97,9 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             next_seq: 0,
             scheduled_total: 0,
+            depth_hwm: 0,
             audit: crate::audit::PopAudit::default(),
+            rec: Recorder::disabled(),
         }
     }
 
@@ -105,7 +114,10 @@ impl<E> EventQueue<E> {
         self.now = SimTime::ZERO;
         self.next_seq = 0;
         self.scheduled_total = 0;
+        self.depth_hwm = 0;
         self.audit.reset();
+        // The recorder is deliberately kept: whoever installed it owns
+        // its lifecycle (see `Recorder::clear`/`take`).
     }
 
     #[inline]
@@ -162,6 +174,10 @@ impl<E> EventQueue<E> {
         self.live_count += 1;
         self.next_seq += 1;
         self.scheduled_total += 1;
+        if self.live_count > self.depth_hwm {
+            self.depth_hwm = self.live_count;
+        }
+        self.rec.on_sched(at.as_nanos(), id.0);
         id
     }
 
@@ -179,6 +195,7 @@ impl<E> EventQueue<E> {
         // liveness bit, so they can't re-tombstone anything.
         let was_pending = self.clear_live(id);
         if was_pending {
+            self.rec.on_cancel(self.now.as_nanos(), id.0);
             self.maybe_compact();
         }
         was_pending
@@ -206,6 +223,7 @@ impl<E> EventQueue<E> {
             debug_assert!(entry.time >= self.now, "heap returned a past event");
             self.audit.observe_pop(entry.time, entry.seq);
             self.now = entry.time;
+            self.rec.on_pop(entry.time.as_nanos(), entry.id.0);
             return Some((entry.time, entry.id, entry.payload));
         }
         None
@@ -242,6 +260,23 @@ impl<E> EventQueue<E> {
     /// and the compaction regression test).
     pub fn heap_slots(&self) -> usize {
         self.heap.len()
+    }
+
+    /// High-water mark of live pending events since the last reset.
+    pub fn depth_hwm(&self) -> usize {
+        self.depth_hwm
+    }
+
+    /// Installs a structured-event recorder: every schedule, cancel and
+    /// pop from here on is reported to it. Without the `trace` feature
+    /// the recorder is zero-sized and the hook calls compile away.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
+    }
+
+    /// The installed recorder (shared handle; disabled by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 }
 
@@ -403,6 +438,25 @@ mod tests {
         q.schedule_at(secs(1.0), 99);
         assert_eq!(q.pop().unwrap().2, 99);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn depth_hwm_tracks_peak_and_resets() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.depth_hwm(), 0);
+        let ids: Vec<_> = (0..4).map(|i| q.schedule_at(secs(i as f64 + 1.0), i)).collect();
+        assert_eq!(q.depth_hwm(), 4);
+        q.cancel(ids[0]);
+        q.pop().unwrap();
+        // Draining does not lower the mark...
+        assert_eq!(q.depth_hwm(), 4);
+        // ...and re-growing past it raises it.
+        for i in 0..5 {
+            q.schedule_at(secs(10.0 + i as f64), 100 + i);
+        }
+        assert_eq!(q.depth_hwm(), 7);
+        q.reset();
+        assert_eq!(q.depth_hwm(), 0);
     }
 
     #[test]

@@ -294,6 +294,40 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsResult {
     }
 }
 
+/// One-sample KS goodness-of-fit test of `samples` against a theoretical
+/// CDF. Panics on empty input, non-finite values, or a `cdf` that leaves
+/// `[0, 1]` on any sample point.
+///
+/// This is the statistical self-test primitive: every analytic
+/// distribution in [`crate::dist`] is validated against its own closed
+/// form, and the empirical lead-time mixture against its survival
+/// function (Fig. 2a anchors).
+pub fn ks_one_sample(samples: &[f64], cdf: impl Fn(f64) -> f64) -> KsResult {
+    assert!(!samples.is_empty(), "KS needs a non-empty sample");
+    assert!(
+        samples.iter().all(|x| x.is_finite()),
+        "KS samples must be finite"
+    );
+    let mut s = samples.to_vec();
+    s.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let n = s.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in s.iter().enumerate() {
+        let f = cdf(x);
+        assert!((0.0..=1.0).contains(&f), "cdf({x}) = {f} outside [0, 1]");
+        // The empirical CDF steps from i/n to (i+1)/n at x: both sides
+        // of the step bound the deviation.
+        d = d.max((f - i as f64 / n).abs());
+        d = d.max(((i + 1) as f64 / n - f).abs());
+    }
+    let sqrt_n = n.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
+}
+
 /// The Kolmogorov survival function Q(λ) = 2·Σ (−1)^{k−1} e^{−2k²λ²}.
 fn kolmogorov_q(lambda: f64) -> f64 {
     if lambda < 1e-3 {
@@ -508,6 +542,101 @@ mod tests {
         let r = ks_two_sample(&a, &b);
         assert!(r.statistic > 0.3);
         assert!(r.p_value < 0.01);
+    }
+
+    /// Standard normal CDF via Abramowitz–Stegun 7.1.26 (|err| < 1.5e-7),
+    /// plenty for KS at the sample sizes used here.
+    fn normal_cdf(z: f64) -> f64 {
+        let x = z / std::f64::consts::SQRT_2;
+        let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+        let poly = t
+            * (0.254829592
+                + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        let erf = 1.0 - poly * (-x * x).exp();
+        let erf = if x < 0.0 { -erf } else { erf };
+        0.5 * (1.0 + erf)
+    }
+
+    #[test]
+    fn gof_weibull_matches_its_cdf() {
+        use crate::dist::{Distribution, Weibull};
+        use crate::rng::SimRng;
+        // The Titan MTBF law (shape 0.7 — DESIGN.md §3) and a wear-out
+        // shape, each against the closed-form CDF.
+        for (seed, shape, scale) in [(101, 0.7, 5.0), (102, 1.8, 3600.0)] {
+            let w = Weibull::new(shape, scale);
+            let mut rng = SimRng::seed_from(seed);
+            let samples = w.sample_n(&mut rng, 1500);
+            let r = ks_one_sample(&samples, |x| w.cdf(x));
+            assert!(
+                r.same_distribution(0.01),
+                "Weibull({shape}, {scale}) rejected its own CDF: D={}, p={}",
+                r.statistic,
+                r.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn gof_lognormal_matches_its_cdf() {
+        use crate::dist::{Distribution, LogNormal};
+        use crate::rng::SimRng;
+        // from_mean_cv is how the failure generator parameterizes lead
+        // errors; validate via the underlying normal on the log scale.
+        let d = LogNormal::from_mean_cv(50.0, 0.5);
+        let mut rng = SimRng::seed_from(103);
+        let samples = d.sample_n(&mut rng, 1500);
+        let r = ks_one_sample(&samples, |x| {
+            if x <= 0.0 {
+                0.0
+            } else {
+                normal_cdf((x.ln() - d.mu) / d.sigma)
+            }
+        });
+        assert!(
+            r.same_distribution(0.01),
+            "LogNormal rejected its own CDF: D={}, p={}",
+            r.statistic,
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn gof_truncated_normal_matches_its_cdf() {
+        use crate::dist::{Distribution, TruncatedNormal};
+        use crate::rng::SimRng;
+        // A Fig.-2a-style sequence: mean 60 s, σ 25 s, truncated at 0 —
+        // the rejection sampler must reproduce the renormalized CDF.
+        let d = TruncatedNormal::new(60.0, 25.0, 0.0);
+        let mut rng = SimRng::seed_from(104);
+        let samples = d.sample_n(&mut rng, 1500);
+        let mass_below = normal_cdf((d.lower_bound() - d.mu()) / d.sigma());
+        let r = ks_one_sample(&samples, |x| {
+            if x < d.lower_bound() {
+                0.0
+            } else {
+                ((normal_cdf((x - d.mu()) / d.sigma()) - mass_below) / (1.0 - mass_below))
+                    .clamp(0.0, 1.0)
+            }
+        });
+        assert!(
+            r.same_distribution(0.01),
+            "TruncatedNormal rejected its own CDF: D={}, p={}",
+            r.statistic,
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn ks_one_sample_rejects_wrong_law() {
+        use crate::dist::{Distribution, Exponential};
+        use crate::rng::SimRng;
+        let mut rng = SimRng::seed_from(105);
+        let samples = Exponential::new(10.0).sample_n(&mut rng, 800);
+        // Test exponential data against a uniform CDF on [0, 30].
+        let r = ks_one_sample(&samples, |x| (x / 30.0).clamp(0.0, 1.0));
+        assert!(!r.same_distribution(0.05), "wrong law accepted: p={}", r.p_value);
+        assert!(r.statistic > 0.15);
     }
 
     #[test]

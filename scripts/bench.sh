@@ -4,9 +4,9 @@
 # Runs the criterion micro-benchmarks (event dispatch, flow-link churn
 # virtual-vs-reference, arena-reuse vs fresh-build campaign runs) and
 # the end-to-end campaign timer, then folds the machine-parsable
-# CRITERION_JSON / CAMPAIGN_JSON lines into one snapshot (default
-# BENCH_pr3.json; earlier BENCH_pr<N>.json files are kept as the perf
-# trajectory across the PR sequence):
+# CRITERION_JSON / CAMPAIGN_JSON / METRICS_JSON lines into one snapshot
+# (default BENCH_pr4.json; earlier BENCH_pr<N>.json files are kept as
+# the perf trajectory across the PR sequence):
 #
 #   median_ns_per_event            engine dispatch cost
 #   events_per_sec                 its reciprocal
@@ -22,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr3.json}
+OUT=${1:-BENCH_pr4.json}
 BENCH_LOG=$(mktemp)
 CAMPAIGN_LOG=$(mktemp)
 trap 'rm -f "$BENCH_LOG" "$CAMPAIGN_LOG"' EXIT
@@ -51,8 +51,9 @@ def parse(path, tag):
 
 benches = parse(bench_log, "CRITERION_JSON ")
 campaigns = parse(campaign_log, "CAMPAIGN_JSON ")
+metrics = parse(campaign_log, "METRICS_JSON ")
 
-doc = {"benchmarks": benches, "campaigns": campaigns}
+doc = {"benchmarks": benches, "campaigns": campaigns, "metrics": metrics}
 
 dispatch = benches.get("engine_dispatch_100k_events")
 if dispatch:

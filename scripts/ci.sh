@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full CI chain: the tier-1 gate plus everything it doesn't cover —
+# workspace-member tests and the trace-feature build (whose golden
+# digests prove the recorder changes nothing it observes).
+#
+#   1. scripts/lint.sh        simlint, release build, root test suite,
+#                             1-run bench smoke (CAMPAIGN/METRICS_JSON)
+#   2. cargo test --workspace every crate's unit tests (trace off)
+#   3. cargo test --features trace
+#                             root suite again with the recorder live:
+#                             golden stream digests + on/off equivalence
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==== [1/3] tier-1 gate (scripts/lint.sh) ===="
+scripts/lint.sh
+
+echo
+echo "==== [2/3] workspace tests ===="
+cargo test -q --workspace
+
+echo
+echo "==== [3/3] trace-feature tests ===="
+cargo test -q --features trace
+
+echo
+echo "ci.sh: all stages passed"

@@ -15,19 +15,24 @@ cargo test -q
 
 echo "== bench smoke (1-run campaign) =="
 # One Monte-Carlo run through the end-to-end campaign timer: proves the
-# bench harness stays runnable and its CAMPAIGN_JSON output parseable
-# without paying for a full benchmark session.
+# bench harness stays runnable and its CAMPAIGN_JSON / METRICS_JSON
+# output parseable without paying for a full benchmark session.
 PCKPT_RUNS=1 cargo run --release -q -p pckpt-bench --bin bench_campaign \
     | python3 -c '
 import json, sys
-seen = 0
+seen = {"CAMPAIGN_JSON ": 0, "METRICS_JSON ": 0}
 for line in sys.stdin:
-    if line.startswith("CAMPAIGN_JSON "):
-        rec = json.loads(line[len("CAMPAIGN_JSON "):])
-        assert rec["runs_per_sec"] > 0, rec
-        seen += 1
-assert seen == 2, f"expected 2 CAMPAIGN_JSON lines, saw {seen}"
-print(f"bench smoke ok ({seen} campaigns)")
+    for tag in seen:
+        if line.startswith(tag):
+            rec = json.loads(line[len(tag):])
+            if tag == "CAMPAIGN_JSON ":
+                assert rec["runs_per_sec"] > 0, rec
+            else:
+                assert rec["runs"] == 1 and rec["events_handled"] > 0, rec
+            seen[tag] += 1
+for tag, n in seen.items():
+    assert n == 2, f"expected 2 {tag.strip()} lines, saw {n}"
+print("bench smoke ok (2 campaigns, 2 metrics blocks)")
 '
 
 echo "lint.sh: all gates passed"

@@ -1,0 +1,197 @@
+//! Trace-determinism regression tests.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **On/off equivalence** — compiling the `trace` feature in or out
+//!    must not change any simulated number. The campaign digest below is
+//!    a committed golden asserted under *both* feature settings (this
+//!    file is compiled twice by `scripts/ci.sh`); if enabling the
+//!    recorder perturbed RNG draws, event ordering, or float math, the
+//!    two builds would disagree with the constant.
+//! 2. **Stream stability** — with `trace` enabled, the structured event
+//!    stream of a fixed-seed run is itself deterministic: its FNV digest
+//!    matches a committed golden, in both PFS modes. Any re-ordering of
+//!    event dispatch, flow-wave completion, or protocol phases shows up
+//!    here before it shows up in an aggregate.
+//!
+//! Regenerate goldens after an *intentional* semantic change with:
+//! `cargo test --test trace_determinism -- --nocapture` (the failing
+//! assertions print the measured values).
+
+use pckpt::core::iosim::PfsMode;
+use pckpt::prelude::*;
+
+/// Golden digest of the 12-run XGC campaign below — identical with and
+/// without the `trace` feature.
+const GOLDEN_CAMPAIGN_DIGEST: &str = "B:40134339b68338cd-0000000000000000-4041800000000000;\
+     P2:3ff84e8dbc526410-3fed41d41d41d41d-4041800000000000;\
+     B:40134339b68338cd-0000000000000000-4041800000000000;\
+     P2:3ff84847020395d3-3fed41d41d41d41d-4041800000000000;";
+
+fn xgc_params(mode: PfsMode) -> SimParams {
+    let app = Application::by_name("XGC").expect("Table I app");
+    let mut params = SimParams::paper_defaults(ModelKind::P2, app);
+    params.pfs_mode = mode;
+    params
+}
+
+/// Bit-exact digest of everything figure-feeding in a small two-model,
+/// two-mode campaign.
+fn campaign_digest() -> String {
+    let leads = LeadTimeModel::desh_default();
+    let mut s = String::new();
+    for mode in [PfsMode::Analytic, PfsMode::Fluid] {
+        let c = run_models(
+            &xgc_params(mode),
+            &[ModelKind::B, ModelKind::P2],
+            &leads,
+            &RunnerConfig::new(12, 61),
+        );
+        for (m, a) in c.models.iter().zip(&c.aggregates) {
+            s.push_str(&format!(
+                "{}:{:016x}-{:016x}-{:016x};",
+                m.name(),
+                a.total_hours.mean().to_bits(),
+                a.ft_ratio_pooled().to_bits(),
+                a.failures.sum().to_bits(),
+            ));
+        }
+    }
+    s
+}
+
+#[test]
+fn campaign_digest_matches_golden_with_and_without_trace() {
+    let digest = campaign_digest();
+    assert_eq!(
+        digest, GOLDEN_CAMPAIGN_DIGEST,
+        "campaign digest drifted (trace feature {}abled)",
+        if cfg!(feature = "trace") { "en" } else { "dis" }
+    );
+}
+
+#[cfg(not(feature = "trace"))]
+mod trace_off {
+    use super::*;
+
+    #[test]
+    fn recorder_is_inert_without_the_feature() {
+        // The ZST recorder captures nothing; record_run still produces a
+        // valid result over the same RNG draws.
+        let leads = LeadTimeModel::desh_default();
+        let (result, recording) =
+            pckpt::core::record_run(&xgc_params(PfsMode::Analytic), &leads, 61, 0, 1 << 16);
+        assert!(result.ledger.total_overhead_secs() >= 0.0);
+        assert!(recording.is_empty());
+        assert_eq!(recording.dropped, 0);
+    }
+}
+
+#[cfg(feature = "trace")]
+mod trace_on {
+    use super::*;
+    use pckpt::core::obs::{kind, Recording, NO_PARENT};
+    use pckpt::core::record_run;
+
+    /// Golden FNV digests of the structured event stream of run 0,
+    /// seed 61, XGC/P2, per PFS mode.
+    const GOLDEN_STREAM_ANALYTIC: &str = "071d2cbc81e5d175";
+    const GOLDEN_STREAM_FLUID: &str = "978dee2e3cf5bf3d";
+
+    fn record(mode: PfsMode, seed: u64) -> Recording {
+        let leads = LeadTimeModel::desh_default();
+        let (_, recording) = record_run(&xgc_params(mode), &leads, seed, 0, 1 << 20);
+        assert_eq!(recording.dropped, 0, "ring too small for a golden run");
+        recording
+    }
+
+    #[test]
+    fn event_stream_digest_matches_golden_analytic() {
+        let rec = record(PfsMode::Analytic, 61);
+        assert!(!rec.is_empty());
+        assert_eq!(
+            rec.digest_hex(),
+            GOLDEN_STREAM_ANALYTIC,
+            "analytic event stream drifted ({} events)",
+            rec.len()
+        );
+    }
+
+    #[test]
+    fn event_stream_digest_matches_golden_fluid() {
+        let rec = record(PfsMode::Fluid, 61);
+        assert!(!rec.is_empty());
+        assert_eq!(
+            rec.digest_hex(),
+            GOLDEN_STREAM_FLUID,
+            "fluid event stream drifted ({} events)",
+            rec.len()
+        );
+    }
+
+    #[test]
+    fn recording_is_reproducible_and_seed_sensitive() {
+        let a = record(PfsMode::Analytic, 61);
+        let b = record(PfsMode::Analytic, 61);
+        assert_eq!(a.digest(), b.digest(), "same seed must replay bit-identically");
+        let c = record(PfsMode::Analytic, 62);
+        assert_ne!(a.digest(), c.digest(), "different seeds must diverge");
+        let d = a.first_divergence(&c).expect("different seeds diverge");
+        assert_eq!(d.index, 0, "seeds differ from the very first scheduled event");
+    }
+
+    #[test]
+    fn causal_parents_resolve_within_the_recording() {
+        // Every non-root parent id must point at an earlier record; pops
+        // must descend from scheds, protocol events from pops.
+        let rec = record(PfsMode::Fluid, 61);
+        for r in &rec.records {
+            if r.parent == NO_PARENT {
+                continue;
+            }
+            let parent = rec
+                .by_seq(r.parent)
+                .unwrap_or_else(|| panic!("dangling parent {} on seq {}", r.parent, r.seq));
+            assert!(parent.seq < r.seq, "parent must precede child");
+            if r.kind == kind::POP {
+                assert_eq!(parent.kind, kind::SCHED, "a pop descends from its schedule");
+            }
+        }
+        // The protocol actually exercised its phases in this run.
+        let count = |k: u16| rec.records.iter().filter(|r| r.kind == k).count();
+        assert!(count(kind::POP) > 0);
+        assert!(count(kind::STATE) > 0);
+        assert!(count(kind::BB_CKPT) > 0);
+        assert!(count(kind::FLOW_WAVE) > 0, "fluid mode must emit flow waves");
+    }
+
+    #[test]
+    fn chrome_trace_export_is_wellformed_json() {
+        // No serde in the workspace: validate the exporter's output with
+        // a bracket/quote scan plus a few structural anchors.
+        let rec = record(PfsMode::Analytic, 61);
+        let json = rec.to_chrome_trace("xgc-p2");
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"xgc-p2\""));
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut esc = false;
+        for ch in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match ch {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced brackets in chrome trace export");
+        }
+        assert_eq!(depth, 0, "unbalanced brackets in chrome trace export");
+        assert!(!in_str, "unterminated string in chrome trace export");
+    }
+}
