@@ -1,0 +1,105 @@
+//! Grid sweep engine vs serial-cells baseline.
+//!
+//! Times a fig4-shaped sweep — four lead scales × [B, M2] per
+//! application — two ways:
+//!
+//! * **serial**: one [`run_models`] campaign per cell, back to back (the
+//!   pre-grid behavior: every cell pays its own pool spin-up, regenerates
+//!   every trace, and re-runs the lead-blind B lanes);
+//! * **grid**: one [`run_grid`] over all cells (one work-stealing pool,
+//!   per-worker trace cores shared across the scales, B executed once
+//!   per run).
+//!
+//! Both must produce bit-identical per-cell aggregates — verified here
+//! on every invocation before any timing is reported. Emits one
+//! machine-parsable `GRID_JSON {...}` line per app plus the grid
+//! `METRICS_JSON` metadata; `scripts/bench.sh` folds these into its
+//! snapshot (`BENCH_pr5.json`), with POP as the headline speedup.
+
+use std::time::Instant;
+
+use pckpt_bench::{run_cells, runner, runs, seed, sweep_cell};
+use pckpt_core::{run_models, Aggregate, ModelKind};
+use pckpt_failure::{FailureDistribution, LeadTimeModel};
+
+const SWEEP_SCALES: [f64; 4] = [1.5, 1.1, 0.9, 0.5];
+const MODELS: [ModelKind; 2] = [ModelKind::B, ModelKind::M2];
+
+fn digest(a: &Aggregate) -> (u64, u64, u64) {
+    (
+        a.total_hours.mean().to_bits(),
+        a.ft_ratio_pooled().to_bits(),
+        a.failures.sum().to_bits(),
+    )
+}
+
+fn main() {
+    let leads = LeadTimeModel::desh_default();
+    println!(
+        "grid sweep vs serial cells — 4 lead scales x [B, M2], {} runs, seed {}",
+        runs(),
+        seed()
+    );
+    for app_name in ["CHIMERA", "XGC", "POP"] {
+        let app = pckpt_workloads::Application::by_name(app_name).expect("Table I app");
+        let cells: Vec<_> = SWEEP_SCALES
+            .iter()
+            .map(|&s| {
+                sweep_cell(app, &MODELS, FailureDistribution::OLCF_TITAN, s, None, None)
+            })
+            .collect();
+
+        let started = Instant::now();
+        let serial: Vec<_> = cells
+            .iter()
+            .map(|cell| run_models(&cell.params, &cell.models, &leads, &runner()))
+            .collect();
+        let serial_wall = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let grid = run_cells(&cells);
+        let grid_wall = started.elapsed().as_secs_f64();
+
+        // Equivalence gate: a speedup only counts if every cell's
+        // aggregate is bit-identical to its standalone campaign.
+        for (i, (s, g)) in serial.iter().zip(&grid.cells).enumerate() {
+            for (a, b) in s.aggregates.iter().zip(&g.aggregates) {
+                assert_eq!(
+                    digest(a),
+                    digest(b),
+                    "{app_name} cell {i}: grid diverged from serial baseline"
+                );
+            }
+        }
+
+        let speedup = serial_wall / grid_wall;
+        let cells_per_sec = cells.len() as f64 / grid_wall;
+        println!(
+            "  {app_name:<8} serial {serial_wall:.3} s, grid {grid_wall:.3} s  \
+             ({speedup:.2}x, {cells_per_sec:.2} cells/s, {} units for {} lanes, \
+             trace hit rate {:.0}%)",
+            grid.units,
+            grid.lanes,
+            100.0 * grid.trace_cache_hit_rate(),
+        );
+        println!(
+            "GRID_JSON {{\"name\":\"grid_sweep_{name}\",\"cells\":{cells},\"runs_per_cell\":{rpc},\
+             \"serial_wall_secs\":{serial_wall:.6},\"grid_wall_secs\":{grid_wall:.6},\
+             \"speedup\":{speedup:.3},\"cells_per_sec\":{cells_per_sec:.3},\
+             \"lanes\":{lanes},\"units\":{units},\"trace_groups\":{groups},\
+             \"trace_cache_hit_rate\":{hit:.4},\"threads\":{threads}}}",
+            name = app_name.to_lowercase(),
+            cells = cells.len(),
+            rpc = grid.runs_per_cell,
+            lanes = grid.lanes,
+            units = grid.units,
+            groups = grid.trace_groups,
+            hit = grid.trace_cache_hit_rate(),
+            threads = grid.threads,
+        );
+        println!(
+            "METRICS_JSON {}",
+            grid.meta_json(&format!("grid_sweep_{}_grid", app_name.to_lowercase()))
+        );
+    }
+}

@@ -11,18 +11,83 @@
 //!    Young interval.
 //! 4. **Failure projection**: uniform thinning vs Weibull min-stability
 //!    when both apply.
+//!
+//! All 22 ablation cells run as one grid. Coordination, σ policy and the
+//! OCI mode do not enter trace generation, so those cells share trace
+//! groups per app — each ablation axis is a common-random-numbers
+//! comparison; the FN-rate and projection axes change generation itself
+//! and intentionally get fresh groups.
 
 use pckpt_analysis::Table;
+use pckpt_bench::{print_grid_metrics, run_cells};
 use pckpt_core::config::CoordinationPolicy;
 use pckpt_core::oci::SigmaPolicy;
-use pckpt_core::{run_models, ModelKind, SimParams};
-use pckpt_failure::{FailureDistribution, LeadTimeModel, Projection};
+use pckpt_core::{GridCell, ModelKind, SimParams};
+use pckpt_failure::{FailureDistribution, Projection};
 use pckpt_workloads::Application;
 
 fn main() {
-    let leads = LeadTimeModel::desh_default();
-    let runner = pckpt_bench::runner();
     let runs = pckpt_bench::runs();
+    let coord_axis = [
+        (CoordinationPolicy::Prioritized, "prioritized (paper)"),
+        (CoordinationPolicy::FifoQueue, "FIFO queue"),
+        (CoordinationPolicy::Uncoordinated, "uncoordinated"),
+    ];
+    let sigma_axis = [
+        (SigmaPolicy::LeadTimeOnly, "lead-only (paper)"),
+        (SigmaPolicy::AccuracyAware, "accuracy-aware"),
+    ];
+    let fn_rates = [0.15, 0.40];
+    let oci_axis = [(true, "dynamic (paper)"), (false, "static")];
+    let proj_axis = [
+        (Projection::Thinning, "uniform thinning (paper)"),
+        (Projection::MinStability, "Weibull min-stability"),
+    ];
+
+    let mut cells = Vec::new();
+    for app_name in ["CHIMERA", "XGC"] {
+        let app = Application::by_name(app_name).unwrap();
+        for (policy, label) in coord_axis {
+            let mut params = SimParams::paper_defaults(ModelKind::B, app);
+            params.coordination = policy;
+            cells.push(
+                GridCell::new(params, &[ModelKind::B, ModelKind::P1])
+                    .with_label(format!("coord/{app_name}/{label}")),
+            );
+        }
+        for (policy, label) in sigma_axis {
+            for fnr in fn_rates {
+                let mut params = SimParams::paper_defaults(ModelKind::B, app);
+                params.sigma_policy = policy;
+                params.predictor = params.predictor.with_false_negative_rate(fnr);
+                cells.push(
+                    GridCell::new(params, &[ModelKind::B, ModelKind::P2])
+                        .with_label(format!("sigma/{app_name}/{label}/{fnr}")),
+                );
+            }
+        }
+        for (dynamic, label) in oci_axis {
+            let mut params = SimParams::paper_defaults(ModelKind::B, app);
+            params.dynamic_oci = dynamic;
+            cells.push(
+                GridCell::new(params, &[ModelKind::B])
+                    .with_label(format!("oci/{app_name}/{label}")),
+            );
+        }
+    }
+    for app_name in ["CHIMERA", "POP"] {
+        let app = Application::by_name(app_name).unwrap();
+        for (proj, label) in proj_axis {
+            let mut params =
+                SimParams::with_distribution(ModelKind::B, app, FailureDistribution::OLCF_TITAN);
+            params.projection = proj;
+            cells.push(
+                GridCell::new(params, &[ModelKind::B])
+                    .with_label(format!("proj/{app_name}/{label}")),
+            );
+        }
+    }
+    let grid = run_cells(&cells);
 
     // ------------------------------------------------------------------
     // 1. Coordination policy (P1, large apps — where p-ckpt matters).
@@ -31,15 +96,10 @@ fn main() {
         format!("Ablation 1 — what coordination buys (model P1, {runs} runs)"),
     );
     for app_name in ["CHIMERA", "XGC"] {
-        let app = Application::by_name(app_name).unwrap();
-        for (policy, label) in [
-            (CoordinationPolicy::Prioritized, "prioritized (paper)"),
-            (CoordinationPolicy::FifoQueue, "FIFO queue"),
-            (CoordinationPolicy::Uncoordinated, "uncoordinated"),
-        ] {
-            let mut params = SimParams::paper_defaults(ModelKind::B, app);
-            params.coordination = policy;
-            let c = run_models(&params, &[ModelKind::B, ModelKind::P1], &leads, &runner);
+        for (_, label) in coord_axis {
+            let c = grid
+                .by_label(&format!("coord/{app_name}/{label}"))
+                .unwrap();
             let p1 = c.get(ModelKind::P1).unwrap();
             t.row(vec![
                 app_name.to_string(),
@@ -69,16 +129,11 @@ fn main() {
     ])
     .with_title("Ablation 2 — Eq. 2's σ: lead-time-only (paper) vs accuracy-aware (future work)");
     for app_name in ["CHIMERA", "XGC"] {
-        let app = Application::by_name(app_name).unwrap();
-        for (policy, label) in [
-            (SigmaPolicy::LeadTimeOnly, "lead-only (paper)"),
-            (SigmaPolicy::AccuracyAware, "accuracy-aware"),
-        ] {
-            for fnr in [0.15, 0.40] {
-                let mut params = SimParams::paper_defaults(ModelKind::B, app);
-                params.sigma_policy = policy;
-                params.predictor = params.predictor.with_false_negative_rate(fnr);
-                let c = run_models(&params, &[ModelKind::B, ModelKind::P2], &leads, &runner);
+        for (_, label) in sigma_axis {
+            for fnr in fn_rates {
+                let c = grid
+                    .by_label(&format!("sigma/{app_name}/{label}/{fnr}"))
+                    .unwrap();
                 let p2 = c.get(ModelKind::P2).unwrap();
                 t.row(vec![
                     app_name.to_string(),
@@ -103,11 +158,8 @@ fn main() {
     let mut t = Table::new(vec!["app", "OCI", "total (h)", "recomp (h)"])
         .with_title("Ablation 3 — windowed failure-rate estimator vs static Young interval (B)");
     for app_name in ["CHIMERA", "XGC"] {
-        let app = Application::by_name(app_name).unwrap();
-        for (dynamic, label) in [(true, "dynamic (paper)"), (false, "static")] {
-            let mut params = SimParams::paper_defaults(ModelKind::B, app);
-            params.dynamic_oci = dynamic;
-            let c = run_models(&params, &[ModelKind::B], &leads, &runner);
+        for (_, label) in oci_axis {
+            let c = grid.by_label(&format!("oci/{app_name}/{label}")).unwrap();
             let b = c.get(ModelKind::B).unwrap();
             t.row(vec![
                 app_name.to_string(),
@@ -125,18 +177,8 @@ fn main() {
     let mut t = Table::new(vec!["app", "projection", "failures/run", "B total (h)"])
         .with_title("Ablation 4 — system→job failure projection (Titan distribution)");
     for app_name in ["CHIMERA", "POP"] {
-        let app = Application::by_name(app_name).unwrap();
-        for (proj, label) in [
-            (Projection::Thinning, "uniform thinning (paper)"),
-            (Projection::MinStability, "Weibull min-stability"),
-        ] {
-            let mut params = SimParams::with_distribution(
-                ModelKind::B,
-                app,
-                FailureDistribution::OLCF_TITAN,
-            );
-            params.projection = proj;
-            let c = run_models(&params, &[ModelKind::B], &leads, &runner);
+        for (_, label) in proj_axis {
+            let c = grid.by_label(&format!("proj/{app_name}/{label}")).unwrap();
             let b = c.get(ModelKind::B).unwrap();
             t.row(vec![
                 app_name.to_string(),
@@ -153,4 +195,5 @@ fn main() {
          procedure is thinning, which this repository defaults to whenever the\n\
          job fits inside the source system."
     );
+    print_grid_metrics("ablations", &grid);
 }

@@ -5,9 +5,18 @@
 //! −50 %…+50 % and prints each model's per-bucket overhead reduction
 //! relative to the base model B (the y-axis of Fig. 4; higher is better,
 //! 0 % = no change, 100 % = overhead eliminated).
+//!
+//! All 15 sweep cells run through one work-stealing grid: each app's
+//! five lead scales share per-run failure traces through a
+//! scale-invariant trace core, and the lead-blind B lanes collapse to
+//! one execution per app (common random numbers across the whole sweep,
+//! not just within a cell).
 
 use pckpt_analysis::Table;
-use pckpt_bench::{campaign, figure_apps, reduction_pct, LEAD_SCALES, LEAD_SCALE_LABELS};
+use pckpt_bench::{
+    figure_apps, print_grid_metrics, reduction_pct, run_cells, sweep_cell, LEAD_SCALES,
+    LEAD_SCALE_LABELS,
+};
 use pckpt_core::ModelKind;
 use pckpt_failure::FailureDistribution;
 
@@ -18,7 +27,24 @@ fn main() {
          ({} runs per cell; Titan failure distribution)\n",
         pckpt_bench::runs()
     );
-    for app in figure_apps() {
+    let apps = figure_apps();
+    let cells: Vec<_> = apps
+        .iter()
+        .flat_map(|app| {
+            LEAD_SCALES.iter().map(move |&scale| {
+                sweep_cell(
+                    *app,
+                    &models,
+                    FailureDistribution::OLCF_TITAN,
+                    scale,
+                    None,
+                    None,
+                )
+            })
+        })
+        .collect();
+    let grid = run_cells(&cells);
+    for (a, app) in apps.iter().enumerate() {
         let mut t = Table::new(vec![
             "lead",
             "M1 ckpt",
@@ -29,30 +55,23 @@ fn main() {
             "M2 recovery",
         ])
         .with_title(format!("{} ({} nodes)", app.name, app.nodes));
-        for (scale, label) in LEAD_SCALES.iter().zip(LEAD_SCALE_LABELS) {
-            let c = campaign(
-                app,
-                &models,
-                FailureDistribution::OLCF_TITAN,
-                *scale,
-                None,
-                None,
-            );
+        for (s, label) in LEAD_SCALE_LABELS.iter().enumerate() {
+            let c = grid.cell(a * LEAD_SCALES.len() + s);
             let b = c.get(ModelKind::B).unwrap();
             let mut row = vec![label.to_string()];
             for m in [ModelKind::M1, ModelKind::M2] {
-                let a = c.get(m).unwrap();
+                let x = c.get(m).unwrap();
                 row.push(format!(
                     "{:+.1}",
-                    reduction_pct(a.ckpt_hours.mean(), b.ckpt_hours.mean())
+                    reduction_pct(x.ckpt_hours.mean(), b.ckpt_hours.mean())
                 ));
                 row.push(format!(
                     "{:+.1}",
-                    reduction_pct(a.recomp_hours.mean(), b.recomp_hours.mean())
+                    reduction_pct(x.recomp_hours.mean(), b.recomp_hours.mean())
                 ));
                 row.push(format!(
                     "{:+.1}",
-                    reduction_pct(a.recovery_hours.mean(), b.recovery_hours.mean())
+                    reduction_pct(x.recovery_hours.mean(), b.recovery_hours.mean())
                 ));
             }
             t.row(row);
@@ -64,4 +83,5 @@ fn main() {
          for small apps; M2's benefits collapse for CHIMERA once leads shrink 10%, and for\n\
          XGC only below -50%."
     );
+    print_grid_metrics("fig4", &grid);
 }

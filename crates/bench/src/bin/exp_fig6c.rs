@@ -5,9 +5,14 @@
 //! the total-overhead reduction of B, P1 and each M2-α for CHIMERA, XGC
 //! and POP. p-ckpt should beat LM for large applications until α drops
 //! toward ≈1–2.5×.
+//!
+//! All 18 cells (per app: one B/P1 baseline plus five M2-α points) run
+//! as one grid. α does not enter trace generation, so every cell of an
+//! app shares one trace group — the whole α sweep is a common-random-
+//! numbers comparison against the same failures.
 
 use pckpt_analysis::Table;
-use pckpt_bench::{campaign, figure_apps, reduction_pct};
+use pckpt_bench::{figure_apps, print_grid_metrics, reduction_pct, run_cells, sweep_cell};
 use pckpt_core::ModelKind;
 use pckpt_failure::FailureDistribution;
 
@@ -18,18 +23,40 @@ fn main() {
          ({} runs per cell)\n",
         pckpt_bench::runs()
     );
-    for app in figure_apps() {
+    let apps = figure_apps();
+    let mut cells = Vec::new();
+    for app in &apps {
+        cells.push(
+            sweep_cell(
+                *app,
+                &[ModelKind::B, ModelKind::P1],
+                FailureDistribution::OLCF_TITAN,
+                1.0,
+                None,
+                None,
+            )
+            .with_label(format!("{}-base", app.name)),
+        );
+        for &alpha in &alphas {
+            cells.push(
+                sweep_cell(
+                    *app,
+                    &[ModelKind::M2],
+                    FailureDistribution::OLCF_TITAN,
+                    1.0,
+                    None,
+                    Some(alpha),
+                )
+                .with_label(format!("{}-a{alpha}", app.name)),
+            );
+        }
+    }
+    let grid = run_cells(&cells);
+    let stride = 1 + alphas.len();
+    for (a, app) in apps.iter().enumerate() {
         let mut t = Table::new(vec!["model", "reduction vs B", "ckpt(h)", "recomp(h)"])
             .with_title(format!("{} ({} nodes)", app.name, app.nodes));
-        // P1 (α-independent) and B baseline.
-        let base = campaign(
-            app,
-            &[ModelKind::B, ModelKind::P1],
-            FailureDistribution::OLCF_TITAN,
-            1.0,
-            None,
-            None,
-        );
+        let base = grid.cell(a * stride);
         let b = base.get(ModelKind::B).unwrap();
         let p1 = base.get(ModelKind::P1).unwrap();
         t.row(vec![
@@ -44,16 +71,8 @@ fn main() {
             format!("{:.2}", p1.ckpt_hours.mean()),
             format!("{:.2}", p1.recomp_hours.mean()),
         ]);
-        for &alpha in &alphas {
-            let c = campaign(
-                app,
-                &[ModelKind::M2],
-                FailureDistribution::OLCF_TITAN,
-                1.0,
-                None,
-                Some(alpha),
-            );
-            let m2 = c.get(ModelKind::M2).unwrap();
+        for (i, &alpha) in alphas.iter().enumerate() {
+            let m2 = grid.cell(a * stride + 1 + i).get(ModelKind::M2).unwrap();
             t.row(vec![
                 format!("M2-{alpha}x"),
                 format!(
@@ -71,4 +90,5 @@ fn main() {
          shrinks to ≈1x/2.5x the checkpoint size; for small apps LM always wins;\n\
          P1's recomputation reductions exceed M2's throughout (Observation 8)."
     );
+    print_grid_metrics("fig6c", &grid);
 }

@@ -4,9 +4,14 @@
 //! difference between LM's and p-ckpt's shares of mitigated failures,
 //! in percent of all mitigations: positive = LM dominant, negative =
 //! p-ckpt dominant.
+//!
+//! The full 6-app × 7-scale matrix (42 cells) runs as one grid; each
+//! app's seven scales share per-run failure traces through a
+//! scale-invariant trace core, so the ±90 % axis is a common-random-
+//! numbers comparison.
 
 use pckpt_analysis::Table;
-use pckpt_bench::campaign;
+use pckpt_bench::{print_grid_metrics, run_cells, sweep_cell};
 use pckpt_core::ModelKind;
 use pckpt_failure::FailureDistribution;
 use pckpt_workloads::TABLE_I;
@@ -21,18 +26,29 @@ fn main() {
          (positive: LM dominant; negative: p-ckpt dominant; {} runs per cell)",
         pckpt_bench::runs()
     ));
-    for app in &TABLE_I {
+    let cells: Vec<_> = TABLE_I
+        .iter()
+        .flat_map(|app| {
+            scales.iter().map(move |&scale| {
+                sweep_cell(
+                    *app,
+                    &[ModelKind::P2],
+                    FailureDistribution::OLCF_TITAN,
+                    scale,
+                    None,
+                    None,
+                )
+            })
+        })
+        .collect();
+    let grid = run_cells(&cells);
+    for (i, app) in TABLE_I.iter().enumerate() {
         let mut row = vec![app.name.to_string()];
-        for &scale in &scales {
-            let c = campaign(
-                *app,
-                &[ModelKind::P2],
-                FailureDistribution::OLCF_TITAN,
-                scale,
-                None,
-                None,
-            );
-            let a = c.get(ModelKind::P2).unwrap();
+        for s in 0..scales.len() {
+            let a = grid
+                .cell(i * scales.len() + s)
+                .get(ModelKind::P2)
+                .unwrap();
             let lm = a.mitigated_lm.sum();
             let pc = a.mitigated_pckpt.sum();
             let total = lm + pc;
@@ -52,4 +68,5 @@ fn main() {
          and with shrinking leads p-ckpt takes over — earliest for CHIMERA, then XGC,\n\
          then S3D (Observation 4)."
     );
+    print_grid_metrics("fig8", &grid);
 }

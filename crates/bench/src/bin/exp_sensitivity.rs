@@ -6,20 +6,21 @@
 //! study sweeps each one (one at a time, everything else at defaults) and
 //! reports how the headline quantities respond — showing which
 //! conclusions are robust to the substitutions and which are sensitive.
+//!
+//! All 14 sweep points run as one grid. β and the pre-copy factor do not
+//! enter trace generation, so those ten cells share one trace group with
+//! common random numbers; the recall sweep changes the predictor and
+//! therefore intentionally gets fresh trace groups per point.
 
 use pckpt_analysis::Table;
-use pckpt_core::{run_models, ModelKind, SimParams};
-use pckpt_failure::LeadTimeModel;
+use pckpt_bench::{print_grid_metrics, run_cells};
+use pckpt_core::{CampaignResult, GridCell, ModelKind, SimParams};
 use pckpt_ioperf::{IoHierarchy, NodeIoModel, PfsModel, TB};
 use pckpt_workloads::Application;
 
-fn headline(params: &SimParams, leads: &LeadTimeModel) -> (f64, f64, f64, f64) {
-    let c = run_models(
-        params,
-        &[ModelKind::B, ModelKind::M2, ModelKind::P1, ModelKind::P2],
-        leads,
-        &pckpt_bench::runner(),
-    );
+const MODELS: [ModelKind; 4] = [ModelKind::B, ModelKind::M2, ModelKind::P1, ModelKind::P2];
+
+fn headline(c: &CampaignResult) -> (f64, f64, f64, f64) {
     (
         c.reduction(ModelKind::P1, ModelKind::B).unwrap(),
         c.reduction(ModelKind::P2, ModelKind::B).unwrap(),
@@ -39,7 +40,6 @@ fn row_of(t: &mut Table, label: String, h: (f64, f64, f64, f64)) {
 }
 
 fn main() {
-    let leads = LeadTimeModel::desh_default();
     let app = Application::by_name("CHIMERA").unwrap();
     println!(
         "Calibration sensitivity — CHIMERA, {} runs per point. Defaults: β = 0.40,\n\
@@ -47,16 +47,37 @@ fn main() {
         pckpt_bench::runs()
     );
 
-    // 1. GPFS contention exponent β.
-    let mut t = Table::new(vec!["β", "P1 vs B", "P2 vs B", "P1 FT", "M2 FT"])
-        .with_title("Sweep 1 — weak-scaling contention exponent β (aggregate ∝ n^{1−β})");
-    for beta in [0.2, 0.3, 0.4, 0.5] {
+    let betas = [0.2, 0.3, 0.4, 0.5];
+    let precopies = [1.0, 1.2, 1.45, 1.7, 2.0];
+    let recalls = [0.7, 0.8, 0.85, 0.9, 0.95];
+
+    let mut cells = Vec::new();
+    for &beta in &betas {
         let mut params = SimParams::paper_defaults(ModelKind::B, app);
         params.io = IoHierarchy {
             pfs: PfsModel::from_parts(NodeIoModel::summit(), 2.5 * TB, beta),
             ..IoHierarchy::summit()
         };
-        row_of(&mut t, format!("{beta:.2}"), headline(&params, &leads));
+        cells.push(GridCell::new(params, &MODELS).with_label(format!("beta-{beta:.2}")));
+    }
+    for &factor in &precopies {
+        let mut params = SimParams::paper_defaults(ModelKind::B, app);
+        params.lm_precopy_factor = factor;
+        cells.push(GridCell::new(params, &MODELS).with_label(format!("precopy-{factor:.2}")));
+    }
+    for &recall in &recalls {
+        let mut params = SimParams::paper_defaults(ModelKind::B, app);
+        params.predictor = params.predictor.with_false_negative_rate(1.0 - recall);
+        cells.push(GridCell::new(params, &MODELS).with_label(format!("recall-{recall:.2}")));
+    }
+    let grid = run_cells(&cells);
+
+    // 1. GPFS contention exponent β.
+    let mut t = Table::new(vec!["β", "P1 vs B", "P2 vs B", "P1 FT", "M2 FT"])
+        .with_title("Sweep 1 — weak-scaling contention exponent β (aggregate ∝ n^{1−β})");
+    for &beta in &betas {
+        let c = grid.by_label(&format!("beta-{beta:.2}")).unwrap();
+        row_of(&mut t, format!("{beta:.2}"), headline(c));
     }
     println!("{t}");
     println!(
@@ -68,10 +89,9 @@ fn main() {
     // 2. LM pre-copy factor.
     let mut t = Table::new(vec!["pre-copy", "P1 vs B", "P2 vs B", "P1 FT", "M2 FT"])
         .with_title("Sweep 2 — LM pre-copy factor (effective migration time multiplier)");
-    for factor in [1.0, 1.2, 1.45, 1.7, 2.0] {
-        let mut params = SimParams::paper_defaults(ModelKind::B, app);
-        params.lm_precopy_factor = factor;
-        row_of(&mut t, format!("{factor:.2}"), headline(&params, &leads));
+    for &factor in &precopies {
+        let c = grid.by_label(&format!("precopy-{factor:.2}")).unwrap();
+        row_of(&mut t, format!("{factor:.2}"), headline(c));
     }
     println!("{t}");
     println!(
@@ -82,10 +102,9 @@ fn main() {
     // 3. Predictor recall.
     let mut t = Table::new(vec!["recall", "P1 vs B", "P2 vs B", "P1 FT", "M2 FT"])
         .with_title("Sweep 3 — predictor recall (1 − FN rate)");
-    for recall in [0.7, 0.8, 0.85, 0.9, 0.95] {
-        let mut params = SimParams::paper_defaults(ModelKind::B, app);
-        params.predictor = params.predictor.with_false_negative_rate(1.0 - recall);
-        row_of(&mut t, format!("{recall:.2}"), headline(&params, &leads));
+    for &recall in &recalls {
+        let c = grid.by_label(&format!("recall-{recall:.2}")).unwrap();
+        row_of(&mut t, format!("{recall:.2}"), headline(c));
     }
     println!("{t}");
     println!(
@@ -93,4 +112,5 @@ fn main() {
          all models' benefits roughly linearly — the paper's conclusions are about\n\
          *relative* orderings, which the sweeps above should leave intact."
     );
+    print_grid_metrics("sensitivity", &grid);
 }

@@ -1,8 +1,12 @@
 //! Table IV — FT ratio for P1 and P2 under lead-time variability.
+//!
+//! The 15 (app × lead-scale) cells run as one grid; within each app the
+//! five scales share per-run failure traces through a scale-invariant
+//! trace core.
 
 use pckpt_analysis::report::ratio;
 use pckpt_analysis::Table;
-use pckpt_bench::{campaign, figure_apps, LEAD_SCALES, LEAD_SCALE_LABELS};
+use pckpt_bench::{figure_apps, run_cells, sweep_cell, LEAD_SCALES, LEAD_SCALE_LABELS};
 use pckpt_core::ModelKind;
 use pckpt_failure::FailureDistribution;
 
@@ -16,17 +20,26 @@ fn main() {
         "Table IV — FT ratio for applications under P1 and P2 ({} runs)",
         pckpt_bench::runs()
     ));
-    for (scale, label) in LEAD_SCALES.iter().zip(LEAD_SCALE_LABELS) {
+    let cells: Vec<_> = LEAD_SCALES
+        .iter()
+        .flat_map(|&scale| {
+            apps.iter().map(move |app| {
+                sweep_cell(
+                    *app,
+                    &models,
+                    FailureDistribution::OLCF_TITAN,
+                    scale,
+                    None,
+                    None,
+                )
+            })
+        })
+        .collect();
+    let grid = run_cells(&cells);
+    for (s, label) in LEAD_SCALE_LABELS.iter().enumerate() {
         let mut row = vec![label.to_string()];
-        for app in &apps {
-            let c = campaign(
-                *app,
-                &models,
-                FailureDistribution::OLCF_TITAN,
-                *scale,
-                None,
-                None,
-            );
+        for a in 0..apps.len() {
+            let c = grid.cell(s * apps.len() + a);
             for m in models {
                 row.push(ratio(c.get(m).unwrap().ft_ratio_pooled()));
             }

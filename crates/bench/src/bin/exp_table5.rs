@@ -4,8 +4,8 @@
 
 use pckpt_analysis::report::Align;
 use pckpt_analysis::Table;
-use pckpt_core::{run_models, ModelKind, SimParams};
-use pckpt_failure::LeadTimeModel;
+use pckpt_bench::run_cells;
+use pckpt_core::{GridCell, ModelKind, SimParams};
 use pckpt_workloads::Application;
 
 fn main() {
@@ -77,8 +77,8 @@ fn main() {
     // describes, run head-to-head on one large application.
     let app = Application::by_name("XGC").unwrap();
     let params = SimParams::paper_defaults(ModelKind::B, app);
-    let leads = LeadTimeModel::desh_default();
-    let c = run_models(&params, &ModelKind::ALL, &leads, &pckpt_bench::runner());
+    let grid = run_cells(&[GridCell::new(params, &ModelKind::ALL)]);
+    let c = grid.cell(0);
     let b = c.get(ModelKind::B).unwrap();
     let mut q = Table::new(vec!["capabilities", "model", "overhead vs B", "FT ratio"])
         .with_title(format!(

@@ -25,7 +25,9 @@
 //! set `PCKPT_RUNS` to trade fidelity for speed, and `PCKPT_SEED` to try
 //! another stream.
 
-use pckpt_core::{run_models, CampaignResult, ModelKind, RunnerConfig, SimParams};
+use pckpt_core::{
+    run_grid, run_models, CampaignResult, GridCell, GridResult, ModelKind, RunnerConfig, SimParams,
+};
 use pckpt_failure::{FailureDistribution, LeadTimeModel};
 use pckpt_workloads::Application;
 
@@ -61,7 +63,61 @@ pub fn figure_apps() -> Vec<Application> {
         .collect()
 }
 
+/// Builds the parameter point `campaign` runs, with the same overrides.
+pub fn sweep_params(
+    app: Application,
+    distribution: FailureDistribution,
+    lead_scale: f64,
+    fn_rate: Option<f64>,
+    lm_transfer_factor: Option<f64>,
+) -> SimParams {
+    let mut params = SimParams::with_distribution(ModelKind::B, app, distribution);
+    params.lead_scale = lead_scale;
+    if let Some(fnr) = fn_rate {
+        params.predictor = params.predictor.with_false_negative_rate(fnr);
+    }
+    if let Some(alpha) = lm_transfer_factor {
+        params.lm_transfer_factor = alpha;
+    }
+    params
+}
+
+/// Builds one grid cell with `campaign`'s overrides, labelled
+/// `"{app}@{lead_scale}"` (relabel with [`GridCell::with_label`]).
+pub fn sweep_cell(
+    app: Application,
+    models: &[ModelKind],
+    distribution: FailureDistribution,
+    lead_scale: f64,
+    fn_rate: Option<f64>,
+    lm_transfer_factor: Option<f64>,
+) -> GridCell {
+    let params = sweep_params(app, distribution, lead_scale, fn_rate, lm_transfer_factor);
+    GridCell::new(params, models).with_label(format!("{}@{lead_scale}", app.name))
+}
+
+/// Runs a whole bin's sweep — every cell × model × run — through one
+/// work-stealing pool with cross-cell failure-trace sharing (see
+/// `pckpt_core::run_grid`). All cells share one Desh lead-time model and
+/// the experiment-wide [`runner`] configuration.
+pub fn run_cells(cells: &[GridCell]) -> GridResult {
+    let leads = LeadTimeModel::desh_default();
+    run_grid(cells, &leads, &runner())
+}
+
+/// Prints a sweep's execution metadata: one `METRICS_JSON` line with the
+/// grid-wide merged observability aggregate and one with the
+/// campaign-style grid metadata (cells, lanes, units, threads, trace
+/// sharing). `scripts/bench.sh` folds both into its snapshot.
+pub fn print_grid_metrics(name: &str, grid: &GridResult) {
+    println!("METRICS_JSON {}", grid.obs_merged().to_json(name));
+    println!("METRICS_JSON {}", grid.meta_json(&format!("{name}_grid")));
+}
+
 /// Runs one app × model-set campaign with optional overrides.
+///
+/// One-cell convenience over [`run_cells`]; sweep bins should build all
+/// their cells and run them as one grid instead.
 pub fn campaign(
     app: Application,
     models: &[ModelKind],
@@ -71,14 +127,7 @@ pub fn campaign(
     lm_transfer_factor: Option<f64>,
 ) -> CampaignResult {
     let leads = LeadTimeModel::desh_default();
-    let mut params = SimParams::with_distribution(ModelKind::B, app, distribution);
-    params.lead_scale = lead_scale;
-    if let Some(fnr) = fn_rate {
-        params.predictor = params.predictor.with_false_negative_rate(fnr);
-    }
-    if let Some(alpha) = lm_transfer_factor {
-        params.lm_transfer_factor = alpha;
-    }
+    let params = sweep_params(app, distribution, lead_scale, fn_rate, lm_transfer_factor);
     run_models(&params, models, &leads, &runner())
 }
 
@@ -100,8 +149,14 @@ pub fn print_fig6_panel(distribution: FailureDistribution, title: &str) {
     ]);
     let mut ranges: std::collections::HashMap<&'static str, (f64, f64)> =
         std::collections::HashMap::new();
-    for app in &pckpt_workloads::TABLE_I {
-        let c = campaign(*app, &ModelKind::ALL, distribution, 1.0, None, None);
+    // All six applications ride one work-stealing pool (one cell each;
+    // per-cell aggregates are bit-identical to standalone campaigns).
+    let cells: Vec<GridCell> = pckpt_workloads::TABLE_I
+        .iter()
+        .map(|app| sweep_cell(*app, &ModelKind::ALL, distribution, 1.0, None, None))
+        .collect();
+    let grid = run_cells(&cells);
+    for (app, c) in pckpt_workloads::TABLE_I.iter().zip(&grid.cells) {
         let base_total = c.get(ModelKind::B).unwrap().total_hours.mean();
         let mut chart = BarChart::new(
             format!(

@@ -1,7 +1,7 @@
 //! Command implementations.
 
 use pckpt_analysis::Table;
-use pckpt_core::{run_models, Aggregate, ModelKind, RunnerConfig, SimParams};
+use pckpt_core::{run_grid, Aggregate, GridCell, ModelKind, RunnerConfig, SimParams};
 use pckpt_failure::LeadTimeModel;
 use pckpt_workloads::{Application, TABLE_I};
 
@@ -145,12 +145,9 @@ fn simulate(models: &[ModelKind], opts: &SimOptions) -> Result<(), String> {
         opts.fn_rate * 100.0,
         opts.alpha,
     );
-    let campaign = run_models(
-        &params,
-        models,
-        &leads,
-        &RunnerConfig::new(opts.runs, opts.seed),
-    );
+    let cells = [GridCell::new(params.clone(), models)];
+    let grid = run_grid(&cells, &leads, &RunnerConfig::new(opts.runs, opts.seed));
+    let campaign = grid.cell(0);
     let base = campaign.get(ModelKind::B);
     let mut t = Table::new(vec![
         "model",
@@ -184,6 +181,14 @@ fn simulate(models: &[ModelKind], opts: &SimOptions) -> Result<(), String> {
         first.failures.mean(),
         first.wall_hours.mean(),
         params.app.compute_hours,
+    );
+    println!(
+        "ran {} model lane(s) as {} execution unit(s) on {} thread(s); \
+         trace cache hit rate {:.0}%",
+        grid.lanes,
+        grid.units,
+        grid.threads,
+        100.0 * grid.trace_cache_hit_rate(),
     );
     Ok(())
 }

@@ -41,7 +41,10 @@ pub mod tracer;
 
 pub use config::{ModelKind, SimParams};
 pub use metrics::{Aggregate, OverheadLedger, RunResult};
-pub use runner::{record_run, run_many, run_models, CampaignResult, RunArena, RunnerConfig};
+pub use runner::{
+    record_run, run_grid, run_many, run_models, CampaignResult, GridCell, GridPlan, GridResult,
+    GridWorker, RunArena, RunnerConfig,
+};
 pub use sim::CrSim;
 
 /// Re-export of the structured observability layer (recorders, metrics,

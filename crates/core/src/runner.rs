@@ -7,32 +7,53 @@
 //! * [`run_models`] — N runs of *several models over identical failure
 //!   traces* (paired comparison: every model faces the same fates, which
 //!   removes between-model sampling noise from Figs. 6–8);
+//! * [`run_grid`] — an entire sweep (cells × models × runs) through one
+//!   work-stealing pool, with cross-cell failure-trace sharing;
 //!
-//! both thread-parallel with deterministic per-run RNG streams: run *i*
+//! all thread-parallel with deterministic per-run RNG streams: run *i*
 //! always draws from `master.split(i)` regardless of thread count, so
 //! results are bit-identical from laptop to CI.
 //!
 //! ### Execution model
 //!
-//! Each worker thread owns a [`RunArena`]: one [`CrSim`] per model plus
-//! one event queue and one failure-trace buffer, built once and recycled
-//! with `reset_for_run` across every run the worker executes — after the
-//! first few runs the steady state performs no heap allocation (enforced
-//! by a counting-allocator test in `crates/core/tests/alloc_free.rs`).
-//! Runs are handed out by atomic chunk-claiming (work stealing): workers
-//! grab a shrinking batch of run indices from a shared counter, so a
-//! worker that lands expensive traces never straggles with a fixed
-//! stride's worth of leftover work. Determinism is unaffected — run *i*
-//! seeds from `master.split(i)` no matter which worker claims it, and the
-//! fold into aggregates happens on the main thread in run order.
+//! A grid is planned into **lanes** (one per `(cell, model)` pair) and
+//! **execution units**. Most lanes are their own unit; a lane whose
+//! simulation is *provably identical* to an earlier lane's — same
+//! prediction-blind model, same trace group, parameters equal up to the
+//! lead-time view — joins that lane's unit and receives a bit-identical
+//! copy of its per-run result instead of recomputing it (the base model
+//! B swept across lead scales is the canonical case; see
+//! [`GridPlan`]). The flattened `(run × unit)` index space is handed out
+//! by atomic chunk-claiming (work stealing) to one long-lived pool, so a
+//! whole table/figure bin saturates the machine instead of
+//! barrier-syncing at every sweep point.
+//!
+//! Each worker owns the per-lane simulators it has touched, one event
+//! queue, and one trace cache slot per **trace group** (cells with equal
+//! scale-invariant [`TraceConfig`] core + predictor; the lead-time model
+//! is shared grid-wide). Within a group the per-run trace is generated
+//! once per worker and reused across cells — for groups that differ only
+//! in `lead_scale`, through a scale-invariant
+//! [`TraceCore`](pckpt_failure::TraceCore) whose per-cell views are
+//! RNG-free transforms. After the first visit to each unit the steady
+//! state performs no heap allocation (enforced by a counting-allocator
+//! test in `crates/core/tests/alloc_free.rs`).
+//!
+//! Workers publish per-run results into a preallocated lock-free slab:
+//! every `(lane, run)` slot is written by exactly one worker (the claim
+//! counter partitions the item space), so slot writes need no mutex. The
+//! fold into aggregates happens on the main thread in ascending run
+//! order per lane, which keeps every cell's aggregate **bit-identical**
+//! to a standalone [`run_models`] call for any thread count and any
+//! work-stealing interleaving.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::thread;
 
 use pckpt_desim::{run_with_queue, EventQueue};
-use pckpt_failure::{FailureTrace, LeadTimeModel, TraceConfig};
-use pckpt_simobs::{Recorder, Recording};
+use pckpt_failure::{FailureTrace, LeadTimeModel, Predictor, TraceConfig, TraceCore};
+use pckpt_simobs::{ObsAggregate, Recorder, Recording};
 use pckpt_simrng::SimRng;
 
 use crate::config::{ModelKind, SimParams};
@@ -60,7 +81,17 @@ impl RunnerConfig {
         }
     }
 
+    /// Worker count for a plain `runs`-item campaign (kept for tests;
+    /// [`run_grid`] sizes by the full grid item space).
+    #[cfg(test)]
     fn effective_threads(&self) -> usize {
+        self.effective_threads_for(self.runs)
+    }
+
+    /// Worker count for an item space of `items` independent work units
+    /// (a lone campaign has one item per run; a grid has
+    /// `runs × execution units`).
+    fn effective_threads_for(&self, items: usize) -> usize {
         let t = if self.threads == 0 {
             // `PCKPT_THREADS` overrides auto-detection (containers and CI
             // runners often report the host's core count, not the cgroup
@@ -76,7 +107,7 @@ impl RunnerConfig {
         } else {
             self.threads
         };
-        t.max(1).min(self.runs.max(1))
+        t.max(1).min(items.max(1))
     }
 }
 
@@ -89,7 +120,7 @@ pub struct CampaignResult {
     pub aggregates: Vec<Aggregate>,
     /// Worker threads the campaign actually ran on (after the
     /// `PCKPT_THREADS` override, core auto-detection, and the
-    /// runs-per-thread clamp).
+    /// items-per-thread clamp).
     pub threads: usize,
 }
 
@@ -118,6 +149,29 @@ fn trace_config(params: &SimParams) -> TraceConfig {
     .with_projection(params.projection)
     .with_node_selection(params.node_selection)
     .with_lead_error(params.lead_error_cv)
+}
+
+/// Runs one simulator over one trace: the shared per-model execution
+/// step of both the single-cell arena and the grid worker. Resets the
+/// queue and the simulator in place, drives the event loop, and injects
+/// the queue's observability counters before extracting the result.
+// simlint: hot
+fn execute_sim(
+    sim: &mut CrSim,
+    queue: &mut EventQueue<Ev>,
+    trace: &FailureTrace,
+    bg_rng: SimRng,
+) -> RunResult {
+    queue.reset();
+    sim.reset_for_run(trace, bg_rng);
+    let sched_before = queue.scheduled_total();
+    let (_, handled) = run_with_queue(sim, queue, 10_000_000);
+    sim.set_queue_obs(
+        handled,
+        queue.scheduled_total() - sched_before,
+        queue.depth_hwm() as u64,
+    );
+    sim.result()
 }
 
 /// A reusable per-worker simulation arena: one [`CrSim`] per model, one
@@ -181,16 +235,7 @@ impl<'a> RunArena<'a> {
             .generate_into(&self.tcfg, self.leads, &self.base.predictor, &mut rng);
         let bg_rng = rng.split(0xB6);
         for (sim, slot) in self.sims.iter_mut().zip(out.iter_mut()) {
-            self.queue.reset();
-            sim.reset_for_run(&self.trace, bg_rng.clone());
-            let sched_before = self.queue.scheduled_total();
-            let (_, handled) = run_with_queue(sim, &mut self.queue, 10_000_000);
-            sim.set_queue_obs(
-                handled,
-                self.queue.scheduled_total() - sched_before,
-                self.queue.depth_hwm() as u64,
-            );
-            *slot = Some(sim.result());
+            *slot = Some(execute_sim(sim, &mut self.queue, &self.trace, bg_rng.clone()));
         }
     }
 
@@ -231,18 +276,30 @@ pub fn record_run(
     (result, rec.take())
 }
 
-/// Claims the next chunk of run indices `[start, end)` from the shared
-/// counter, or `None` when the campaign is exhausted. Chunks shrink as
-/// the tail approaches (¼ of the remaining work per thread, clamped to
-/// 1–16 runs) so no worker sits on a long private backlog while others
-/// idle.
-fn claim_chunk(next: &AtomicUsize, runs: usize, threads: usize) -> Option<(usize, usize)> {
+/// Claims the next chunk of item indices `[start, end)` from the shared
+/// counter, or `None` when the work is exhausted.
+///
+/// Chunk sizing balances claim contention against tail imbalance across
+/// item spaces from a lone cell's run count up to a grid's
+/// `cells × models × runs`: while plenty of work remains each claim
+/// takes ¼ of the remaining items per thread (capped at 64 so early
+/// claims on large grids stay bounded), and once the tail is within two
+/// items per thread workers drop to single-item claims — the worst-case
+/// straggle behind a finished pool is then one item, not one chunk, no
+/// matter how large the index space or the thread count.
+fn claim_chunk(next: &AtomicUsize, total: usize, threads: usize) -> Option<(usize, usize)> {
     loop {
         let cur = next.load(Ordering::Relaxed);
-        if cur >= runs {
+        if cur >= total {
             return None;
         }
-        let k = ((runs - cur) / (threads * 4)).clamp(1, 16).min(runs - cur);
+        let remaining = total - cur;
+        let k = if remaining <= threads * 2 {
+            1
+        } else {
+            (remaining / (threads * 4)).clamp(1, 64)
+        };
+        let k = k.min(remaining);
         match next.compare_exchange(cur, cur + k, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return Some((cur, cur + k)),
             Err(_) => continue, // lost the race; re-read and retry
@@ -263,46 +320,519 @@ pub fn run_many(params: &SimParams, leads: &LeadTimeModel, config: &RunnerConfig
 /// with otherwise identical parameters. Trace generation consumes the
 /// run's RNG stream once, so every model sees the same failures, leads,
 /// prediction outcomes and false positives.
+///
+/// Implemented as a one-cell [`run_grid`]; the aggregate is bit-identical
+/// to the dedicated pre-grid implementation (pinned by the serial
+/// fresh-build reference test below and the committed campaign digests in
+/// `tests/trace_determinism.rs`).
 pub fn run_models(
     base_params: &SimParams,
     models: &[ModelKind],
     leads: &LeadTimeModel,
     config: &RunnerConfig,
 ) -> CampaignResult {
-    assert!(!models.is_empty(), "at least one model required");
-    assert!(config.runs > 0, "at least one run required");
-    let master = SimRng::seed_from(config.base_seed);
-    let threads = config.effective_threads();
-    let n_models = models.len();
+    let cells = [GridCell::new(base_params.clone(), models)];
+    let mut grid = run_grid(&cells, leads, config);
+    // One cell in, one campaign out. simlint: allow(no-unwrap-in-lib)
+    grid.cells.pop().expect("one cell")
+}
 
-    // Workers ship per-run results into preallocated flat slots; the fold
-    // happens on the main thread in run order, so the aggregate is
-    // *bit-identical* for any thread count and any work-stealing
-    // interleaving (float accumulation is order-sensitive at the ulp
-    // level, and "same seed, same numbers" is part of this crate's
-    // contract).
+/// One cell of a campaign grid: a parameter point plus the models to run
+/// over its (per-run shared) failure traces.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Display label (defaults to the application name).
+    pub label: String,
+    /// Simulation parameters (`params.model` is ignored; `models` decides
+    /// what runs).
+    pub params: SimParams,
+    /// The models simulated over this cell's traces, in output order.
+    pub models: Vec<ModelKind>,
+}
+
+impl GridCell {
+    /// A cell labelled with its application name.
+    pub fn new(params: SimParams, models: &[ModelKind]) -> Self {
+        assert!(!models.is_empty(), "at least one model per cell");
+        Self {
+            label: params.app.name.to_string(),
+            params,
+            models: models.to_vec(),
+        }
+    }
+
+    /// Replaces the display label (sweep bins label cells by sweep value).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// May `b`'s lane reuse `a`'s simulation results verbatim, assuming both
+/// run a prediction-blind model over the same trace group?
+///
+/// Within one trace group the failure *stream* is identical across cells
+/// (times, nodes, sequence ids, predicted flags, false-positive count —
+/// only the lead-time values differ) and so is the post-generation RNG
+/// state feeding the background-traffic stream. A prediction-blind model
+/// (`!uses_prediction()`) schedules no prediction events and never reads
+/// a lead or estimate, so its runs depend only on that invariant stream
+/// plus the non-lead parameters — if those are equal too, every run
+/// produces bit-identical results and one execution can serve both
+/// lanes. The comparison is bit-exact (`SimParams` float fields are
+/// positivity-asserted, so derived float equality has no `-0.0` hazard).
+fn lead_blind_mates(a: &SimParams, b: &SimParams) -> bool {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    a.lead_scale = 1.0;
+    b.lead_scale = 1.0;
+    a.model = b.model;
+    a == b
+}
+
+/// How one trace group generates its per-run traces.
+struct GroupInfo {
+    /// Scale-invariant config — the group key, and the generation config
+    /// for multi-view groups.
+    core_key: TraceConfig,
+    /// Predictor shared by every cell in the group (prediction draws are
+    /// part of trace generation, so it participates in the key).
+    predictor: Predictor,
+    /// Do member cells need more than one lead-scale view? Single-view
+    /// groups generate the finished trace directly (the exact pre-grid
+    /// hot path); multi-view groups generate a [`TraceCore`] once and
+    /// instantiate per-cell views from it.
+    multi_view: bool,
+    /// The full config of a single-view group's one view.
+    solo_cfg: TraceConfig,
+}
+
+/// One execution unit: a representative `(cell, model)` lane plus any
+/// deduplicated member lanes that receive copies of its results.
+struct Unit {
+    group: usize,
+    cell: usize,
+    model_idx: usize,
+    /// Member lanes, representative first; every lane gets a bit-identical
+    /// copy of the unit's per-run result.
+    lanes: Vec<usize>,
+}
+
+/// The static execution plan of a grid: lanes, trace groups, and
+/// deduplicated execution units.
+///
+/// Public so the allocation-regression test and the benchmarks can drive
+/// a [`GridWorker`] directly; campaign code should call [`run_grid`].
+pub struct GridPlan<'a> {
+    cells: &'a [GridCell],
+    leads: &'a LeadTimeModel,
+    cell_tcfg: Vec<TraceConfig>,
+    groups: Vec<GroupInfo>,
+    units: Vec<Unit>,
+    lane_base: Vec<usize>,
+    n_lanes: usize,
+}
+
+impl<'a> GridPlan<'a> {
+    /// Plans `cells`: assigns lanes, groups cells by scale-invariant
+    /// trace config + predictor, and collapses provably identical
+    /// prediction-blind lanes into shared execution units.
+    pub fn new(cells: &'a [GridCell], leads: &'a LeadTimeModel) -> Self {
+        assert!(!cells.is_empty(), "at least one cell required");
+        let mut lane_base = Vec::with_capacity(cells.len());
+        let mut n_lanes = 0usize;
+        for cell in cells {
+            assert!(!cell.models.is_empty(), "at least one model per cell");
+            lane_base.push(n_lanes);
+            n_lanes += cell.models.len();
+        }
+        let cell_tcfg: Vec<TraceConfig> =
+            cells.iter().map(|c| trace_config(&c.params)).collect();
+
+        let mut groups: Vec<GroupInfo> = Vec::new();
+        let mut cell_group = Vec::with_capacity(cells.len());
+        for (c, cell) in cells.iter().enumerate() {
+            let key = cell_tcfg[c].scale_invariant();
+            let gid = groups
+                .iter()
+                .position(|g| g.core_key == key && g.predictor == cell.params.predictor);
+            let gid = match gid {
+                Some(gid) => {
+                    if groups[gid].solo_cfg != cell_tcfg[c] {
+                        groups[gid].multi_view = true;
+                    }
+                    gid
+                }
+                None => {
+                    groups.push(GroupInfo {
+                        core_key: key,
+                        predictor: cell.params.predictor,
+                        multi_view: false,
+                        solo_cfg: cell_tcfg[c],
+                    });
+                    groups.len() - 1
+                }
+            };
+            cell_group.push(gid);
+        }
+
+        // Units: one per lane, except prediction-blind lanes that are
+        // provably identical to an earlier lane (see lead_blind_mates).
+        let mut units: Vec<Unit> = Vec::new();
+        for (c, cell) in cells.iter().enumerate() {
+            for (m, &model) in cell.models.iter().enumerate() {
+                let lane = lane_base[c] + m;
+                let donor = if model.uses_prediction() {
+                    None
+                } else {
+                    units.iter().position(|u| {
+                        u.group == cell_group[c]
+                            && cells[u.cell].models[u.model_idx] == model
+                            && lead_blind_mates(&cells[u.cell].params, &cell.params)
+                    })
+                };
+                match donor {
+                    Some(u) => units[u].lanes.push(lane),
+                    None => units.push(Unit {
+                        group: cell_group[c],
+                        cell: c,
+                        model_idx: m,
+                        lanes: vec![lane],
+                    }),
+                }
+            }
+        }
+        // Group-sort units so a worker sweeping one run's units visits
+        // each trace group contiguously (stable: preserves cell order
+        // within a group, keeping same-view lanes adjacent). Unit order
+        // only affects scheduling — results fold by lane, not by unit.
+        units.sort_by_key(|u| u.group);
+
+        Self {
+            cells,
+            leads,
+            cell_tcfg,
+            groups,
+            units,
+            lane_base,
+            n_lanes,
+        }
+    }
+
+    fn lane(&self, cell: usize, model_idx: usize) -> usize {
+        self.lane_base[cell] + model_idx
+    }
+
+    /// Execution units per run (≤ [`lanes`](Self::lanes); smaller when
+    /// prediction-blind lanes deduplicate).
+    pub fn units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// `(cell, model)` lanes in the grid.
+    pub fn lanes(&self) -> usize {
+        self.n_lanes
+    }
+
+    /// Distinct trace groups (cells sharing per-run failure traces).
+    pub fn trace_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Sentinel: no lead-scale view instantiated in the slot's trace buffer.
+/// Never collides with a real `lead_scale` (asserted positive, so its
+/// bit pattern is never all-ones).
+const STALE_VIEW: u64 = u64::MAX;
+
+/// Per-group trace cache of one worker.
+struct TraceSlot {
+    /// Which run the slot currently holds, if any.
+    run: Option<usize>,
+    /// Scale-invariant capture (multi-view groups only).
+    core: TraceCore,
+    /// The instantiated (or directly generated) trace buffer.
+    trace: FailureTrace,
+    /// `lead_scale.to_bits()` of the view in `trace` ([`STALE_VIEW`] when
+    /// the buffer does not match `core`'s current run).
+    view_bits: u64,
+    /// RNG state right after trace generation; the background-traffic
+    /// stream is `post_rng.split(0xB6)`, exactly as in a standalone
+    /// campaign.
+    post_rng: SimRng,
+}
+
+/// One worker's mutable state: lazily built per-lane simulators, a
+/// shared event queue, and one trace cache slot per group.
+///
+/// Public so the allocation-regression test and the benchmarks can
+/// exercise the warm path directly; campaign code should call
+/// [`run_grid`].
+pub struct GridWorker<'a, 'p> {
+    plan: &'p GridPlan<'a>,
+    sims: Vec<Option<CrSim>>,
+    queue: EventQueue<Ev>,
+    slots: Vec<TraceSlot>,
+    /// Trace generations this worker performed (one per `(group, run)`
+    /// cache miss).
+    pub trace_generations: u64,
+    /// Unit executions that reused this worker's cached per-run trace.
+    pub trace_reuses: u64,
+}
+
+impl<'a, 'p> GridWorker<'a, 'p> {
+    /// A fresh worker over `plan` (simulators build lazily on first use).
+    pub fn new(plan: &'p GridPlan<'a>) -> Self {
+        Self {
+            plan,
+            sims: (0..plan.n_lanes).map(|_| None).collect(),
+            queue: EventQueue::new(),
+            slots: plan
+                .groups
+                .iter()
+                .map(|_| TraceSlot {
+                    run: None,
+                    core: TraceCore::default(),
+                    trace: FailureTrace::default(),
+                    view_bits: STALE_VIEW,
+                    post_rng: SimRng::seed_from(0),
+                })
+                .collect(),
+            trace_generations: 0,
+            trace_reuses: 0,
+        }
+    }
+
+    /// Executes `unit` for `run` and returns the run's result (the
+    /// caller copies it into every member lane's slot). Deterministic in
+    /// `(master, run, unit)` alone — worker-local caches never change
+    /// results, only whether work is redone.
+    pub fn run_unit(&mut self, master: &SimRng, run: usize, unit: usize) -> RunResult {
+        let u = &self.plan.units[unit];
+        let lane = self.plan.lane(u.cell, u.model_idx);
+        if self.sims[lane].is_none() {
+            let cell = &self.plan.cells[u.cell];
+            let mut p = cell.params.clone();
+            p.model = cell.models[u.model_idx];
+            self.sims[lane] = Some(CrSim::new(p, FailureTrace::default(), self.plan.leads));
+        }
+        self.run_unit_warm(master, run, unit)
+    }
+
+    /// The grid steady state: once each lane's simulator exists and the
+    /// per-group trace buffers have grown, this performs no heap
+    /// allocation (enforced by `crates/core/tests/alloc_free.rs`).
+    // simlint: hot
+    fn run_unit_warm(&mut self, master: &SimRng, run: usize, unit: usize) -> RunResult {
+        let u = &self.plan.units[unit];
+        let group = &self.plan.groups[u.group];
+        let slot = &mut self.slots[u.group];
+        if slot.run != Some(run) {
+            // Cache miss: consume the run's RNG stream exactly as a
+            // standalone campaign would — trace draws first, then the
+            // background stream splits off the post-generation state.
+            let mut rng = master.split(run as u64);
+            if group.multi_view {
+                slot.core
+                    .generate_into(&group.core_key, self.plan.leads, &group.predictor, &mut rng);
+                slot.view_bits = STALE_VIEW;
+            } else {
+                slot.trace
+                    .generate_into(&group.solo_cfg, self.plan.leads, &group.predictor, &mut rng);
+            }
+            slot.post_rng = rng;
+            slot.run = Some(run);
+            self.trace_generations += 1;
+        } else {
+            self.trace_reuses += 1;
+        }
+        if group.multi_view {
+            let cfg = &self.plan.cell_tcfg[u.cell];
+            let bits = cfg.lead_scale.to_bits();
+            if slot.view_bits != bits {
+                slot.core.instantiate_into(cfg, &group.predictor, &mut slot.trace);
+                slot.view_bits = bits;
+            }
+        }
+        let bg_rng = slot.post_rng.split(0xB6);
+        let lane = self.plan.lane(u.cell, u.model_idx);
+        let slot = &self.slots[u.group];
+        // run_unit builds the lane's simulator before delegating here.
+        // simlint: allow(no-unwrap-in-lib)
+        let sim = self.sims[lane].as_mut().expect("lane simulator built");
+        execute_sim(sim, &mut self.queue, &slot.trace, bg_rng)
+    }
+}
+
+/// Preallocated per-`(lane, run)` result storage with lock-free disjoint
+/// writes.
+struct ResultSlab {
+    slots: Vec<UnsafeCell<Option<RunResult>>>,
+}
+
+// SAFETY: the claim counter hands every `(run, unit)` item to exactly one
+// worker, a unit's member lanes belong to that unit alone, and therefore
+// every `(lane, run)` slot index is written by exactly one worker, once.
+// Reads happen only after `thread::scope` has joined all workers.
+unsafe impl Sync for ResultSlab {}
+
+impl ResultSlab {
+    fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The caller must be the unique writer of `idx` for the lifetime of
+    /// the slab's sharing (guaranteed by the claim-counter partition).
+    unsafe fn put(&self, idx: usize, v: RunResult) {
+        *self.slots[idx].get() = Some(v);
+    }
+
+    fn into_results(self) -> Vec<Option<RunResult>> {
+        self.slots.into_iter().map(|c| c.into_inner()).collect()
+    }
+}
+
+/// Results and execution metadata of one [`run_grid`] sweep.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// One campaign result per input cell, in input order.
+    pub cells: Vec<CampaignResult>,
+    /// Cell display labels, index-aligned with `cells`.
+    pub labels: Vec<String>,
+    /// Monte-Carlo runs per cell.
+    pub runs_per_cell: usize,
+    /// Worker threads the sweep actually ran on.
+    pub threads: usize,
+    /// Distinct trace groups (cells sharing per-run failure traces).
+    pub trace_groups: usize,
+    /// `(cell, model)` lanes in the grid.
+    pub lanes: usize,
+    /// Execution units per run after prediction-blind deduplication.
+    pub units: usize,
+    /// Trace generations actually performed across all workers. Depends
+    /// on work-stealing interleaving (each worker caches privately), so
+    /// it is reported for observability but excluded from digests.
+    pub trace_generations: u64,
+    /// Unit executions that hit a worker's per-run trace cache.
+    pub trace_reuses: u64,
+    /// Digest of the shared lead-time model (see
+    /// [`LeadTimeModel::digest`]).
+    pub leads_digest: u64,
+}
+
+impl GridResult {
+    /// The `i`-th cell's campaign result (input order).
+    pub fn cell(&self, i: usize) -> &CampaignResult {
+        &self.cells[i]
+    }
+
+    /// The first cell labelled `label`, if any.
+    pub fn by_label(&self, label: &str) -> Option<&CampaignResult> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| &self.cells[i])
+    }
+
+    /// Fraction of unit executions served from a worker's trace cache.
+    pub fn trace_cache_hit_rate(&self) -> f64 {
+        let total = self.trace_generations + self.trace_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.trace_reuses as f64 / total as f64
+        }
+    }
+
+    /// All cells' per-model observability aggregates merged into one
+    /// grid-wide rollup.
+    pub fn obs_merged(&self) -> ObsAggregate {
+        ObsAggregate::merge_all(
+            self.cells
+                .iter()
+                .flat_map(|c| c.aggregates.iter().map(|a| &a.obs)),
+        )
+    }
+
+    /// Campaign-style execution metadata as a JSON object (the grid
+    /// counterpart of the `METRICS_JSON` payload: cell/lane/unit counts,
+    /// thread count, and the trace-sharing accounting).
+    pub fn meta_json(&self, name: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"cells\":{},\"lanes\":{},\"units\":{},\"runs_per_cell\":{},\
+             \"threads\":{},\"trace_groups\":{},\"trace_generations\":{},\"trace_reuses\":{},\
+             \"trace_cache_hit_rate\":{:.4},\"leads_digest\":\"{:016x}\"}}",
+            self.cells.len(),
+            self.lanes,
+            self.units,
+            self.runs_per_cell,
+            self.threads,
+            self.trace_groups,
+            self.trace_generations,
+            self.trace_reuses,
+            self.trace_cache_hit_rate(),
+            self.leads_digest,
+        )
+    }
+}
+
+/// Runs an entire sweep — every cell × model × run — through one
+/// work-stealing pool with cross-cell trace sharing and prediction-blind
+/// deduplication.
+///
+/// Every cell's aggregate is **bit-identical** to a standalone
+/// [`run_models`] call with the same `(params, models, leads, config)`
+/// (pinned by the grid-equivalence proptest and the golden digests in
+/// `tests/trace_determinism.rs`): sharing only ever skips *provably
+/// redundant* work — regenerating an identical trace, re-running an
+/// identical simulation — never changes what is computed.
+pub fn run_grid(cells: &[GridCell], leads: &LeadTimeModel, config: &RunnerConfig) -> GridResult {
+    assert!(config.runs > 0, "at least one run required");
+    let plan = GridPlan::new(cells, leads);
+    let runs = config.runs;
+    let n_units = plan.units.len();
+    let total = runs * n_units;
+    let threads = config.effective_threads_for(total);
+    let master = SimRng::seed_from(config.base_seed);
+
+    let slab = ResultSlab::new(plan.n_lanes * runs);
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; config.runs * n_models]);
+    let generations = AtomicU64::new(0);
+    let reuses = AtomicU64::new(0);
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             let master = master.clone();
+            let plan = &plan;
+            let slab = &slab;
             let next = &next;
-            let slots = &slots;
+            let generations = &generations;
+            let reuses = &reuses;
             let handle = scope.spawn(move || {
-                let mut arena = RunArena::new(base_params, models, leads);
-                let mut local: Vec<Option<RunResult>> = vec![None; n_models];
-                while let Some((start, end)) = claim_chunk(next, config.runs, threads) {
-                    for run in start..end {
-                        arena.run_one(&master, run, &mut local);
-                        // Lock poisoning implies a worker already panicked,
-                        // which join() re-raises. simlint: allow(no-unwrap-in-lib)
-                        let mut guard = slots.lock().expect("result store poisoned");
-                        for (m, slot) in local.iter_mut().enumerate() {
-                            guard[run * n_models + m] = slot.take();
+                let mut worker = GridWorker::new(plan);
+                while let Some((start, end)) = claim_chunk(next, total, threads) {
+                    for item in start..end {
+                        // Run-major: consecutive items sweep one run's
+                        // units (group-sorted), maximizing cache hits.
+                        let (run, unit) = (item / n_units, item % n_units);
+                        let result = worker.run_unit(&master, run, unit);
+                        let lanes = &plan.units[unit].lanes;
+                        for &lane in &lanes[1..] {
+                            // SAFETY: see ResultSlab — this worker owns
+                            // item (run, unit), and with it every member
+                            // lane's (lane, run) slot.
+                            unsafe { slab.put(lane * runs + run, result.clone()) };
                         }
+                        // SAFETY: as above.
+                        unsafe { slab.put(lanes[0] * runs + run, result) };
                     }
                 }
+                generations.fetch_add(worker.trace_generations, Ordering::Relaxed);
+                reuses.fetch_add(worker.trace_reuses, Ordering::Relaxed);
             });
             handles.push(handle);
         }
@@ -312,19 +842,39 @@ pub fn run_models(
         }
     });
 
-    let mut aggregates: Vec<Aggregate> = models.iter().map(|_| Aggregate::new()).collect();
-    // Same guard as above. simlint: allow(no-unwrap-in-lib)
-    let slots = slots.into_inner().expect("result store poisoned");
-    for (i, slot) in slots.into_iter().enumerate() {
-        // claim_chunk hands out 0..runs exactly once. simlint: allow(no-unwrap-in-lib)
-        let result = slot.expect("every run produced");
-        aggregates[i % n_models].push(&result);
+    // Deterministic main-thread fold: per lane, ascending run order —
+    // the exact push sequence a standalone run_models performs.
+    let slots = slab.into_results();
+    let mut results = Vec::with_capacity(cells.len());
+    for (c, cell) in cells.iter().enumerate() {
+        let mut aggregates: Vec<Aggregate> =
+            cell.models.iter().map(|_| Aggregate::new()).collect();
+        for (m, agg) in aggregates.iter_mut().enumerate() {
+            let lane = plan.lane(c, m);
+            for run in 0..runs {
+                let slot = slots[lane * runs + run].as_ref();
+                // Every (run, unit) item is claimed exactly once. simlint: allow(no-unwrap-in-lib)
+                agg.push(slot.expect("every unit produced a result"));
+            }
+        }
+        results.push(CampaignResult {
+            models: cell.models.clone(),
+            aggregates,
+            threads,
+        });
     }
 
-    CampaignResult {
-        models: models.to_vec(),
-        aggregates,
+    GridResult {
+        cells: results,
+        labels: cells.iter().map(|c| c.label.clone()).collect(),
+        runs_per_cell: runs,
         threads,
+        trace_groups: plan.trace_groups(),
+        lanes: plan.lanes(),
+        units: plan.units(),
+        trace_generations: generations.into_inner(),
+        trace_reuses: reuses.into_inner(),
+        leads_digest: leads.digest(),
     }
 }
 
@@ -335,6 +885,14 @@ mod tests {
 
     fn app_params(model: ModelKind, app: &str) -> SimParams {
         SimParams::paper_defaults(model, Application::by_name(app).unwrap())
+    }
+
+    fn digest(a: &Aggregate) -> (u64, u64, u64) {
+        (
+            a.total_hours.mean().to_bits(),
+            a.ft_ratio_pooled().to_bits(),
+            a.failures.sum().to_bits(),
+        )
     }
 
     #[test]
@@ -387,20 +945,37 @@ mod tests {
     }
 
     #[test]
-    fn chunk_claiming_covers_every_run_exactly_once() {
-        // Drive claim_chunk directly: any threads/runs combination must
-        // partition 0..runs into disjoint, exhaustive chunks.
-        for (runs, threads) in [(1, 1), (7, 3), (100, 8), (1000, 13)] {
+    fn chunk_claiming_covers_every_item_exactly_once() {
+        // Drive claim_chunk directly: any threads/items combination must
+        // partition 0..total into disjoint, exhaustive chunks — including
+        // grid-sized index spaces far beyond a single cell's run count.
+        for (total, threads) in [(1, 1), (7, 3), (100, 8), (1000, 13), (15_000, 32)] {
             let next = AtomicUsize::new(0);
-            let mut covered = vec![false; runs];
-            while let Some((start, end)) = claim_chunk(&next, runs, threads) {
-                assert!(start < end && end <= runs);
+            let mut covered = vec![false; total];
+            while let Some((start, end)) = claim_chunk(&next, total, threads) {
+                assert!(start < end && end <= total);
+                assert!(end - start <= 64, "chunks stay bounded");
                 for slot in &mut covered[start..end] {
-                    assert!(!*slot, "run claimed twice");
+                    assert!(!*slot, "item claimed twice");
                     *slot = true;
                 }
             }
-            assert!(covered.iter().all(|&c| c), "runs left unclaimed");
+            assert!(covered.iter().all(|&c| c), "items left unclaimed");
+        }
+    }
+
+    #[test]
+    fn chunk_claiming_tail_is_single_item() {
+        // Once the tail is within two items per thread, every claim is a
+        // single item — the worst-case straggle behind an otherwise idle
+        // pool is one item, independent of the index-space size.
+        let (total, threads) = (10_000, 16);
+        let next = AtomicUsize::new(0);
+        while let Some((start, end)) = claim_chunk(&next, total, threads) {
+            let remaining_before = total - start;
+            if remaining_before <= threads * 2 {
+                assert_eq!(end - start, 1, "tail claims must be single items");
+            }
         }
     }
 
@@ -416,7 +991,7 @@ mod tests {
             &cfg,
         );
         assert_eq!(campaign.threads, 3);
-        // The clamp caps threads at the run count.
+        // The clamp caps threads at the item count.
         cfg.threads = 64;
         let campaign = run_models(
             &app_params(ModelKind::B, "POP"),
@@ -448,10 +1023,10 @@ mod tests {
 
     #[test]
     fn matches_serial_fresh_build_reference() {
-        // The arena + work-stealing scheduler must reproduce the
-        // pre-refactor semantics bit-for-bit: run i draws from
-        // master.split(i), the trace is generated first, and every model
-        // runs against a fresh clone with bg stream split(0xB6).
+        // The grid engine must reproduce the pre-refactor semantics
+        // bit-for-bit: run i draws from master.split(i), the trace is
+        // generated first, and every model runs against a fresh clone
+        // with bg stream split(0xB6).
         let leads = LeadTimeModel::desh_default();
         let base = app_params(ModelKind::B, "XGC");
         let models = [ModelKind::B, ModelKind::P2];
@@ -509,5 +1084,161 @@ mod tests {
             (a.failures.mean() - b.failures.mean()).abs() > 0.0
                 || (a.total_hours.mean() - b.total_hours.mean()).abs() > 1e-12
         );
+    }
+
+    /// A fig4-shaped sweep: lead scales × [B, P2] for one app.
+    fn scale_sweep_cells(app: &str, scales: &[f64]) -> Vec<GridCell> {
+        scales
+            .iter()
+            .map(|&s| {
+                let mut p = app_params(ModelKind::B, app);
+                p.lead_scale = s;
+                GridCell::new(p, &[ModelKind::B, ModelKind::P2])
+                    .with_label(format!("{app}@{s}"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_cells_match_standalone_campaigns_bit_for_bit() {
+        // The core equivalence contract, across every sharing mechanism:
+        // multi-view lead-scale groups, prediction-blind dedup, and a
+        // same-config pair (single-group, multiple cells).
+        let leads = LeadTimeModel::desh_default();
+        let mut cells = scale_sweep_cells("XGC", &[1.5, 1.0, 0.5]);
+        // An α-sweep mate of the 1.0 cell: same trace config, different
+        // (non-trace) simulation parameter.
+        let mut alpha = app_params(ModelKind::B, "XGC");
+        alpha.lm_transfer_factor = 6.0;
+        cells.push(GridCell::new(alpha, &[ModelKind::P2]).with_label("alpha6"));
+        let cfg = RunnerConfig {
+            runs: 10,
+            base_seed: 23,
+            threads: 3,
+        };
+        let grid = run_grid(&cells, &leads, &cfg);
+        assert_eq!(grid.cells.len(), 4);
+        // 3 scale cells in one multi-view group (+ the α mate, same
+        // group): one trace group total.
+        assert_eq!(grid.trace_groups, 1);
+        // 7 lanes, B deduplicated across the 3 scale cells → 5 units.
+        assert_eq!(grid.lanes, 7);
+        assert_eq!(grid.units, 5);
+        for (cell, campaign) in cells.iter().zip(&grid.cells) {
+            let standalone = run_models(&cell.params, &cell.models, &leads, &cfg);
+            for (a, b) in campaign.aggregates.iter().zip(&standalone.aggregates) {
+                assert_eq!(digest(a), digest(b), "cell {} diverged", cell.label);
+            }
+        }
+        // Labels resolve.
+        assert!(grid.by_label("alpha6").is_some());
+        assert!(grid.by_label("nope").is_none());
+    }
+
+    #[test]
+    fn grid_is_thread_count_invariant() {
+        let leads = LeadTimeModel::desh_default();
+        let cells = scale_sweep_cells("XGC", &[1.1, 0.9]);
+        let mut digests = Vec::new();
+        for threads in [1, 3, 8] {
+            let cfg = RunnerConfig {
+                runs: 9,
+                base_seed: 5,
+                threads,
+            };
+            let grid = run_grid(&cells, &leads, &cfg);
+            let d: Vec<_> = grid
+                .cells
+                .iter()
+                .flat_map(|c| c.aggregates.iter().map(digest))
+                .collect();
+            digests.push(d);
+        }
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[0], digests[2]);
+    }
+
+    #[test]
+    fn lead_blind_dedup_is_bit_identical_and_counted() {
+        // Two B-only cells at different lead scales collapse to one unit;
+        // their aggregates are bit-identical to each other *and* to
+        // standalone campaigns (model B never reads a lead).
+        let leads = LeadTimeModel::desh_default();
+        let cells = [
+            {
+                let mut p = app_params(ModelKind::B, "POP");
+                p.lead_scale = 1.5;
+                GridCell::new(p, &[ModelKind::B])
+            },
+            {
+                let mut p = app_params(ModelKind::B, "POP");
+                p.lead_scale = 0.5;
+                GridCell::new(p, &[ModelKind::B])
+            },
+        ];
+        let cfg = RunnerConfig::new(8, 77);
+        let grid = run_grid(&cells, &leads, &cfg);
+        assert_eq!(grid.units, 1, "B lanes must share one execution unit");
+        assert_eq!(grid.lanes, 2);
+        let a = &grid.cells[0].aggregates[0];
+        let b = &grid.cells[1].aggregates[0];
+        assert_eq!(digest(a), digest(b));
+        let standalone = run_models(&cells[1].params, &[ModelKind::B], &leads, &cfg);
+        assert_eq!(digest(b), digest(&standalone.aggregates[0]));
+    }
+
+    #[test]
+    fn dedup_requires_equal_non_lead_params() {
+        // A differing non-lead parameter (here α, which B ignores in
+        // practice but equality cannot prove harmless) blocks dedup.
+        let leads = LeadTimeModel::desh_default();
+        let mut a = app_params(ModelKind::B, "POP");
+        a.lead_scale = 1.5;
+        let mut b = app_params(ModelKind::B, "POP");
+        b.lead_scale = 0.5;
+        b.drain_concurrency = 256;
+        let cells = [
+            GridCell::new(a, &[ModelKind::B]),
+            GridCell::new(b, &[ModelKind::B]),
+        ];
+        let plan = GridPlan::new(&cells, &leads);
+        assert_eq!(plan.units(), 2, "non-lead param difference blocks dedup");
+        assert_eq!(plan.trace_groups(), 1, "trace sharing is still fine");
+    }
+
+    #[test]
+    fn trace_cache_accounting_covers_all_units_single_thread() {
+        let leads = LeadTimeModel::desh_default();
+        let cells = scale_sweep_cells("XGC", &[1.5, 1.0, 0.5]);
+        let mut cfg = RunnerConfig::new(6, 3);
+        cfg.threads = 1;
+        let grid = run_grid(&cells, &leads, &cfg);
+        // One generation per (group, run) on a single thread; every other
+        // unit execution is a hit.
+        assert_eq!(grid.trace_generations, (grid.trace_groups * 6) as u64);
+        assert_eq!(
+            grid.trace_generations + grid.trace_reuses,
+            (grid.units * 6) as u64
+        );
+        assert!(grid.trace_cache_hit_rate() > 0.5);
+        assert!(grid.meta_json("t").contains("\"trace_groups\":1"));
+    }
+
+    #[test]
+    fn distinct_predictors_do_not_share_traces() {
+        // Prediction draws happen during generation, so cells with
+        // different predictors must land in different groups even when
+        // the rest of the trace config matches.
+        let leads = LeadTimeModel::desh_default();
+        let a = app_params(ModelKind::B, "XGC");
+        let mut b = app_params(ModelKind::B, "XGC");
+        b.predictor = b.predictor.with_false_negative_rate(0.5);
+        let cells = [
+            GridCell::new(a, &[ModelKind::B]),
+            GridCell::new(b, &[ModelKind::B]),
+        ];
+        let plan = GridPlan::new(&cells, &leads);
+        assert_eq!(plan.trace_groups(), 2);
+        assert_eq!(plan.units(), 2);
     }
 }

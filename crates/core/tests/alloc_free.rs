@@ -4,7 +4,10 @@
 //! grown every arena buffer to its high-water mark, replaying the same
 //! runs through [`RunArena::run_one`] must not touch the heap at all —
 //! not in the event queue, the fluid link, the p-ckpt round, the trace
-//! generator, nor the result hand-off.
+//! generator, nor the result hand-off. The same bar applies to the grid
+//! engine's steady state: a warm [`GridWorker`] replaying `(run, unit)`
+//! items — trace-cache hits *and* misses, core instantiation included —
+//! must be equally silent.
 //!
 //! This file is its own test binary on purpose: `#[global_allocator]`
 //! is process-wide, and the sole test keeps the counter honest (no
@@ -14,7 +17,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pckpt_core::iosim::PfsMode;
-use pckpt_core::{ModelKind, RunArena, RunResult, SimParams};
+use pckpt_core::{GridCell, GridPlan, GridWorker, ModelKind, RunArena, RunResult, SimParams};
 use pckpt_failure::LeadTimeModel;
 use pckpt_simrng::SimRng;
 use pckpt_workloads::Application;
@@ -90,4 +93,49 @@ fn warm_arena_runs_do_not_allocate() {
         let _ = (before, after);
         assert!(out.iter().all(Option::is_some));
     }
+
+    // Grid steady state: a warm worker replaying a lead-scale sweep.
+    // Replaying run-major order makes every multi-view unit after the
+    // first of a run a trace-cache *hit* (instantiate only), and the
+    // first a *miss* (full regeneration into cached buffers) — both
+    // paths must stay off the heap.
+    let leads = LeadTimeModel::desh_default();
+    let cells: Vec<GridCell> = [1.5, 1.0, 0.5]
+        .iter()
+        .map(|&scale| {
+            let mut p = SimParams::paper_defaults(
+                ModelKind::B,
+                Application::by_name("XGC").expect("known app"),
+            );
+            p.lead_scale = scale;
+            GridCell::new(p, &[ModelKind::B, ModelKind::M2])
+        })
+        .collect();
+    let plan = GridPlan::new(&cells, &leads);
+    let master = SimRng::seed_from(41);
+    let mut worker = GridWorker::new(&plan);
+
+    const GRID_RUNS: usize = 6;
+    let mut checksum = 0.0f64;
+    for run in 0..GRID_RUNS {
+        for unit in 0..plan.units() {
+            checksum += worker.run_unit(&master, run, unit).wall_secs;
+        }
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut replay = 0.0f64;
+    for run in 0..GRID_RUNS {
+        for unit in 0..plan.units() {
+            replay += worker.run_unit(&master, run, unit).wall_secs;
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    #[cfg(debug_assertions)]
+    assert_eq!(after - before, 0, "warm grid unit executions must not allocate");
+    #[cfg(not(debug_assertions))]
+    let _ = (before, after);
+    assert_eq!(checksum.to_bits(), replay.to_bits(), "replay must be bit-identical");
+    assert!(worker.trace_reuses > 0, "sweep must exercise the trace-cache hit path");
 }

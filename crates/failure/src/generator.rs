@@ -143,6 +143,24 @@ impl TraceConfig {
         self.projection = projection;
         self
     }
+
+    /// The scale-invariant core of this configuration.
+    ///
+    /// `lead_scale` is a *pure per-event transform*: generation draws the
+    /// raw lead from the mixture first and only then computes
+    /// `usable_lead_secs(raw × scale)` (see [`FailureTrace::generate_into`]
+    /// and `make_failure`), so two configs that differ only in
+    /// `lead_scale` consume **identical RNG draw sequences**. Campaign
+    /// grids exploit this: cells with equal cores share one generated
+    /// [`TraceCore`] and instantiate their own lead-scale view from it
+    /// bit-identically (the paper's paired-trace variance reduction,
+    /// extended across sweep points).
+    pub fn scale_invariant(&self) -> TraceConfig {
+        TraceConfig {
+            lead_scale: 1.0,
+            ..*self
+        }
+    }
 }
 
 /// One genuine failure in a trace.
@@ -321,6 +339,217 @@ impl FailureTrace {
     /// Count of predicted genuine failures.
     pub fn predicted_count(&self) -> usize {
         self.failures.iter().filter(|f| f.predicted).count()
+    }
+}
+
+/// One genuine failure before the lead-scale view is applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CoreFailure {
+    time_hours: f64,
+    node: u32,
+    sequence_id: u32,
+    /// Raw mixture draw, before `× lead_scale` and the latency subtraction.
+    raw_lead: f64,
+    /// Estimation-noise factor (1.0 when `lead_error_cv == 0`).
+    est_noise: f64,
+    predicted: bool,
+}
+
+/// One false-positive prediction before the lead-scale view is applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CoreFp {
+    at_hours: f64,
+    node: u32,
+    sequence_id: u32,
+    raw_lead: f64,
+}
+
+/// The scale-independent capture of one generated trace.
+///
+/// Everything `FailureTrace::generate_into` draws from the RNG is stored
+/// *before* the lead-scale transform: failure times, nodes, sequence ids,
+/// raw mixture leads, estimation-noise factors, predicted flags, and the
+/// false-positive process. Any lead-scale view of the same core is then a
+/// deterministic, RNG-free transform ([`instantiate_into`]
+/// (Self::instantiate_into)) — bit-identical to generating the scaled
+/// trace directly, because `lead_scale` only ever appears as
+/// `usable_lead_secs(raw × scale)` downstream of every draw.
+///
+/// This is what lets a campaign grid share one generation across an
+/// entire lead-scale sweep (Figs. 4/7/8, Tables II/IV) while every cell
+/// still sees exactly the trace it would have generated alone.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCore {
+    failures: Vec<CoreFailure>,
+    false_positives: Vec<CoreFp>,
+    /// The scale-invariant config this core was generated under (None
+    /// until the first generation); instantiation debug-asserts against
+    /// it so a core is never viewed through a non-scale-mate config.
+    key: Option<TraceConfig>,
+}
+
+impl TraceCore {
+    /// Regenerates this core in place, retaining buffer allocations.
+    ///
+    /// Consumes **exactly** the RNG draw sequence of
+    /// [`FailureTrace::generate_into`] under `config` at *any*
+    /// `lead_scale` — the draws are scale-independent (see
+    /// [`TraceConfig::scale_invariant`]), so the RNG leaves in the same
+    /// state and a downstream `rng.split(..)` stream is unaffected by
+    /// whether the trace was generated directly or through a core.
+    pub fn generate_into(
+        &mut self,
+        config: &TraceConfig,
+        leads: &LeadTimeModel,
+        predictor: &Predictor,
+        rng: &mut SimRng,
+    ) {
+        self.failures.clear();
+        self.false_positives.clear();
+        self.key = Some(config.scale_invariant());
+        let failures = &mut self.failures;
+        match config.projection {
+            Projection::MinStability => {
+                let w = config.distribution.job_weibull(config.job_nodes);
+                let mut t = 0.0;
+                loop {
+                    t += w.sample(rng);
+                    if t >= config.horizon_hours {
+                        break;
+                    }
+                    failures.push(Self::make_core_failure(config, leads, predictor, rng, t, None));
+                }
+            }
+            Projection::Thinning => {
+                let n = config.distribution.system_nodes;
+                assert!(
+                    config.job_nodes <= n,
+                    "thinning projection requires job_nodes ({}) ≤ system nodes ({n})",
+                    config.job_nodes
+                );
+                let w = config.distribution.system_weibull();
+                let mut t = 0.0;
+                loop {
+                    t += w.sample(rng);
+                    if t >= config.horizon_hours {
+                        break;
+                    }
+                    let node = rng.below(n);
+                    if node < config.job_nodes {
+                        let job_node = match config.node_selection {
+                            NodeSelection::Uniform => node as u32,
+                            sel => sel.pick(rng, config.job_nodes),
+                        };
+                        failures.push(Self::make_core_failure(
+                            config,
+                            leads,
+                            predictor,
+                            rng,
+                            t,
+                            Some(job_node),
+                        ));
+                    }
+                }
+            }
+        }
+
+        let expected_true_predictions =
+            failures.iter().filter(|f| f.predicted).count() as f64;
+        let expected_fp = expected_true_predictions * predictor.fp_per_true_prediction();
+        if expected_fp > 0.0 {
+            let gap = Exponential::from_rate(expected_fp / config.horizon_hours);
+            let mut t = gap.sample(rng);
+            while t < config.horizon_hours {
+                let (sequence_id, raw_lead) = leads.sample(rng);
+                self.false_positives.push(CoreFp {
+                    node: config.node_selection.pick(rng, config.job_nodes),
+                    at_hours: t,
+                    sequence_id,
+                    raw_lead,
+                });
+                t += gap.sample(rng);
+            }
+        }
+    }
+
+    /// Mirrors `FailureTrace::make_failure` draw-for-draw, storing the
+    /// raw lead and noise factor instead of the scaled view.
+    fn make_core_failure(
+        config: &TraceConfig,
+        leads: &LeadTimeModel,
+        predictor: &Predictor,
+        rng: &mut SimRng,
+        time_hours: f64,
+        node: Option<u32>,
+    ) -> CoreFailure {
+        let node = node.unwrap_or_else(|| config.node_selection.pick(rng, config.job_nodes));
+        let (sequence_id, raw_lead) = leads.sample(rng);
+        let est_noise = if config.lead_error_cv > 0.0 {
+            pckpt_simrng::dist::LogNormal::from_mean_cv(1.0, config.lead_error_cv).sample(rng)
+        } else {
+            1.0
+        };
+        CoreFailure {
+            time_hours,
+            node,
+            sequence_id,
+            raw_lead,
+            est_noise,
+            predicted: predictor.predicts(rng),
+        }
+    }
+
+    /// Fills `out` with the `config.lead_scale` view of this core,
+    /// retaining `out`'s allocations.
+    ///
+    /// Bit-identical to `FailureTrace::generate_into(config, ..)` over
+    /// the same RNG stream: the lead computation is the same expression
+    /// (`usable_lead_secs(raw × scale)`, then `(lead × noise).max(0)`
+    /// when estimation error is on) applied to the same stored draws.
+    pub fn instantiate_into(
+        &self,
+        config: &TraceConfig,
+        predictor: &Predictor,
+        out: &mut FailureTrace,
+    ) {
+        debug_assert_eq!(
+            self.key.as_ref(),
+            Some(&config.scale_invariant()),
+            "a TraceCore may only be viewed through scale-mates of its generation config"
+        );
+        out.failures.clear();
+        out.false_positives.clear();
+        for f in &self.failures {
+            let lead_secs = predictor.usable_lead_secs(f.raw_lead * config.lead_scale);
+            let est_lead_secs = if config.lead_error_cv > 0.0 {
+                (lead_secs * f.est_noise).max(0.0)
+            } else {
+                lead_secs
+            };
+            out.failures.push(FailureEvent {
+                time_hours: f.time_hours,
+                node: f.node,
+                sequence_id: f.sequence_id,
+                lead_secs,
+                est_lead_secs,
+                predicted: f.predicted,
+            });
+        }
+        for p in &self.false_positives {
+            let lead_secs = predictor.usable_lead_secs(p.raw_lead * config.lead_scale);
+            out.false_positives.push(Prediction {
+                node: p.node,
+                at_hours: p.at_hours,
+                lead_secs,
+                sequence_id: p.sequence_id,
+                genuine: false,
+            });
+        }
+    }
+
+    /// Count of genuine failures captured in the core.
+    pub fn failure_count(&self) -> usize {
+        self.failures.len()
     }
 }
 
@@ -524,6 +753,76 @@ mod tests {
                 "RNGs left in the same state"
             );
         }
+    }
+
+    #[test]
+    fn core_instantiation_is_bit_identical_to_direct_generation() {
+        // For every projection, noise setting, and lead scale: generating
+        // a TraceCore and instantiating a scale view must (a) consume the
+        // exact RNG stream of direct generation and (b) reproduce the
+        // direct trace bit-for-bit.
+        let (leads, predictor) = setup();
+        let configs = [
+            TraceConfig::new(FailureDistribution::OLCF_TITAN, 505, 5_000.0),
+            TraceConfig::new(FailureDistribution::OLCF_TITAN, 2272, 2_000.0)
+                .with_projection(Projection::Thinning),
+            TraceConfig::new(FailureDistribution::LANL_SYSTEM_18, 1024, 3_000.0)
+                .with_lead_error(0.4),
+            TraceConfig::new(FailureDistribution::LANL_SYSTEM_8, 40, 20_000.0)
+                .with_projection(Projection::Thinning)
+                .with_node_selection(NodeSelection::Hotspot {
+                    fraction: 0.1,
+                    weight: 5.0,
+                }),
+        ];
+        let mut core = TraceCore::default();
+        let mut view = FailureTrace::default();
+        for (i, base) in configs.iter().enumerate() {
+            for (j, scale) in [1.5, 1.1, 1.0, 0.9, 0.5].iter().enumerate() {
+                let cfg = base.with_lead_scale(*scale);
+                let seed = 1000 + (i * 10 + j) as u64;
+                let mut r1 = SimRng::seed_from(seed);
+                let mut r2 = SimRng::seed_from(seed);
+                let direct = FailureTrace::generate(&cfg, &leads, &predictor, &mut r1);
+                // Generate the core under a *different* scale-mate of the
+                // same config — the draws must not depend on the scale.
+                core.generate_into(&base.with_lead_scale(2.0), &leads, &predictor, &mut r2);
+                core.instantiate_into(&cfg, &predictor, &mut view);
+                assert_eq!(direct, view, "config {i} scale {scale}");
+                assert_eq!(
+                    r1.uniform01().to_bits(),
+                    r2.uniform01().to_bits(),
+                    "config {i} scale {scale}: RNGs must leave in the same state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scale-mates")]
+    fn core_rejects_non_scale_mate_views() {
+        let (leads, predictor) = setup();
+        let a = TraceConfig::new(FailureDistribution::OLCF_TITAN, 505, 2_000.0);
+        let b = TraceConfig::new(FailureDistribution::OLCF_TITAN, 1024, 2_000.0);
+        let mut core = TraceCore::default();
+        let mut rng = SimRng::seed_from(9);
+        core.generate_into(&a, &leads, &predictor, &mut rng);
+        let mut out = FailureTrace::default();
+        core.instantiate_into(&b, &predictor, &mut out);
+    }
+
+    #[test]
+    fn scale_invariant_normalizes_only_the_lead_scale() {
+        let cfg = TraceConfig::new(FailureDistribution::OLCF_TITAN, 505, 2_000.0)
+            .with_lead_scale(1.5)
+            .with_lead_error(0.3)
+            .with_projection(Projection::Thinning);
+        let core = cfg.scale_invariant();
+        assert_eq!(core.lead_scale, 1.0);
+        assert_eq!(core, cfg.with_lead_scale(0.5).scale_invariant());
+        // Everything else participates in the key.
+        assert_ne!(core, cfg.with_lead_error(0.0).scale_invariant());
     }
 
     #[test]

@@ -89,6 +89,29 @@ impl LeadTimeModel {
         &self.sequences
     }
 
+    /// FNV-1a digest over the exact bit patterns of every sequence
+    /// parameter. Two models with equal digests draw identical lead
+    /// times from identical RNG streams, so campaign grids use this to
+    /// decide (and report) cross-cell trace sharing: `LeadTimeModel`
+    /// itself is neither `Clone` nor `PartialEq` (it owns boxed mixture
+    /// components), but its behaviour is fully determined by these stats.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for s in &self.sequences {
+            eat(s.id as u64);
+            eat(s.mean_secs.to_bits());
+            eat(s.sd_secs.to_bits());
+            eat(s.occurrences);
+        }
+        h
+    }
+
     /// Draws `(sequence id, lead time in seconds)` for one failure.
     pub fn sample(&self, rng: &mut SimRng) -> (u32, f64) {
         let (idx, lead) = self.mixture.sample_tagged(rng);

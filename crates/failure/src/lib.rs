@@ -32,7 +32,7 @@ pub mod leadtime;
 pub mod predictor;
 pub mod system;
 
-pub use generator::{FailureEvent, FailureTrace, Projection, TraceConfig};
+pub use generator::{FailureEvent, FailureTrace, Projection, TraceConfig, TraceCore};
 pub use leadtime::{LeadTimeModel, SequenceStats};
 pub use predictor::{Prediction, Predictor};
 pub use system::{FailureDistribution, RateEstimator};

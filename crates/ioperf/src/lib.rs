@@ -48,7 +48,7 @@ pub const MB: f64 = 1e6;
 ///
 /// This is the object the C/R models take: burst buffer, PFS matrix and
 /// network for one platform.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IoHierarchy {
     /// Node-local burst buffer.
     pub bb: BurstBuffer,

@@ -697,6 +697,19 @@ impl ObsAggregate {
         self.recomp.merge(&other.recomp);
     }
 
+    /// Merges any number of aggregates into one (the grid-wide rollup a
+    /// campaign sweep reports alongside its per-cell aggregates).
+    pub fn merge_all<'a, I>(parts: I) -> ObsAggregate
+    where
+        I: IntoIterator<Item = &'a ObsAggregate>,
+    {
+        let mut out = ObsAggregate::default();
+        for part in parts {
+            out.merge(part);
+        }
+        out
+    }
+
     /// Mean events dispatched per run.
     pub fn events_per_run(&self) -> f64 {
         if self.runs == 0 {

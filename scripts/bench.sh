@@ -2,10 +2,11 @@
 # Perf trajectory harness for the PR sequence.
 #
 # Runs the criterion micro-benchmarks (event dispatch, flow-link churn
-# virtual-vs-reference, arena-reuse vs fresh-build campaign runs) and
-# the end-to-end campaign timer, then folds the machine-parsable
-# CRITERION_JSON / CAMPAIGN_JSON / METRICS_JSON lines into one snapshot
-# (default BENCH_pr4.json; earlier BENCH_pr<N>.json files are kept as
+# virtual-vs-reference, arena-reuse vs fresh-build campaign runs, grid
+# sweep vs serial cells) and the end-to-end campaign + grid-sweep
+# timers, then folds the machine-parsable CRITERION_JSON /
+# CAMPAIGN_JSON / GRID_JSON / METRICS_JSON lines into one snapshot
+# (default BENCH_pr5.json; earlier BENCH_pr<N>.json files are kept as
 # the perf trajectory across the PR sequence):
 #
 #   median_ns_per_event            engine dispatch cost
@@ -13,6 +14,12 @@
 #   flow_churn_speedup_vs_reference  virtual-time link vs O(n) reference
 #   arena_reuse_speedup[_fluid]    warm RunArena run vs fresh-build run
 #   runs_per_sec / runs_per_sec_fluid  1000-run P2/XGC campaign throughput
+#   grid_speedup                   4-cell POP sweep: one grid pool vs
+#                                  serial per-cell campaigns (bit-
+#                                  identical results, asserted)
+#   grid_cells_per_sec             grid sweep throughput on that sweep
+#   grid_trace_cache_hit_rate      share of unit executions served from
+#                                  a worker's cached per-run trace
 #
 # Usage: scripts/bench.sh [output.json]
 # Env:   PCKPT_RUNS (campaign size, default 1000), PCKPT_SEED,
@@ -22,7 +29,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr4.json}
+OUT=${1:-BENCH_pr5.json}
 BENCH_LOG=$(mktemp)
 CAMPAIGN_LOG=$(mktemp)
 trap 'rm -f "$BENCH_LOG" "$CAMPAIGN_LOG"' EXIT
@@ -33,6 +40,10 @@ cargo bench -p pckpt-bench 2>&1 | tee "$BENCH_LOG"
 echo
 echo "== end-to-end campaign timing =="
 cargo run --release -q -p pckpt-bench --bin bench_campaign 2>&1 | tee "$CAMPAIGN_LOG"
+
+echo
+echo "== grid sweep vs serial cells =="
+cargo run --release -q -p pckpt-bench --bin bench_grid 2>&1 | tee -a "$CAMPAIGN_LOG"
 
 python3 - "$BENCH_LOG" "$CAMPAIGN_LOG" "$OUT" <<'PYEOF'
 import json
@@ -51,9 +62,11 @@ def parse(path, tag):
 
 benches = parse(bench_log, "CRITERION_JSON ")
 campaigns = parse(campaign_log, "CAMPAIGN_JSON ")
+grids = parse(campaign_log, "GRID_JSON ")
 metrics = parse(campaign_log, "METRICS_JSON ")
 
-doc = {"benchmarks": benches, "campaigns": campaigns, "metrics": metrics}
+doc = {"benchmarks": benches, "campaigns": campaigns, "grids": grids,
+       "metrics": metrics}
 
 dispatch = benches.get("engine_dispatch_100k_events")
 if dispatch:
@@ -80,6 +93,21 @@ if "p2_xgc_analytic" in campaigns:
 if "p2_xgc_fluid" in campaigns:
     doc["runs_per_sec_fluid"] = campaigns["p2_xgc_fluid"]["runs_per_sec"]
 
+# Headline grid numbers: the 4-cell POP sweep (largest per-run trace
+# share, so the strongest work-elimination case of the three apps).
+pop = grids.get("grid_sweep_pop")
+if pop:
+    doc["grid_speedup"] = pop["speedup"]
+    doc["grid_cells_per_sec"] = pop["cells_per_sec"]
+    doc["grid_trace_cache_hit_rate"] = pop["trace_cache_hit_rate"]
+
+sweep_serial = benches.get("grid_sweep/serial_cells_pop")
+sweep_grid = benches.get("grid_sweep/grid_pop")
+if sweep_serial and sweep_grid:
+    doc["grid_sweep_speedup_micro"] = round(
+        sweep_serial["median_ns"] / sweep_grid["median_ns"], 2
+    )
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
@@ -93,6 +121,10 @@ for key in (
     "arena_reuse_speedup_fluid",
     "runs_per_sec",
     "runs_per_sec_fluid",
+    "grid_speedup",
+    "grid_cells_per_sec",
+    "grid_trace_cache_hit_rate",
+    "grid_sweep_speedup_micro",
 ):
     if key in doc:
         print(f"  {key}: {doc[key]}")

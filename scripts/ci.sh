@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Full CI chain: the tier-1 gate plus everything it doesn't cover —
-# workspace-member tests and the trace-feature build (whose golden
-# digests prove the recorder changes nothing it observes).
+# workspace-member tests, the examples build, and the trace-feature
+# build (whose golden digests prove the recorder changes nothing it
+# observes).
 #
 #   1. scripts/lint.sh        simlint, release build, root test suite,
 #                             1-run bench smoke (CAMPAIGN/METRICS_JSON)
 #   2. cargo test --workspace every crate's unit tests (trace off)
-#   3. cargo test --features trace
+#   3. cargo build --examples the doc examples compile against the
+#                             current API (they are not test targets, so
+#                             nothing else catches their drift)
+#   4. cargo test --features trace
 #                             root suite again with the recorder live:
 #                             golden stream digests + on/off equivalence
 #
@@ -14,15 +18,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==== [1/3] tier-1 gate (scripts/lint.sh) ===="
+echo "==== [1/4] tier-1 gate (scripts/lint.sh) ===="
 scripts/lint.sh
 
 echo
-echo "==== [2/3] workspace tests ===="
+echo "==== [2/4] workspace tests ===="
 cargo test -q --workspace
 
 echo
-echo "==== [3/3] trace-feature tests ===="
+echo "==== [3/4] examples build ===="
+cargo build -q --examples
+
+echo
+echo "==== [4/4] trace-feature tests ===="
 cargo test -q --features trace
 
 echo

@@ -57,8 +57,8 @@ pub use pckpt_workloads as workloads;
 /// The most common imports for driving simulations.
 pub mod prelude {
     pub use pckpt_core::{
-        run_many, run_models, Aggregate, CampaignResult, CrSim, ModelKind, OverheadLedger,
-        RunResult, RunnerConfig, SimParams,
+        run_grid, run_many, run_models, Aggregate, CampaignResult, CrSim, GridCell, GridResult,
+        ModelKind, OverheadLedger, RunResult, RunnerConfig, SimParams,
     };
     pub use pckpt_failure::{
         FailureDistribution, FailureTrace, LeadTimeModel, Prediction, Predictor, Projection,

@@ -1,0 +1,99 @@
+//! The grid engine's equivalence contract, property-tested end to end:
+//! for arbitrary sweep shapes, seeds and run counts, every cell of a
+//! [`run_grid`] sweep must be **bit-identical** to a standalone
+//! [`run_models`] campaign over the same `(params, models, seed)` — at
+//! every thread count. Cross-cell trace sharing, lead-blind
+//! deduplication and work-stealing order may change how much work is
+//! done and where, but never a single bit of what is computed.
+
+use proptest::prelude::*;
+
+use pckpt::core::{run_grid, run_models, Aggregate, GridCell, RunnerConfig};
+use pckpt::prelude::*;
+
+/// Everything an aggregate folds, as exact bits.
+fn digest(a: &Aggregate) -> [u64; 5] {
+    [
+        a.total_hours.mean().to_bits(),
+        a.ckpt_hours.mean().to_bits(),
+        a.recomp_hours.mean().to_bits(),
+        a.ft_ratio_pooled().to_bits(),
+        a.failures.sum().to_bits(),
+    ]
+}
+
+fn arb_models() -> impl Strategy<Value = Vec<ModelKind>> {
+    prop_oneof![
+        Just(vec![ModelKind::B]),
+        Just(vec![ModelKind::B, ModelKind::P2]),
+        Just(vec![ModelKind::B, ModelKind::M2]),
+        Just(vec![ModelKind::M1, ModelKind::P1]),
+        Just(vec![ModelKind::B, ModelKind::M2, ModelKind::P2]),
+    ]
+}
+
+/// 1–3 cells at distinct lead scales, sharing one trace group — the
+/// shape that exercises the scale-invariant trace core and B-lane
+/// deduplication together.
+fn arb_cells() -> impl Strategy<Value = Vec<GridCell>> {
+    let scale_set = prop_oneof![
+        Just(vec![1.0]),
+        Just(vec![1.5, 0.5]),
+        Just(vec![1.1, 1.0, 0.9]),
+        Just(vec![1.5, 1.1, 0.5]),
+    ];
+    (scale_set, arb_models()).prop_map(|(scales, models)| {
+        let app = Application::by_name("XGC").unwrap();
+        scales
+            .into_iter()
+            .map(|scale| {
+                let mut p = SimParams::paper_defaults(ModelKind::B, app);
+                p.lead_scale = scale;
+                GridCell::new(p, &models)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn every_grid_cell_is_bit_identical_to_standalone_run_models(
+        cells in arb_cells(),
+        seed in 0u64..1_000_000,
+        runs in 3usize..=5,
+    ) {
+        let leads = LeadTimeModel::desh_default();
+        // The standalone reference for each cell (thread count is
+        // irrelevant to results; use a fixed small pool).
+        let mut reference_cfg = RunnerConfig::new(runs, seed);
+        reference_cfg.threads = 2;
+        let reference: Vec<Vec<[u64; 5]>> = cells
+            .iter()
+            .map(|cell| {
+                run_models(&cell.params, &cell.models, &leads, &reference_cfg)
+                    .aggregates
+                    .iter()
+                    .map(digest)
+                    .collect()
+            })
+            .collect();
+
+        for threads in [1usize, 3, 8] {
+            let mut cfg = RunnerConfig::new(runs, seed);
+            cfg.threads = threads;
+            let grid = run_grid(&cells, &leads, &cfg);
+            prop_assert_eq!(grid.cells.len(), cells.len());
+            for (c, campaign) in grid.cells.iter().enumerate() {
+                let got: Vec<[u64; 5]> = campaign.aggregates.iter().map(digest).collect();
+                prop_assert_eq!(
+                    &got,
+                    &reference[c],
+                    "cell {} diverged at {} threads (seed {}, runs {})",
+                    c, threads, seed, runs
+                );
+            }
+        }
+    }
+}

@@ -28,6 +28,18 @@ const GOLDEN_CAMPAIGN_DIGEST: &str = "B:40134339b68338cd-0000000000000000-404180
      B:40134339b68338cd-0000000000000000-4041800000000000;\
      P2:3ff84847020395d3-3fed41d41d41d41d-4041800000000000;";
 
+/// Golden digest of the 3-cell lead-scale grid below. The cells share
+/// one scale-invariant trace group, so this constant also pins the
+/// grid engine's cross-cell trace reuse and lead-blind B-lane
+/// deduplication: a change to either would shift which cached state
+/// feeds which lane and drift a cell digest before anything else.
+const GOLDEN_GRID_DIGEST: &str = "XGC@1.5/B:40134339b68338cd-0000000000000000-4041800000000000;\
+     XGC@1.5/P2:3ff519dddf7a889d-3fed41d41d41d41d-4041800000000000;\
+     XGC@1/B:40134339b68338cd-0000000000000000-4041800000000000;\
+     XGC@1/P2:3ff84e8dbc526410-3fed41d41d41d41d-4041800000000000;\
+     XGC@0.5/B:40134339b68338cd-0000000000000000-4041800000000000;\
+     XGC@0.5/P2:40004dee08fa5a35-3feb6db6db6db6db-4041800000000000;";
+
 fn xgc_params(mode: PfsMode) -> SimParams {
     let app = Application::by_name("XGC").expect("Table I app");
     let mut params = SimParams::paper_defaults(ModelKind::P2, app);
@@ -60,12 +72,56 @@ fn campaign_digest() -> String {
     s
 }
 
+/// Same digest format over a grid sweep: three XGC cells at different
+/// lead scales through one `run_grid` pool.
+fn grid_digest() -> (String, usize) {
+    let leads = LeadTimeModel::desh_default();
+    let models = [ModelKind::B, ModelKind::P2];
+    let cells: Vec<GridCell> = [1.5, 1.0, 0.5]
+        .iter()
+        .map(|&scale| {
+            let mut p = xgc_params(PfsMode::Analytic);
+            p.lead_scale = scale;
+            GridCell::new(p, &models).with_label(format!("XGC@{scale}"))
+        })
+        .collect();
+    let grid = run_grid(&cells, &leads, &RunnerConfig::new(12, 61));
+    let mut s = String::new();
+    for (label, c) in grid.labels.iter().zip(&grid.cells) {
+        for (m, a) in c.models.iter().zip(&c.aggregates) {
+            s.push_str(&format!(
+                "{}/{}:{:016x}-{:016x}-{:016x};",
+                label,
+                m.name(),
+                a.total_hours.mean().to_bits(),
+                a.ft_ratio_pooled().to_bits(),
+                a.failures.sum().to_bits(),
+            ));
+        }
+    }
+    (s, grid.trace_groups)
+}
+
 #[test]
 fn campaign_digest_matches_golden_with_and_without_trace() {
     let digest = campaign_digest();
     assert_eq!(
         digest, GOLDEN_CAMPAIGN_DIGEST,
         "campaign digest drifted (trace feature {}abled)",
+        if cfg!(feature = "trace") { "en" } else { "dis" }
+    );
+}
+
+#[test]
+fn grid_digest_matches_golden_with_and_without_trace() {
+    let (digest, trace_groups) = grid_digest();
+    assert_eq!(
+        trace_groups, 1,
+        "lead-scale-only cells must collapse into one trace group"
+    );
+    assert_eq!(
+        digest, GOLDEN_GRID_DIGEST,
+        "grid digest drifted (trace feature {}abled)",
         if cfg!(feature = "trace") { "en" } else { "dis" }
     );
 }
