@@ -17,13 +17,9 @@
 //! β = (α − 1 + σ) / α                                    (6)
 //! ```
 //!
-//! *Transcription note* (also in DESIGN.md): the paper prints Eq. (6) with
-//! denominator 2, but Eq. (7) and the final bounds of Eq. (8) — α ∈
-//! [1.04, 1.30) over 0 ≤ σ < 0.61 — only follow from the `/α` form, which
-//! is what we implement. The derivation: with a uniform lead distribution
-//! on (0, L), LM needs lead > αc/net while p-ckpt needs lead > c/net (equal
-//! NIC and single-node PFS bandwidths on Summit); the conditional miss
-//! fractions give β − σ = σ(α−1+σ)/α − σ... resolved to Eq. (6).
+//! *Transcription note:* the paper prints Eq. (6) with denominator 2; we
+//! implement the `/α` form. The derivation and justification live in
+//! DESIGN.md §14.1 (the single canonical reference for this discrepancy).
 //!
 //! Assuming the base overhead splits half/half between recomputation and
 //! checkpointing, Eq. (4) simplifies to the threshold of Eq. (8):
@@ -36,18 +32,97 @@
 /// reduction cannot exceed the base recomputation overhead (Sec. VII).
 pub const SIGMA_MAX: f64 = 0.61;
 
+// --- shared kernels ---------------------------------------------------
+//
+// Every public entry point below — panicking, checked, and the SoA batch
+// evaluator in `crate::batch` — funnels through these `#[inline(always)]`
+// kernels. One float-operation sequence per equation means the batch
+// columns are bit-identical (`to_bits`) to the scalar functions; the
+// equivalence proptest in `tests/batch_equivalence.rs` pins it.
+
+/// Eq. (6) kernel: `β = clamp((α − 1 + σ) / α, 0, 1)`.
+#[inline(always)]
+pub(crate) fn beta_kernel(alpha: f64, sigma: f64) -> f64 {
+    ((alpha - 1.0 + sigma) / alpha).clamp(0.0, 1.0)
+}
+
+/// Eq. (5) kernel: `1 − √(1−σ)`, with the shared `√(1−σ)` passed in so
+/// fused batch loops compute the root once per cell.
+#[inline(always)]
+pub(crate) fn lm_reduction_kernel(root: f64) -> f64 {
+    1.0 - root
+}
+
+/// Eq. (8) kernel as printed: `(σ + 1) / (σ + √(1−σ))`.
+#[inline(always)]
+pub(crate) fn alpha_threshold_kernel(sigma: f64, root: f64) -> f64 {
+    (sigma + 1.0) / (sigma + root)
+}
+
+/// Exact-threshold kernel: `(1 − σ) / (√(1−σ) − σ)`.
+#[inline(always)]
+pub(crate) fn alpha_threshold_exact_kernel(sigma: f64, root: f64) -> f64 {
+    (1.0 - sigma) / (root - sigma)
+}
+
+/// Eq. (4)/(7) kernel: LM's checkpoint savings vs p-ckpt's extra
+/// recomputation savings.
+#[inline(always)]
+pub(crate) fn pckpt_wins_kernel(alpha: f64, sigma: f64, root: f64, ratio: f64) -> bool {
+    lm_reduction_kernel(root) < ratio * (beta_kernel(alpha, sigma) - sigma)
+}
+
+// Validity predicates — the exact complements of the panicking asserts
+// below, shared by the checked scalar variants and the batch mask.
+
+/// Is `(α, σ)` inside Eq. (6)'s domain?
+#[inline(always)]
+pub(crate) fn beta_valid(alpha: f64, sigma: f64) -> bool {
+    alpha >= 1.0 && (0.0..1.0).contains(&sigma)
+}
+
+/// Is `σ` inside Eq. (5)'s domain?
+#[inline(always)]
+pub(crate) fn lm_reduction_valid(sigma: f64) -> bool {
+    (0.0..1.0).contains(&sigma)
+}
+
+/// Is `σ` inside the printed Eq. (8)'s stated validity band?
+#[inline(always)]
+pub(crate) fn alpha_threshold_valid(sigma: f64) -> bool {
+    (0.0..SIGMA_MAX).contains(&sigma)
+}
+
+/// Is `σ` inside the exact threshold's algebraic domain (`√(1−σ) > σ`)?
+#[inline(always)]
+pub(crate) fn alpha_threshold_exact_valid(sigma: f64, root: f64) -> bool {
+    root > sigma
+}
+
+// --- scalar API -------------------------------------------------------
+
 /// Eq. (6): the failure fraction p-ckpt can mitigate, given α and σ.
 pub fn beta_pckpt(alpha: f64, sigma: f64) -> f64 {
     assert!(alpha >= 1.0, "alpha below 1 means LM moves less than a checkpoint");
     assert!((0.0..1.0).contains(&sigma));
-    ((alpha - 1.0 + sigma) / alpha).clamp(0.0, 1.0)
+    beta_kernel(alpha, sigma)
+}
+
+/// Non-panicking [`beta_pckpt`]: `None` outside Eq. (6)'s domain.
+pub fn beta_pckpt_checked(alpha: f64, sigma: f64) -> Option<f64> {
+    beta_valid(alpha, sigma).then(|| beta_kernel(alpha, sigma))
 }
 
 /// Eq. (5): LM's fractional reduction of checkpoint overhead,
 /// `1 − √(1−σ)`.
 pub fn lm_ckpt_reduction(sigma: f64) -> f64 {
     assert!((0.0..1.0).contains(&sigma));
-    1.0 - (1.0 - sigma).sqrt()
+    lm_reduction_kernel((1.0 - sigma).sqrt())
+}
+
+/// Non-panicking [`lm_ckpt_reduction`]: `None` for σ outside `[0, 1)`.
+pub fn lm_ckpt_reduction_checked(sigma: f64) -> Option<f64> {
+    lm_reduction_valid(sigma).then(|| lm_reduction_kernel((1.0 - sigma).sqrt()))
 }
 
 /// Eq. (4)/(7): does p-ckpt beat LM overall?
@@ -56,9 +131,22 @@ pub fn lm_ckpt_reduction(sigma: f64) -> f64 {
 /// (Eq. 8 assumes 1).
 pub fn pckpt_beats_lm(alpha: f64, sigma: f64, recomp_to_ckpt_ratio: f64) -> bool {
     assert!(recomp_to_ckpt_ratio > 0.0);
-    let lhs = lm_ckpt_reduction(sigma);
-    let rhs = recomp_to_ckpt_ratio * (beta_pckpt(alpha, sigma) - sigma);
-    lhs < rhs
+    assert!(alpha >= 1.0, "alpha below 1 means LM moves less than a checkpoint");
+    assert!((0.0..1.0).contains(&sigma));
+    pckpt_wins_kernel(alpha, sigma, (1.0 - sigma).sqrt(), recomp_to_ckpt_ratio)
+}
+
+/// Non-panicking [`pckpt_beats_lm`]: `None` when `(α, σ)` falls outside
+/// the domain of Eq. (5) or (6) (the ratio stays a hard precondition —
+/// it is a property of the workload, not of the grid point).
+pub fn pckpt_beats_lm_checked(
+    alpha: f64,
+    sigma: f64,
+    recomp_to_ckpt_ratio: f64,
+) -> Option<bool> {
+    assert!(recomp_to_ckpt_ratio > 0.0);
+    (beta_valid(alpha, sigma) && lm_reduction_valid(sigma))
+        .then(|| pckpt_wins_kernel(alpha, sigma, (1.0 - sigma).sqrt(), recomp_to_ckpt_ratio))
 }
 
 /// Eq. (8) **as printed in the paper**: `α > (σ+1)/(σ+√(1−σ))`, yielding
@@ -84,7 +172,14 @@ pub fn alpha_threshold(sigma: f64) -> f64 {
         (0.0..SIGMA_MAX).contains(&sigma),
         "Eq. 8 is valid for 0 <= sigma < {SIGMA_MAX}"
     );
-    (sigma + 1.0) / (sigma + (1.0 - sigma).sqrt())
+    alpha_threshold_kernel(sigma, (1.0 - sigma).sqrt())
+}
+
+/// Non-panicking [`alpha_threshold`]: `None` for σ outside
+/// `[0, SIGMA_MAX)`.
+pub fn alpha_threshold_checked(sigma: f64) -> Option<f64> {
+    alpha_threshold_valid(sigma)
+        .then(|| alpha_threshold_kernel(sigma, (1.0 - sigma).sqrt()))
 }
 
 /// The exact α threshold solving Eq. (4) with Eqs. (5)–(6) and a 50/50
@@ -101,7 +196,15 @@ pub fn alpha_threshold_exact(sigma: f64) -> f64 {
         root > sigma,
         "exact threshold requires sigma < 0.618, got {sigma}"
     );
-    (1.0 - sigma) / (root - sigma)
+    alpha_threshold_exact_kernel(sigma, root)
+}
+
+/// Non-panicking [`alpha_threshold_exact`]: `None` when `√(1−σ) ≤ σ`
+/// (i.e. σ ≥ (√5−1)/2 ≈ 0.618, or σ > 1 where the root is NaN).
+pub fn alpha_threshold_exact_checked(sigma: f64) -> Option<f64> {
+    let root = (1.0 - sigma).sqrt();
+    alpha_threshold_exact_valid(sigma, root)
+        .then(|| alpha_threshold_exact_kernel(sigma, root))
 }
 
 #[cfg(test)]
@@ -199,5 +302,54 @@ mod tests {
     #[should_panic(expected = "valid for")]
     fn eq8_rejects_sigma_beyond_validity() {
         let _ = alpha_threshold(0.7);
+    }
+
+    #[test]
+    fn checked_variants_mirror_panicking_ones_bit_for_bit() {
+        for &(alpha, sigma) in &[(1.0, 0.0), (3.0, 0.3), (1.5, 0.6), (8.0, 0.05)] {
+            assert_eq!(
+                beta_pckpt_checked(alpha, sigma).unwrap().to_bits(),
+                beta_pckpt(alpha, sigma).to_bits()
+            );
+            assert_eq!(
+                lm_ckpt_reduction_checked(sigma).unwrap().to_bits(),
+                lm_ckpt_reduction(sigma).to_bits()
+            );
+            assert_eq!(
+                pckpt_beats_lm_checked(alpha, sigma, 1.0).unwrap(),
+                pckpt_beats_lm(alpha, sigma, 1.0)
+            );
+            assert_eq!(
+                alpha_threshold_exact_checked(sigma).unwrap().to_bits(),
+                alpha_threshold_exact(sigma).to_bits()
+            );
+            if sigma < SIGMA_MAX {
+                assert_eq!(
+                    alpha_threshold_checked(sigma).unwrap().to_bits(),
+                    alpha_threshold(sigma).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checked_variants_flag_invalid_inputs_instead_of_panicking() {
+        // Eq. (6): α < 1 or σ outside [0, 1).
+        assert!(beta_pckpt_checked(0.5, 0.3).is_none());
+        assert!(beta_pckpt_checked(3.0, 1.0).is_none());
+        assert!(beta_pckpt_checked(3.0, -0.1).is_none());
+        // Eq. (5): σ outside [0, 1).
+        assert!(lm_ckpt_reduction_checked(1.0).is_none());
+        // Eq. (8) as printed: the σ < SIGMA_MAX band, boundary exclusive.
+        assert!(alpha_threshold_checked(SIGMA_MAX).is_none());
+        assert!(alpha_threshold_checked(0.7).is_none());
+        assert!(alpha_threshold_checked(SIGMA_MAX - 1e-9).is_some());
+        // Exact threshold: √(1−σ) > σ, so 0.618… is out, SIGMA_MAX is in.
+        assert!(alpha_threshold_exact_checked(0.63).is_none());
+        assert!(alpha_threshold_exact_checked(SIGMA_MAX).is_some());
+        assert!(alpha_threshold_exact_checked(1.5).is_none(), "NaN root");
+        // The verdict composes Eqs. (5)+(6).
+        assert!(pckpt_beats_lm_checked(0.5, 0.3, 1.0).is_none());
+        assert!(pckpt_beats_lm_checked(3.0, 1.0, 1.0).is_none());
     }
 }

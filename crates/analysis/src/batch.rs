@@ -1,0 +1,338 @@
+//! Batched SoA evaluation of Eqs. (4)–(8) over parameter grids.
+//!
+//! The scalar functions in [`crate::analytic`] answer one `(α, σ)` point
+//! per call; grid-shaped workloads (crossover maps, pre-filter sweeps,
+//! sensitivity fans) want millions of points. [`BatchEval`] takes the
+//! grid as flat column arrays — structure-of-arrays, one `&[f64]` per
+//! axis — and fills one output column per equation in a single chunked
+//! pass over the columns:
+//!
+//! * `mitigatable_fraction` — β, Eq. (6);
+//! * `lm_ckpt_reduction` — LM's checkpoint savings, Eq. (5);
+//! * `pckpt_wins` — the Eq. (4)/(7) verdict at the given overhead ratio;
+//! * `alpha_threshold` — the printed Eq. (8) crossover threshold;
+//! * `alpha_threshold_exact` — the exact solution of Eqs. (4)–(6).
+//!
+//! Every column is computed by the same `#[inline(always)]` kernels the
+//! scalar functions compile down to, so batch output is **bit-identical**
+//! (`to_bits`) to a scalar loop (pinned by the `analytic_batch_equivalence`
+//! proptest). Cells outside an equation's domain do not panic mid-batch:
+//! they get `NaN` (or `false` for the verdict) in the affected column and
+//! a cleared bit in the per-cell [`Validity`] mask — exactly the cells
+//! where the corresponding `*_checked` scalar function returns `None`.
+//!
+//! The evaluator owns its output buffers and only grows them, so repeated
+//! `evaluate` calls over same-sized grids allocate nothing; the inner
+//! loops are branch-free over `CHUNK`-sized column windows and
+//! auto-vectorize (the `≥1M cells/s` budget in `BENCH_pr6.json` is
+//! tracked by the `analytic_batch` criterion group).
+
+use crate::analytic::{
+    alpha_threshold_exact_kernel, alpha_threshold_exact_valid, alpha_threshold_kernel,
+    alpha_threshold_valid, beta_kernel, beta_valid, lm_reduction_kernel, lm_reduction_valid,
+    pckpt_wins_kernel,
+};
+
+/// Column-window length of the fused inner loops: small enough that one
+/// window's five output slices stay L1-resident, large enough to
+/// amortize the loop bookkeeping.
+pub const CHUNK: usize = 1024;
+
+/// Per-cell validity bit set: which of the five outputs are inside their
+/// equation's domain (the cells where the scalar `*_checked` functions
+/// return `Some`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Validity(u8);
+
+impl Validity {
+    /// Eq. (5) — `lm_ckpt_reduction` is valid (`σ ∈ [0, 1)`).
+    pub const LM_CKPT_REDUCTION: Validity = Validity(1);
+    /// Eq. (6) — `mitigatable_fraction` is valid (`α ≥ 1`, `σ ∈ [0, 1)`).
+    pub const MITIGATABLE: Validity = Validity(1 << 1);
+    /// Eq. (4)/(7) — the `pckpt_wins` verdict is valid (Eqs. 5 ∧ 6).
+    pub const VERDICT: Validity = Validity(1 << 2);
+    /// Printed Eq. (8) — `alpha_threshold` is valid (`σ ∈ [0, SIGMA_MAX)`).
+    pub const ALPHA_THRESHOLD: Validity = Validity(1 << 3);
+    /// Exact threshold is valid (`√(1−σ) > σ`).
+    pub const ALPHA_THRESHOLD_EXACT: Validity = Validity(1 << 4);
+    /// Every output valid.
+    pub const ALL: Validity = Validity(0b1_1111);
+
+    /// Does this mask contain every bit of `flags`?
+    pub fn has(self, flags: Validity) -> bool {
+        self.0 & flags.0 == flags.0
+    }
+
+    /// The raw bit set (stable layout: the constants above).
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+}
+
+/// Reusable SoA evaluator for Eqs. (4)–(8); see the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct BatchEval {
+    mitigatable_fraction: Vec<f64>,
+    lm_ckpt_reduction: Vec<f64>,
+    pckpt_wins: Vec<bool>,
+    alpha_threshold: Vec<f64>,
+    alpha_threshold_exact: Vec<f64>,
+    validity: Vec<Validity>,
+    len: usize,
+}
+
+impl BatchEval {
+    /// An empty evaluator; buffers grow on first [`evaluate`](Self::evaluate).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates Eqs. (4)–(8) for every `(alpha[i], sigma[i])` cell.
+    ///
+    /// `recomp_to_ckpt_ratio` is the grid-wide `recomp_B / ckpt_B` of the
+    /// Eq. (4) verdict (Eq. 8's 50/50 split is ratio 1); like the scalar
+    /// API it is a hard precondition, not a per-cell axis.
+    pub fn evaluate(&mut self, alpha: &[f64], sigma: &[f64], recomp_to_ckpt_ratio: f64) {
+        assert_eq!(alpha.len(), sigma.len(), "SoA columns must be equal length");
+        assert!(recomp_to_ckpt_ratio > 0.0);
+        let n = alpha.len();
+        self.len = n;
+        // Growth-only resize: steady-state re-evaluation over same-sized
+        // (or smaller) grids performs no allocation.
+        self.mitigatable_fraction.resize(n.max(self.mitigatable_fraction.len()), 0.0);
+        self.lm_ckpt_reduction.resize(n.max(self.lm_ckpt_reduction.len()), 0.0);
+        self.pckpt_wins.resize(n.max(self.pckpt_wins.len()), false);
+        self.alpha_threshold.resize(n.max(self.alpha_threshold.len()), 0.0);
+        self.alpha_threshold_exact.resize(n.max(self.alpha_threshold_exact.len()), 0.0);
+        self.validity.resize(n.max(self.validity.len()), Validity::default());
+
+        let mut start = 0;
+        while start < n {
+            let end = (start + CHUNK).min(n);
+            eval_chunk(
+                &alpha[start..end],
+                &sigma[start..end],
+                recomp_to_ckpt_ratio,
+                &mut self.mitigatable_fraction[start..end],
+                &mut self.lm_ckpt_reduction[start..end],
+                &mut self.pckpt_wins[start..end],
+                &mut self.alpha_threshold[start..end],
+                &mut self.alpha_threshold_exact[start..end],
+                &mut self.validity[start..end],
+            );
+            start = end;
+        }
+    }
+
+    /// Cells in the most recent evaluation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Has anything been evaluated yet?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// β column (Eq. 6); `NaN` where [`Validity::MITIGATABLE`] is clear.
+    pub fn mitigatable_fraction(&self) -> &[f64] {
+        &self.mitigatable_fraction[..self.len]
+    }
+
+    /// LM checkpoint-savings column (Eq. 5); `NaN` where
+    /// [`Validity::LM_CKPT_REDUCTION`] is clear.
+    pub fn lm_ckpt_reduction(&self) -> &[f64] {
+        &self.lm_ckpt_reduction[..self.len]
+    }
+
+    /// Eq. (4)/(7) verdict column; `false` (meaningless) where
+    /// [`Validity::VERDICT`] is clear.
+    pub fn pckpt_wins(&self) -> &[bool] {
+        &self.pckpt_wins[..self.len]
+    }
+
+    /// Printed Eq. (8) threshold column; `NaN` where
+    /// [`Validity::ALPHA_THRESHOLD`] is clear.
+    pub fn alpha_threshold(&self) -> &[f64] {
+        &self.alpha_threshold[..self.len]
+    }
+
+    /// Exact threshold column; `NaN` where
+    /// [`Validity::ALPHA_THRESHOLD_EXACT`] is clear.
+    pub fn alpha_threshold_exact(&self) -> &[f64] {
+        &self.alpha_threshold_exact[..self.len]
+    }
+
+    /// Per-cell validity masks.
+    pub fn validity(&self) -> &[Validity] {
+        &self.validity[..self.len]
+    }
+}
+
+/// The fused inner loop over one column window: five outputs, one pass,
+/// no branches on cell values (invalid cells are NaN-selected, never
+/// skipped, so the loop body is uniform and auto-vectorizable).
+// simlint: hot
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn eval_chunk(
+    alpha: &[f64],
+    sigma: &[f64],
+    ratio: f64,
+    out_beta: &mut [f64],
+    out_lm: &mut [f64],
+    out_wins: &mut [bool],
+    out_thr: &mut [f64],
+    out_thr_exact: &mut [f64],
+    out_validity: &mut [Validity],
+) {
+    let n = alpha.len();
+    let (alpha, sigma) = (&alpha[..n], &sigma[..n]);
+    let (out_beta, out_lm) = (&mut out_beta[..n], &mut out_lm[..n]);
+    let (out_wins, out_thr) = (&mut out_wins[..n], &mut out_thr[..n]);
+    let (out_thr_exact, out_validity) = (&mut out_thr_exact[..n], &mut out_validity[..n]);
+    for i in 0..n {
+        let (a, s) = (alpha[i], sigma[i]);
+        // Shared per-cell subexpression of Eqs. (5), (8) and the exact
+        // threshold; NaN outside σ ≤ 1, which the masks absorb.
+        let root = (1.0 - s).sqrt();
+
+        let beta_ok = beta_valid(a, s);
+        let lm_ok = lm_reduction_valid(s);
+        let verdict_ok = beta_ok && lm_ok;
+        let thr_ok = alpha_threshold_valid(s);
+        let exact_ok = alpha_threshold_exact_valid(s, root);
+
+        // Unconditional kernel evaluation is safe in floats (division by
+        // zero and NaN propagate; nothing panics); the select below maps
+        // out-of-domain cells to NaN, mirroring the checked scalar API.
+        out_beta[i] = if beta_ok { beta_kernel(a, s) } else { f64::NAN };
+        out_lm[i] = if lm_ok { lm_reduction_kernel(root) } else { f64::NAN };
+        out_wins[i] = verdict_ok && pckpt_wins_kernel(a, s, root, ratio);
+        out_thr[i] = if thr_ok { alpha_threshold_kernel(s, root) } else { f64::NAN };
+        out_thr_exact[i] = if exact_ok {
+            alpha_threshold_exact_kernel(s, root)
+        } else {
+            f64::NAN
+        };
+        out_validity[i] = Validity(
+            Validity::LM_CKPT_REDUCTION.0 * lm_ok as u8
+                | Validity::MITIGATABLE.0 * beta_ok as u8
+                | Validity::VERDICT.0 * verdict_ok as u8
+                | Validity::ALPHA_THRESHOLD.0 * thr_ok as u8
+                | Validity::ALPHA_THRESHOLD_EXACT.0 * exact_ok as u8,
+        );
+    }
+}
+
+/// Flattens an `alphas × sigmas` Cartesian grid into row-major SoA
+/// columns (α varies slowest), ready for [`BatchEval::evaluate`].
+pub fn cartesian_columns(alphas: &[f64], sigmas: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = alphas.len() * sigmas.len();
+    let mut col_a = Vec::with_capacity(n);
+    let mut col_s = Vec::with_capacity(n);
+    for &a in alphas {
+        for &s in sigmas {
+            col_a.push(a);
+            col_s.push(s);
+        }
+    }
+    (col_a, col_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{
+        alpha_threshold_checked, alpha_threshold_exact_checked, beta_pckpt_checked,
+        lm_ckpt_reduction_checked, pckpt_beats_lm_checked, SIGMA_MAX,
+    };
+
+    #[test]
+    fn batch_matches_checked_scalars_on_a_mixed_grid() {
+        // Straddles every domain edge: valid interior, α < 1, σ < 0,
+        // σ = SIGMA_MAX exactly, σ in the (0.61, 0.618) sliver where only
+        // the printed threshold is invalid, σ ≥ 1.
+        let (a, s) = cartesian_columns(
+            &[0.5, 1.0, 1.2, 3.0, 64.0],
+            &[-0.1, 0.0, 0.3, 0.6, SIGMA_MAX, 0.615, 0.62, 0.99, 1.0, 1.7],
+        );
+        let mut be = BatchEval::new();
+        be.evaluate(&a, &s, 1.0);
+        assert_eq!(be.len(), a.len());
+        for i in 0..be.len() {
+            let v = be.validity()[i];
+            match beta_pckpt_checked(a[i], s[i]) {
+                Some(x) => {
+                    assert!(v.has(Validity::MITIGATABLE));
+                    assert_eq!(x.to_bits(), be.mitigatable_fraction()[i].to_bits());
+                }
+                None => {
+                    assert!(!v.has(Validity::MITIGATABLE));
+                    assert!(be.mitigatable_fraction()[i].is_nan());
+                }
+            }
+            match lm_ckpt_reduction_checked(s[i]) {
+                Some(x) => assert_eq!(x.to_bits(), be.lm_ckpt_reduction()[i].to_bits()),
+                None => assert!(be.lm_ckpt_reduction()[i].is_nan()),
+            }
+            match pckpt_beats_lm_checked(a[i], s[i], 1.0) {
+                Some(x) => {
+                    assert!(v.has(Validity::VERDICT));
+                    assert_eq!(x, be.pckpt_wins()[i]);
+                }
+                None => assert!(!v.has(Validity::VERDICT)),
+            }
+            match alpha_threshold_checked(s[i]) {
+                Some(x) => assert_eq!(x.to_bits(), be.alpha_threshold()[i].to_bits()),
+                None => assert!(be.alpha_threshold()[i].is_nan()),
+            }
+            match alpha_threshold_exact_checked(s[i]) {
+                Some(x) => assert_eq!(x.to_bits(), be.alpha_threshold_exact()[i].to_bits()),
+                None => assert!(be.alpha_threshold_exact()[i].is_nan()),
+            }
+        }
+    }
+
+    #[test]
+    fn fully_valid_cells_carry_the_full_mask() {
+        let mut be = BatchEval::new();
+        be.evaluate(&[3.0], &[0.3], 1.0);
+        assert_eq!(be.validity()[0], Validity::ALL);
+        assert!(be.pckpt_wins()[0], "α=3, σ=0.3 is deep in p-ckpt territory");
+    }
+
+    #[test]
+    fn sigma_max_edge_keeps_exact_but_not_printed_threshold() {
+        let mut be = BatchEval::new();
+        be.evaluate(&[2.0, 2.0], &[SIGMA_MAX - 1e-12, SIGMA_MAX], 1.0);
+        assert!(be.validity()[0].has(Validity::ALPHA_THRESHOLD));
+        assert!(!be.validity()[1].has(Validity::ALPHA_THRESHOLD));
+        // The exact algebra remains valid at 0.61 (its bound is 0.618…).
+        assert!(be.validity()[1].has(Validity::ALPHA_THRESHOLD_EXACT));
+    }
+
+    #[test]
+    fn reevaluation_reuses_buffers_and_truncates_views() {
+        let mut be = BatchEval::new();
+        be.evaluate(&[3.0; 100], &[0.2; 100], 1.0);
+        assert_eq!(be.len(), 100);
+        be.evaluate(&[2.0; 7], &[0.5; 7], 1.0);
+        assert_eq!(be.len(), 7);
+        assert_eq!(be.mitigatable_fraction().len(), 7);
+        assert_eq!(be.validity().len(), 7);
+    }
+
+    #[test]
+    fn cartesian_columns_are_row_major() {
+        let (a, s) = cartesian_columns(&[1.0, 2.0], &[0.1, 0.2, 0.3]);
+        assert_eq!(a, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s, vec![0.1, 0.2, 0.3, 0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_columns_are_rejected() {
+        BatchEval::new().evaluate(&[1.0], &[0.1, 0.2], 1.0);
+    }
+}

@@ -1,0 +1,526 @@
+//! Composable crossover curves: σ ↦ α-threshold and α ↦ break-even-σ
+//! surfaces as first-class objects.
+//!
+//! The experiment binaries used to walk the threshold formulas with
+//! ad-hoc `for` loops, one table at a time. This module represents each
+//! surface as a typed [`Curve`] value — evaluation plus an explicit
+//! half-open domain `[lo, hi)` — and builds everything else from
+//! combinators:
+//!
+//! * [`CurveExt::sample`] / [`CurveExt::refined`] — uniform and
+//!   error-adaptive tabulation into a [`SampledCurve`];
+//! * [`CurveExt::inverted`] — monotone inversion by bisection (the
+//!   α ↦ break-even-σ surface is [`AlphaThresholdExactCurve`] inverted);
+//! * [`CurveExt::minus`] / [`CurveExt::intersect`] — curve arithmetic and
+//!   bracketed root-finding on the difference.
+//!
+//! Each combinator returns a concrete wrapper type ([`Inverted`],
+//! [`Difference`], [`SampledCurve`]) that itself implements [`Curve`], so
+//! compositions type-check at compile time instead of being rebuilt as
+//! per-table index loops. All root-finding runs a fixed iteration count
+//! of plain bisection — deterministic, no wall-clock, no tolerance knobs
+//! that could differ between hosts.
+//!
+//! [`crossover_verdict`] sits on top: the margin-aware P1-vs-M2 decision
+//! the analytic pre-filter (`pckpt_core::prefilter`) uses to answer
+//! simulation grid cells without simulating them.
+
+use crate::analytic::{
+    alpha_threshold_checked, alpha_threshold_exact_checked, alpha_threshold_exact_kernel,
+    alpha_threshold_kernel, SIGMA_MAX,
+};
+
+/// Bisection iterations for inversion and intersection. 80 halvings of
+/// any domain in this module reach f64 resolution with margin; a fixed
+/// count keeps results bit-stable across hosts.
+const BISECT_ITERS: usize = 80;
+
+/// A scalar curve over a half-open domain `[lo, hi)`.
+pub trait Curve {
+    /// The half-open domain `[lo, hi)` on which the curve is defined.
+    fn domain(&self) -> (f64, f64);
+
+    /// Evaluates the curve at `x`, assuming `x` is inside the domain.
+    fn eval_unchecked(&self, x: f64) -> f64;
+
+    /// Evaluates the curve at `x`, `None` outside the domain.
+    fn eval(&self, x: f64) -> Option<f64> {
+        let (lo, hi) = self.domain();
+        (lo..hi).contains(&x).then(|| self.eval_unchecked(x))
+    }
+}
+
+/// Combinators available on every [`Curve`].
+pub trait CurveExt: Curve + Sized {
+    /// Tabulates `n` uniform samples over `[lo, hi)` (endpoint exclusive,
+    /// matching the half-open domain).
+    fn sample(&self, n: usize) -> SampledCurve {
+        assert!(n >= 2, "need at least two samples");
+        let (lo, hi) = self.domain();
+        let step = (hi - lo) / n as f64;
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = lo + i as f64 * step;
+            xs.push(x);
+            ys.push(self.eval_unchecked(x));
+        }
+        SampledCurve { xs, ys }
+    }
+
+    /// Error-adaptive tabulation: starts from `n0` uniform samples and
+    /// bisects every interval whose midpoint deviates from the secant by
+    /// more than `tol`, up to `max_depth` rounds. Captures curvature
+    /// (e.g. the exact threshold's blow-up toward σ → 0.618) with far
+    /// fewer points than uniform oversampling.
+    fn refined(&self, n0: usize, tol: f64, max_depth: usize) -> SampledCurve {
+        assert!(tol > 0.0);
+        let mut cur = self.sample(n0);
+        for _ in 0..max_depth {
+            let mut xs = Vec::with_capacity(cur.xs.len() * 2);
+            let mut ys = Vec::with_capacity(cur.ys.len() * 2);
+            let mut split_any = false;
+            for i in 0..cur.xs.len() {
+                xs.push(cur.xs[i]);
+                ys.push(cur.ys[i]);
+                if i + 1 == cur.xs.len() {
+                    break;
+                }
+                let mid = 0.5 * (cur.xs[i] + cur.xs[i + 1]);
+                let y_mid = self.eval_unchecked(mid);
+                let secant = 0.5 * (cur.ys[i] + cur.ys[i + 1]);
+                if (y_mid - secant).abs() > tol {
+                    xs.push(mid);
+                    ys.push(y_mid);
+                    split_any = true;
+                }
+            }
+            cur = SampledCurve { xs, ys };
+            if !split_any {
+                break;
+            }
+        }
+        cur
+    }
+
+    /// Inverts a strictly monotone increasing curve: the result maps
+    /// `y ↦ x` with `self(x) = y`, over `[self(lo), self(hi⁻))`.
+    fn inverted(self) -> Inverted<Self> {
+        Inverted::new(self)
+    }
+
+    /// The pointwise difference `self − other` over the domain overlap.
+    fn minus<B: Curve>(self, other: B) -> Difference<Self, B> {
+        let (a_lo, a_hi) = self.domain();
+        let (b_lo, b_hi) = other.domain();
+        let lo = a_lo.max(b_lo);
+        let hi = a_hi.min(b_hi);
+        assert!(lo < hi, "curve domains do not overlap");
+        Difference { a: self, b: other, lo, hi }
+    }
+
+    /// The abscissa where `self` and `other` cross, found by bracketed
+    /// bisection on their difference over the domain overlap: the overlap
+    /// is scanned in 64 panels for a sign change, then the bracket is
+    /// bisected [`BISECT_ITERS`] times. `None` when no panel brackets a
+    /// root (curves do not cross, or cross an even number of times within
+    /// every panel).
+    fn intersect<B: Curve>(&self, other: &B) -> Option<f64> {
+        let (a_lo, a_hi) = self.domain();
+        let (b_lo, b_hi) = other.domain();
+        let lo = a_lo.max(b_lo);
+        let hi = a_hi.min(b_hi);
+        if lo >= hi {
+            return None;
+        }
+        let f = |x: f64| self.eval_unchecked(x) - other.eval_unchecked(x);
+        // Shrink the scan infinitesimally inside the half-open end.
+        let span = hi - lo;
+        let inner_hi = hi - span * 1e-12;
+        const PANELS: usize = 64;
+        let step = (inner_hi - lo) / PANELS as f64;
+        let mut x0 = lo;
+        let mut f0 = f(x0);
+        for i in 1..=PANELS {
+            let x1 = lo + i as f64 * step;
+            let f1 = f(x1);
+            if (f0 > 0.0) != (f1 > 0.0) {
+                return Some(bisect(&f, x0, x1, f0));
+            }
+            x0 = x1;
+            f0 = f1;
+        }
+        None
+    }
+}
+
+impl<C: Curve> CurveExt for C {}
+
+/// Fixed-count bisection of `f`'s root inside `[x0, x1]`, given
+/// `f0 = f(x0)` with a sign change across the bracket.
+fn bisect(f: &impl Fn(f64) -> f64, mut x0: f64, mut x1: f64, mut f0: f64) -> f64 {
+    for _ in 0..BISECT_ITERS {
+        let mid = 0.5 * (x0 + x1);
+        let fm = f(mid);
+        // Same-side test without float equality: an exact zero lands on
+        // whichever half keeps it inside the bracket.
+        if (fm > 0.0) == (f0 > 0.0) {
+            x0 = mid;
+            f0 = fm;
+        } else {
+            x1 = mid;
+        }
+    }
+    0.5 * (x0 + x1)
+}
+
+/// A tabulated curve: piecewise-linear interpolation between samples.
+#[derive(Debug, Clone)]
+pub struct SampledCurve {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl SampledCurve {
+    /// The sample abscissae, ascending.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The sample ordinates, index-aligned with [`xs`](Self::xs).
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Sample points as `(x, y)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.xs.iter().copied().zip(self.ys.iter().copied())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+impl Curve for SampledCurve {
+    fn domain(&self) -> (f64, f64) {
+        // Half-open like every curve: the last sample is the supremum.
+        // Tables are built with n ≥ 2 samples. simlint: allow(no-unwrap-in-lib)
+        (*self.xs.first().expect("non-empty table"), *self.xs.last().expect("non-empty table"))
+    }
+
+    fn eval_unchecked(&self, x: f64) -> f64 {
+        // Interval lookup by total order; xs is ascending by construction.
+        let idx = self.xs.partition_point(|&p| p <= x);
+        if idx == 0 {
+            return self.ys[0];
+        }
+        if idx >= self.xs.len() {
+            return self.ys[self.xs.len() - 1];
+        }
+        let (x0, x1) = (self.xs[idx - 1], self.xs[idx]);
+        let (y0, y1) = (self.ys[idx - 1], self.ys[idx]);
+        let t = (x - x0) / (x1 - x0);
+        y0 + t * (y1 - y0)
+    }
+}
+
+/// σ ↦ α* under the **printed** Eq. (8), over `σ ∈ [0, SIGMA_MAX)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlphaThresholdCurve;
+
+impl Curve for AlphaThresholdCurve {
+    fn domain(&self) -> (f64, f64) {
+        (0.0, SIGMA_MAX)
+    }
+
+    fn eval_unchecked(&self, sigma: f64) -> f64 {
+        alpha_threshold_checked(sigma).unwrap_or(f64::NAN)
+    }
+}
+
+/// σ ↦ α* under the **exact** Eqs. (4)–(6) algebra, over the paper's
+/// `σ ∈ [0, SIGMA_MAX)` band (the algebraic bound is σ < 0.618…; we stop
+/// at the paper's stated constraint so both threshold curves share a
+/// domain and every sampled point is meaningful for the printed form
+/// too).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlphaThresholdExactCurve;
+
+impl Curve for AlphaThresholdExactCurve {
+    fn domain(&self) -> (f64, f64) {
+        (0.0, SIGMA_MAX)
+    }
+
+    fn eval_unchecked(&self, sigma: f64) -> f64 {
+        alpha_threshold_exact_checked(sigma).unwrap_or(f64::NAN)
+    }
+}
+
+/// A constant curve over `(-∞-ish, +∞-ish)` — the "given α" horizontal
+/// line to intersect threshold curves with.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstCurve(pub f64);
+
+impl Curve for ConstCurve {
+    fn domain(&self) -> (f64, f64) {
+        (f64::MIN, f64::MAX)
+    }
+
+    fn eval_unchecked(&self, _x: f64) -> f64 {
+        self.0
+    }
+}
+
+/// A strictly monotone increasing curve, inverted: maps `y ↦ x` with
+/// `inner(x) = y`, by fixed-count bisection over the inner domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Inverted<C: Curve> {
+    inner: C,
+    /// Inner domain `[x_lo, x_hi)`.
+    x_lo: f64,
+    x_hi: f64,
+    /// Output domain `[inner(x_lo), inner(x_hi⁻))`.
+    y_lo: f64,
+    y_hi: f64,
+}
+
+impl<C: Curve> Inverted<C> {
+    fn new(inner: C) -> Self {
+        let (x_lo, x_hi) = inner.domain();
+        let span = x_hi - x_lo;
+        let y_lo = inner.eval_unchecked(x_lo);
+        let y_hi = inner.eval_unchecked(x_hi - span * 1e-12);
+        assert!(
+            y_lo < y_hi,
+            "inversion requires a strictly increasing curve"
+        );
+        Self { inner, x_lo, x_hi, y_lo, y_hi }
+    }
+}
+
+impl<C: Curve> Curve for Inverted<C> {
+    fn domain(&self) -> (f64, f64) {
+        (self.y_lo, self.y_hi)
+    }
+
+    fn eval_unchecked(&self, y: f64) -> f64 {
+        let f = |x: f64| self.inner.eval_unchecked(x) - y;
+        bisect(&f, self.x_lo, self.x_hi, self.y_lo - y)
+    }
+}
+
+/// The pointwise difference of two curves over their domain overlap.
+#[derive(Debug, Clone, Copy)]
+pub struct Difference<A: Curve, B: Curve> {
+    a: A,
+    b: B,
+    lo: f64,
+    hi: f64,
+}
+
+impl<A: Curve, B: Curve> Curve for Difference<A, B> {
+    fn domain(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    fn eval_unchecked(&self, x: f64) -> f64 {
+        self.a.eval_unchecked(x) - self.b.eval_unchecked(x)
+    }
+}
+
+/// α ↦ break-even σ: the σ at which a workload with LM transfer factor α
+/// sits exactly on the exact crossover threshold. Built by inverting
+/// [`AlphaThresholdExactCurve`] (strictly increasing over the band).
+pub fn break_even_sigma() -> Inverted<AlphaThresholdExactCurve> {
+    AlphaThresholdExactCurve.inverted()
+}
+
+/// σ-guard around [`SIGMA_MAX`]: no analytic verdict is issued within
+/// this distance of the validity boundary, on either side. The guard
+/// absorbs both the printed-vs-exact model disagreement near the bound
+/// and σ-estimation sensitivity (σ is a survival-function value; near
+/// the boundary a small lead-model perturbation flips the comparison).
+pub const SIGMA_GUARD: f64 = 0.04;
+
+/// A margin-aware analytic answer to the P1-vs-M2 crossover question.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Crossing {
+    /// p-ckpt (P1) beats LM (M2) with the stated relative clearance from
+    /// **every** crossover surface (printed and exact threshold).
+    Pckpt {
+        /// Relative distance of α above the farther threshold.
+        clearance: f64,
+    },
+    /// LM (M2) beats p-ckpt (P1) with the stated clearance — either α
+    /// clears both thresholds from below, or σ exceeds the validity
+    /// bound by more than [`SIGMA_GUARD`] (beyond it LM's checkpoint
+    /// savings exceed anything p-ckpt can recoup; the convention
+    /// `exp_analytical` has always printed).
+    Lm {
+        /// Relative α clearance below the nearer threshold, or the σ
+        /// excess beyond `SIGMA_MAX` for out-of-band cells.
+        clearance: f64,
+    },
+    /// Inside the margin of some surface — the analytic model abstains;
+    /// simulate this cell.
+    Uncertain,
+}
+
+/// Answers "does p-ckpt (P1) beat LM (M2)?" analytically, with a safety
+/// margin, under the Eq. (8) 50/50 overhead split.
+///
+/// The verdict is only `Pckpt`/`Lm` when α clears **both** threshold
+/// surfaces — the printed Eq. (8) and the exact algebra — by the given
+/// relative `margin` on the same side, and σ stays [`SIGMA_GUARD`] away
+/// from the `SIGMA_MAX` validity boundary. Anything closer returns
+/// [`Crossing::Uncertain`]: the caller must fall back to simulation.
+pub fn crossover_verdict(alpha: f64, sigma: f64, margin: f64) -> Crossing {
+    assert!(alpha >= 1.0, "alpha below 1 means LM moves less than a checkpoint");
+    assert!(sigma >= 0.0, "sigma is a probability");
+    assert!(margin >= 0.0);
+    if sigma >= SIGMA_MAX {
+        let excess = sigma - SIGMA_MAX;
+        return if excess >= SIGMA_GUARD {
+            Crossing::Lm { clearance: excess }
+        } else {
+            Crossing::Uncertain
+        };
+    }
+    if sigma > SIGMA_MAX - SIGMA_GUARD {
+        return Crossing::Uncertain;
+    }
+    // Both thresholds exist on this side of the guard band; use the
+    // shared kernels so the verdict sees exactly the scalar/batch values.
+    let root = (1.0 - sigma).sqrt();
+    let printed = alpha_threshold_kernel(sigma, root);
+    let exact = alpha_threshold_exact_kernel(sigma, root);
+    let lo = printed.min(exact);
+    let hi = printed.max(exact);
+    if alpha >= hi * (1.0 + margin) {
+        Crossing::Pckpt { clearance: alpha / hi - 1.0 }
+    } else if alpha <= lo * (1.0 - margin) {
+        Crossing::Lm { clearance: 1.0 - alpha / lo }
+    } else {
+        Crossing::Uncertain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{alpha_threshold, alpha_threshold_exact};
+
+    #[test]
+    fn sampled_threshold_curve_matches_direct_evaluation() {
+        let table = AlphaThresholdCurve.sample(61);
+        assert_eq!(table.len(), 61);
+        for (s, a) in table.points() {
+            assert_eq!(a.to_bits(), alpha_threshold(s).to_bits());
+        }
+        // Interpolation between samples stays between neighbors
+        // (threshold is monotone increasing).
+        let mid = table.eval(0.305).unwrap();
+        assert!(alpha_threshold(0.30) <= mid && mid <= alpha_threshold(0.31));
+    }
+
+    #[test]
+    fn refined_sampling_concentrates_points_where_curvature_lives() {
+        let uniform = AlphaThresholdExactCurve.sample(8);
+        let refined = AlphaThresholdExactCurve.refined(8, 0.01, 12);
+        assert!(refined.len() > uniform.len());
+        // The blow-up toward σ → SIGMA_MAX attracts the extra points:
+        // sample spacing shrinks where the secant error is largest.
+        let gap_at = |x_lo: f64, x_hi: f64| {
+            refined
+                .xs()
+                .windows(2)
+                .filter(|w| w[0] >= x_lo && w[1] <= x_hi)
+                .map(|w| w[1] - w[0])
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(
+            gap_at(0.45, 0.61) < gap_at(0.0, 0.15),
+            "steep end must be sampled more densely"
+        );
+        // Refinement preserves exactness at its own sample points.
+        for (s, a) in refined.points() {
+            assert_eq!(a.to_bits(), alpha_threshold_exact(s).to_bits());
+        }
+    }
+
+    #[test]
+    fn inversion_round_trips_the_exact_threshold() {
+        let inv = break_even_sigma();
+        for &sigma in &[0.05, 0.2, 0.4, 0.55] {
+            let alpha = alpha_threshold_exact(sigma);
+            let back = inv.eval(alpha).unwrap();
+            assert!(
+                (back - sigma).abs() < 1e-12,
+                "σ={sigma} → α={alpha} → σ={back}"
+            );
+        }
+        // Domain: starts at α* (0) = 1.
+        assert_eq!(inv.domain().0, 1.0);
+        assert!(inv.eval(0.5).is_none(), "below every threshold");
+    }
+
+    #[test]
+    fn intersection_finds_the_break_even_sigma_for_a_given_alpha() {
+        // Where the exact threshold curve crosses the horizontal α = 2.5
+        // line is exactly the break-even σ for α = 2.5.
+        let sigma = AlphaThresholdExactCurve
+            .intersect(&ConstCurve(2.5))
+            .expect("α = 2.5 crosses inside the band");
+        assert!((alpha_threshold_exact(sigma) - 2.5).abs() < 1e-9);
+        let inv = break_even_sigma().eval(2.5).unwrap();
+        assert!((sigma - inv).abs() < 1e-9);
+        // The printed Eq. (8) tops out below 1.30, so α = 2.5 never
+        // crosses it.
+        assert_eq!(AlphaThresholdCurve.intersect(&ConstCurve(2.5)), None);
+    }
+
+    #[test]
+    fn difference_of_the_two_threshold_forms_is_zero_only_at_origin() {
+        let diff = AlphaThresholdExactCurve.minus(AlphaThresholdCurve);
+        assert_eq!(diff.eval(0.0).unwrap(), 0.0, "both forms give α* = 1 at σ = 0");
+        for &s in &[0.1, 0.3, 0.5, 0.6] {
+            assert!(diff.eval(s).unwrap() > 0.0, "exact > printed for σ > 0");
+        }
+    }
+
+    #[test]
+    fn verdict_decides_clear_cells_and_abstains_near_boundaries() {
+        // CHIMERA-shaped: σ ≈ 0.5, α = 3 → thresholds 1.243 / 2.414; α
+        // clears the exact one by 24% > 15% margin.
+        assert!(matches!(
+            crossover_verdict(3.0, 0.5, 0.15),
+            Crossing::Pckpt { clearance } if clearance > 0.2
+        ));
+        // Same point, margin 0.30: inside the band → abstain.
+        assert_eq!(crossover_verdict(3.0, 0.5, 0.30), Crossing::Uncertain);
+        // α barely above 1 is far below both thresholds → LM.
+        assert!(matches!(
+            crossover_verdict(1.0, 0.5, 0.15),
+            Crossing::Lm { .. }
+        ));
+        // σ capped at 0.85 (small apps): far beyond SIGMA_MAX → LM.
+        assert!(matches!(
+            crossover_verdict(3.0, 0.85, 0.15),
+            Crossing::Lm { clearance } if (clearance - 0.24).abs() < 1e-12
+        ));
+        // Just beyond the validity bound: inside the σ guard → abstain.
+        assert_eq!(crossover_verdict(3.0, 0.62, 0.15), Crossing::Uncertain);
+        // Just below the bound: also inside the guard → abstain.
+        assert_eq!(crossover_verdict(3.0, 0.60, 0.15), Crossing::Uncertain);
+        // Between the thresholds (α = 1.8 at σ = 0.5 sits between 1.243
+        // and 2.414): no verdict at any margin.
+        assert_eq!(crossover_verdict(1.8, 0.5, 0.0), Crossing::Uncertain);
+    }
+}

@@ -1,0 +1,193 @@
+//! `analytic_batch_equivalence` — the batched SoA evaluator is
+//! **bit-identical** (`to_bits`) to the scalar Eq. (4)–(8) functions
+//! across arbitrary (α, σ) grids, including out-of-domain cells and the
+//! σ → `SIGMA_MAX` validity edge: wherever a `*_checked` scalar returns
+//! `Some(v)`, the batch column carries exactly `v`'s bits and the
+//! validity bit is set; wherever it returns `None`, the column is NaN
+//! (or `false` for the verdict) and the bit is clear — no panic
+//! mid-batch, ever.
+
+use proptest::prelude::*;
+
+use pckpt_analysis::analytic::{
+    alpha_threshold_checked, alpha_threshold_exact_checked, beta_pckpt_checked,
+    lm_ckpt_reduction_checked, pckpt_beats_lm_checked, SIGMA_MAX,
+};
+use pckpt_analysis::batch::{BatchEval, Validity};
+
+/// One grid cell: mostly valid interior points, with a deliberate share
+/// of boundary and out-of-domain values (α < 1, σ < 0, σ at/beyond
+/// `SIGMA_MAX`, σ ≥ 1) so every validity bit pattern appears. The
+/// interior ranges are listed several times — the shim's `prop_oneof!`
+/// picks uniformly, so repetition stands in for weighting.
+fn arb_cell() -> impl Strategy<Value = (f64, f64)> {
+    let alpha = prop_oneof![
+        1.0..16.0f64,
+        1.0..16.0f64,
+        1.0..16.0f64,
+        0.1..1.0f64, // below the Eq. (6) domain
+        Just(1.0),
+    ];
+    let sigma = prop_oneof![
+        0.0..0.55f64,
+        0.0..0.55f64,
+        0.0..0.55f64,
+        0.55..0.70f64, // straddles SIGMA_MAX and the 0.618 bound
+        Just(SIGMA_MAX),
+        Just(SIGMA_MAX - f64::EPSILON),
+        0.70..1.05f64,  // beyond every validity bound
+        -0.2..-0.0f64,  // negative σ
+    ];
+    (alpha, sigma)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analytic_batch_equivalence(
+        cells in proptest::collection::vec(arb_cell(), 1..300),
+        ratio in prop_oneof![Just(1.0), 0.1..8.0f64],
+    ) {
+        let alpha: Vec<f64> = cells.iter().map(|c| c.0).collect();
+        let sigma: Vec<f64> = cells.iter().map(|c| c.1).collect();
+        let mut be = BatchEval::new();
+        be.evaluate(&alpha, &sigma, ratio);
+        prop_assert_eq!(be.len(), cells.len());
+
+        for i in 0..cells.len() {
+            let (a, s) = (alpha[i], sigma[i]);
+            let v = be.validity()[i];
+
+            match beta_pckpt_checked(a, s) {
+                Some(x) => {
+                    prop_assert!(v.has(Validity::MITIGATABLE));
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        be.mitigatable_fraction()[i].to_bits(),
+                        "β diverged at cell {} (α={}, σ={})", i, a, s
+                    );
+                }
+                None => {
+                    prop_assert!(!v.has(Validity::MITIGATABLE));
+                    prop_assert!(be.mitigatable_fraction()[i].is_nan());
+                }
+            }
+            match lm_ckpt_reduction_checked(s) {
+                Some(x) => {
+                    prop_assert!(v.has(Validity::LM_CKPT_REDUCTION));
+                    prop_assert_eq!(x.to_bits(), be.lm_ckpt_reduction()[i].to_bits());
+                }
+                None => {
+                    prop_assert!(!v.has(Validity::LM_CKPT_REDUCTION));
+                    prop_assert!(be.lm_ckpt_reduction()[i].is_nan());
+                }
+            }
+            match pckpt_beats_lm_checked(a, s, ratio) {
+                Some(x) => {
+                    prop_assert!(v.has(Validity::VERDICT));
+                    prop_assert_eq!(x, be.pckpt_wins()[i]);
+                }
+                None => {
+                    prop_assert!(!v.has(Validity::VERDICT));
+                    prop_assert!(!be.pckpt_wins()[i], "invalid cells never claim a win");
+                }
+            }
+            match alpha_threshold_checked(s) {
+                Some(x) => {
+                    prop_assert!(v.has(Validity::ALPHA_THRESHOLD));
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        be.alpha_threshold()[i].to_bits(),
+                        "printed Eq. 8 diverged at σ={} (the validity edge)", s
+                    );
+                }
+                None => {
+                    prop_assert!(!v.has(Validity::ALPHA_THRESHOLD));
+                    prop_assert!(be.alpha_threshold()[i].is_nan());
+                }
+            }
+            match alpha_threshold_exact_checked(s) {
+                Some(x) => {
+                    prop_assert!(v.has(Validity::ALPHA_THRESHOLD_EXACT));
+                    prop_assert_eq!(x.to_bits(), be.alpha_threshold_exact()[i].to_bits());
+                }
+                None => {
+                    prop_assert!(!v.has(Validity::ALPHA_THRESHOLD_EXACT));
+                    prop_assert!(be.alpha_threshold_exact()[i].is_nan());
+                }
+            }
+        }
+    }
+
+    /// Evaluator reuse across differently-shaped grids never leaks stale
+    /// state: a second evaluation is indistinguishable from a fresh one.
+    #[test]
+    fn reused_evaluator_matches_fresh_evaluator(
+        first in proptest::collection::vec(arb_cell(), 1..100),
+        second in proptest::collection::vec(arb_cell(), 1..100),
+    ) {
+        let a2: Vec<f64> = second.iter().map(|c| c.0).collect();
+        let s2: Vec<f64> = second.iter().map(|c| c.1).collect();
+
+        let mut reused = BatchEval::new();
+        let a1: Vec<f64> = first.iter().map(|c| c.0).collect();
+        let s1: Vec<f64> = first.iter().map(|c| c.1).collect();
+        reused.evaluate(&a1, &s1, 1.0);
+        reused.evaluate(&a2, &s2, 1.0);
+
+        let mut fresh = BatchEval::new();
+        fresh.evaluate(&a2, &s2, 1.0);
+
+        prop_assert_eq!(reused.len(), fresh.len());
+        for i in 0..fresh.len() {
+            prop_assert_eq!(
+                reused.mitigatable_fraction()[i].to_bits(),
+                fresh.mitigatable_fraction()[i].to_bits()
+            );
+            prop_assert_eq!(
+                reused.alpha_threshold_exact()[i].to_bits(),
+                fresh.alpha_threshold_exact()[i].to_bits()
+            );
+            prop_assert_eq!(reused.pckpt_wins()[i], fresh.pckpt_wins()[i]);
+            prop_assert_eq!(reused.validity()[i], fresh.validity()[i]);
+        }
+    }
+}
+
+/// Satellite regression: a handcrafted mixed valid/invalid grid with the
+/// σ = `SIGMA_MAX` edge in the middle of the batch — the exact shape
+/// that would have panicked mid-batch under the scalar assert API.
+#[test]
+fn mixed_validity_grid_is_flagged_not_panicked() {
+    let alpha = [3.0, 0.5, 3.0, 3.0, 3.0, 3.0];
+    let sigma = [0.3, 0.3, SIGMA_MAX, 0.615, 0.99, -0.1];
+    let mut be = BatchEval::new();
+    be.evaluate(&alpha, &sigma, 1.0);
+
+    // Cell 0: fully valid.
+    assert_eq!(be.validity()[0], Validity::ALL);
+    // Cell 1: α < 1 kills β and the verdict, σ is fine for the rest.
+    assert!(!be.validity()[1].has(Validity::MITIGATABLE));
+    assert!(!be.validity()[1].has(Validity::VERDICT));
+    assert!(be.validity()[1].has(Validity::LM_CKPT_REDUCTION));
+    assert!(be.validity()[1].has(Validity::ALPHA_THRESHOLD));
+    // Cell 2: σ = SIGMA_MAX — printed Eq. (8) is out (half-open bound),
+    // the exact algebra still holds (its bound is 0.618…).
+    assert!(!be.validity()[2].has(Validity::ALPHA_THRESHOLD));
+    assert!(be.validity()[2].has(Validity::ALPHA_THRESHOLD_EXACT));
+    // Cell 3: the (0.61, 0.618) sliver — only the printed form is out.
+    assert!(!be.validity()[3].has(Validity::ALPHA_THRESHOLD));
+    assert!(be.validity()[3].has(Validity::ALPHA_THRESHOLD_EXACT));
+    // Cell 4: σ = 0.99 — both thresholds out, β/LM still defined.
+    assert!(!be.validity()[4].has(Validity::ALPHA_THRESHOLD_EXACT));
+    assert!(be.validity()[4].has(Validity::MITIGATABLE));
+    // Cell 5: negative σ invalidates everything probability-shaped; the
+    // exact threshold survives — its algebraic condition √(1−σ) > σ
+    // holds trivially for σ < 0 (the scalar checked variant agrees).
+    assert_eq!(be.validity()[5], Validity::ALPHA_THRESHOLD_EXACT);
+    assert!(be.mitigatable_fraction()[5].is_nan());
+    assert!(be.lm_ckpt_reduction()[5].is_nan());
+    assert!(be.alpha_threshold()[5].is_nan());
+    assert!(!be.pckpt_wins()[5]);
+}

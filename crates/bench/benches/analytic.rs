@@ -1,0 +1,86 @@
+//! Analytic-tier micro-benchmarks: scalar vs SoA evaluation of
+//! Eqs. (4)–(8) over a ~1M-cell (α, σ) grid.
+//!
+//! `scalar_1m` calls the five checked scalar functions per cell — the
+//! only way to evaluate a grid before the batch tier existed. `soa_1m`
+//! runs the same grid through one [`BatchEval`] pass over SoA columns.
+//! Both produce bit-identical results (pinned by the
+//! `analytic_batch_equivalence` proptest); their ratio is the
+//! vectorization + call-overhead speedup `scripts/bench.sh` reports as
+//! `analytic_batch_speedup`, and 2^20 cells over `soa_1m`'s median time
+//! is `analytic_cells_per_s`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pckpt_analysis::analytic::{
+    alpha_threshold_checked, alpha_threshold_exact_checked, beta_pckpt_checked,
+    lm_ckpt_reduction_checked, pckpt_beats_lm_checked,
+};
+use pckpt_analysis::batch::{cartesian_columns, BatchEval};
+
+/// 1024 × 1024 = 2^20 cells. α spans the Fig. 6c sweep band; σ spans
+/// [0, 0.8), crossing the SIGMA_MAX validity edge so the per-cell
+/// validity masks do real work (mixed valid/invalid, like a real sweep).
+const N_ALPHA: usize = 1024;
+const N_SIGMA: usize = 1024;
+
+fn grid_columns() -> (Vec<f64>, Vec<f64>) {
+    let alphas: Vec<f64> = (0..N_ALPHA)
+        .map(|i| 1.0 + 7.0 * i as f64 / N_ALPHA as f64)
+        .collect();
+    let sigmas: Vec<f64> = (0..N_SIGMA)
+        .map(|j| 0.8 * j as f64 / N_SIGMA as f64)
+        .collect();
+    cartesian_columns(&alphas, &sigmas)
+}
+
+fn bench_analytic_batch(c: &mut Criterion) {
+    let (alpha, sigma) = grid_columns();
+    let n = alpha.len();
+    assert_eq!(n, N_ALPHA * N_SIGMA);
+
+    let mut group = c.benchmark_group("analytic_batch");
+    group.bench_function("scalar_1m", |b| {
+        b.iter(|| {
+            // Fold everything into one accumulator so no per-cell result
+            // can be optimized away.
+            let mut acc = 0.0f64;
+            let mut wins = 0usize;
+            for i in 0..n {
+                let (a, s) = (alpha[i], sigma[i]);
+                if let Some(beta) = beta_pckpt_checked(a, s) {
+                    acc += beta;
+                }
+                if let Some(red) = lm_ckpt_reduction_checked(s) {
+                    acc += red;
+                }
+                if pckpt_beats_lm_checked(a, s, 1.0) == Some(true) {
+                    wins += 1;
+                }
+                if let Some(t) = alpha_threshold_checked(s) {
+                    acc += t;
+                }
+                if let Some(t) = alpha_threshold_exact_checked(s) {
+                    acc += t;
+                }
+            }
+            black_box((acc, wins));
+        })
+    });
+
+    let mut batch = BatchEval::new();
+    // Warm once so the steady state is growth-free (allocation-free
+    // reuse is the evaluator's contract).
+    batch.evaluate(&alpha, &sigma, 1.0);
+    group.bench_function("soa_1m", |b| {
+        b.iter(|| {
+            batch.evaluate(black_box(&alpha), black_box(&sigma), 1.0);
+            black_box(batch.alpha_threshold_exact().last());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytic_batch);
+criterion_main!(benches);

@@ -19,7 +19,7 @@
 use std::time::Instant;
 
 use pckpt_bench::{run_cells, runner, runs, seed, sweep_cell};
-use pckpt_core::{run_models, Aggregate, ModelKind};
+use pckpt_core::{run_grid_filtered, run_models, Aggregate, ModelKind, Prefilter};
 use pckpt_failure::{FailureDistribution, LeadTimeModel};
 
 const SWEEP_SCALES: [f64; 4] = [1.5, 1.1, 0.9, 0.5];
@@ -102,4 +102,59 @@ fn main() {
             grid.meta_json(&format!("grid_sweep_{}_grid", app_name.to_lowercase()))
         );
     }
+
+    // Analytic pre-filter on the 4-cell POP sweep: POP's θ is tiny, so σ
+    // sits at the 0.90 cap for every lead scale and the LM-vs-p-ckpt
+    // crossover is decided closed-form — the whole sweep prunes. The
+    // digest gate mirrors the tentpole soundness contract: any cell the
+    // filter *does* simulate must match the unfiltered sweep bit for bit.
+    let app = pckpt_workloads::Application::by_name("POP").expect("Table I app");
+    let crossover = [ModelKind::B, ModelKind::M2, ModelKind::P1];
+    let cells: Vec<_> = SWEEP_SCALES
+        .iter()
+        .map(|&s| sweep_cell(app, &crossover, FailureDistribution::OLCF_TITAN, s, None, None))
+        .collect();
+
+    let started = Instant::now();
+    let unfiltered = run_grid_filtered(&cells, &leads, &runner(), None);
+    let unfiltered_wall = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let filtered = run_grid_filtered(&cells, &leads, &runner(), Some(&Prefilter::default()));
+    let filtered_wall = started.elapsed().as_secs_f64();
+
+    for (i, verdict) in filtered.analytic_verdicts.iter().enumerate() {
+        if verdict.is_some() {
+            continue;
+        }
+        for (a, b) in filtered.cell(i).aggregates.iter().zip(&unfiltered.cell(i).aggregates) {
+            assert_eq!(
+                digest(a),
+                digest(b),
+                "POP cell {i}: prefiltered survivor diverged from unfiltered grid"
+            );
+        }
+    }
+
+    let prune_rate = filtered.cells_pruned as f64 / cells.len() as f64;
+    println!(
+        "  prefilter POP x [B, M2, P1]: {} of {} cells answered analytically \
+         ({:.0}% pruned); unfiltered {unfiltered_wall:.3} s, filtered {filtered_wall:.3} s",
+        filtered.cells_pruned,
+        cells.len(),
+        100.0 * prune_rate,
+    );
+    println!(
+        "GRID_JSON {{\"name\":\"grid_prefilter_pop\",\"cells\":{cells_n},\"runs_per_cell\":{rpc},\
+         \"pruned\":{pruned},\"simulated\":{simulated},\"prune_rate\":{prune_rate:.4},\
+         \"unfiltered_wall_secs\":{unfiltered_wall:.6},\"filtered_wall_secs\":{filtered_wall:.6}}}",
+        cells_n = cells.len(),
+        rpc = runs(),
+        pruned = filtered.cells_pruned,
+        simulated = filtered.cells_simulated(),
+    );
+    println!(
+        "METRICS_JSON {}",
+        filtered.meta_json("grid_prefilter_pop_grid")
+    );
 }

@@ -148,6 +148,20 @@ fn simulate(models: &[ModelKind], opts: &SimOptions) -> Result<(), String> {
     let cells = [GridCell::new(params.clone(), models)];
     let grid = run_grid(&cells, &leads, &RunnerConfig::new(opts.runs, opts.seed));
     let campaign = grid.cell(0);
+    if let Some(v) = grid.analytic_verdicts[0] {
+        // PCKPT_PREFILTER answered the cell analytically — report the
+        // closed-form verdict instead of a simulated table.
+        println!(
+            "analytic pre-filter: {} wins the LM-vs-p-ckpt crossover \
+             (alpha {:.2}, sigma {:.3}, clearance {:.0}% past the threshold); \
+             unset PCKPT_PREFILTER to simulate this cell",
+            if v.pckpt_wins { "p-ckpt" } else { "LM" },
+            v.alpha,
+            v.sigma,
+            100.0 * v.clearance,
+        );
+        return Ok(());
+    }
     let base = campaign.get(ModelKind::B);
     let mut t = Table::new(vec![
         "model",

@@ -17,6 +17,9 @@
 //! * [`config`] — model selection and all tunable parameters;
 //! * [`oci`] — optimal checkpoint intervals: Young's formula (Eq. 1) and
 //!   the LM-adjusted variant (Eq. 2) with the σ lead-time analysis;
+//! * [`prefilter`] — the analytic pre-filter: grid cells whose
+//!   LM-vs-p-ckpt crossover Eqs. (4)–(8) decide confidently are answered
+//!   closed-form instead of simulated (`PCKPT_PREFILTER=analytic`);
 //! * [`protocol`] — the p-ckpt round state machine: node-local priority
 //!   queue (least lead time first), phase-1 prioritized vulnerable-node
 //!   commits, phase-2 collective commit (Fig. 5);
@@ -34,6 +37,7 @@ pub mod config;
 pub mod iosim;
 pub mod metrics;
 pub mod oci;
+pub mod prefilter;
 pub mod protocol;
 pub mod runner;
 pub mod sim;
@@ -41,9 +45,10 @@ pub mod tracer;
 
 pub use config::{ModelKind, SimParams};
 pub use metrics::{Aggregate, OverheadLedger, RunResult};
+pub use prefilter::{AnalyticVerdict, Prefilter, DEFAULT_MARGIN};
 pub use runner::{
-    record_run, run_grid, run_many, run_models, CampaignResult, GridCell, GridPlan, GridResult,
-    GridWorker, RunArena, RunnerConfig,
+    record_run, run_grid, run_grid_filtered, run_many, run_models, CampaignResult, GridCell,
+    GridPlan, GridResult, GridWorker, RunArena, RunnerConfig,
 };
 pub use sim::CrSim;
 

@@ -58,6 +58,7 @@ use pckpt_simrng::SimRng;
 
 use crate::config::{ModelKind, SimParams};
 use crate::metrics::{Aggregate, RunResult};
+use crate::prefilter::{AnalyticVerdict, Prefilter};
 use crate::sim::{CrSim, Ev};
 
 /// Campaign size and execution parameters.
@@ -125,12 +126,14 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// The aggregate for `model`, if it was part of the campaign.
+    /// The aggregate for `model`, if it was part of the campaign **and**
+    /// the cell was simulated (a cell pruned by the analytic pre-filter
+    /// keeps its model list but carries no aggregates).
     pub fn get(&self, model: ModelKind) -> Option<&Aggregate> {
         self.models
             .iter()
             .position(|&m| m == model)
-            .map(|i| &self.aggregates[i])
+            .and_then(|i| self.aggregates.get(i))
     }
 
     /// Overhead reduction (%) of `model` relative to `base`.
@@ -332,7 +335,10 @@ pub fn run_models(
     config: &RunnerConfig,
 ) -> CampaignResult {
     let cells = [GridCell::new(base_params.clone(), models)];
-    let mut grid = run_grid(&cells, leads, config);
+    // A standalone campaign is always simulated: the analytic pre-filter
+    // is a grid-sweep tier, and callers of run_models (and run_many)
+    // expect real aggregates unconditionally.
+    let mut grid = run_grid_filtered(&cells, leads, config, None);
     // One cell in, one campaign out. simlint: allow(no-unwrap-in-lib)
     grid.cells.pop().expect("one cell")
 }
@@ -722,6 +728,13 @@ pub struct GridResult {
     /// Digest of the shared lead-time model (see
     /// [`LeadTimeModel::digest`]).
     pub leads_digest: u64,
+    /// The analytic pre-filter's verdict per input cell (index-aligned
+    /// with `cells`): `Some` → the cell was answered analytically and
+    /// never simulated; `None` → the cell was simulated. All `None`
+    /// when no pre-filter was active.
+    pub analytic_verdicts: Vec<Option<AnalyticVerdict>>,
+    /// Cells answered by the analytic tier instead of simulation.
+    pub cells_pruned: usize,
 }
 
 impl GridResult {
@@ -736,6 +749,12 @@ impl GridResult {
             .iter()
             .position(|l| l == label)
             .map(|i| &self.cells[i])
+    }
+
+    /// Cells that went through the simulation pool (input cells minus
+    /// pre-filter prunes).
+    pub fn cells_simulated(&self) -> usize {
+        self.cells.len() - self.cells_pruned
     }
 
     /// Fraction of unit executions served from a worker's trace cache.
@@ -765,7 +784,8 @@ impl GridResult {
         format!(
             "{{\"name\":\"{name}\",\"cells\":{},\"lanes\":{},\"units\":{},\"runs_per_cell\":{},\
              \"threads\":{},\"trace_groups\":{},\"trace_generations\":{},\"trace_reuses\":{},\
-             \"trace_cache_hit_rate\":{:.4},\"leads_digest\":\"{:016x}\"}}",
+             \"trace_cache_hit_rate\":{:.4},\"leads_digest\":\"{:016x}\",\
+             \"prefilter_pruned\":{},\"prefilter_simulated\":{}}}",
             self.cells.len(),
             self.lanes,
             self.units,
@@ -776,6 +796,8 @@ impl GridResult {
             self.trace_reuses,
             self.trace_cache_hit_rate(),
             self.leads_digest,
+            self.cells_pruned,
+            self.cells_simulated(),
         )
     }
 }
@@ -790,7 +812,110 @@ impl GridResult {
 /// `tests/trace_determinism.rs`): sharing only ever skips *provably
 /// redundant* work — regenerating an identical trace, re-running an
 /// identical simulation — never changes what is computed.
+///
+/// With `PCKPT_PREFILTER=analytic[:margin]` set, crossover cells the
+/// analytic tier decides confidently are answered from Eqs. (4)–(8) and
+/// never simulated — see [`run_grid_filtered`] and
+/// [`Prefilter`](crate::prefilter::Prefilter). The surviving cells'
+/// aggregates stay bit-identical to an unfiltered sweep.
 pub fn run_grid(cells: &[GridCell], leads: &LeadTimeModel, config: &RunnerConfig) -> GridResult {
+    run_grid_filtered(cells, leads, config, Prefilter::from_env().as_ref())
+}
+
+/// [`run_grid`] with an explicit analytic pre-filter (`None` = simulate
+/// every cell; this is what [`run_models`] always uses, so standalone
+/// campaigns are never pruned).
+///
+/// Pruned cells keep their slot in the result (input order, labels,
+/// model lists) but carry an empty aggregate vector and a `Some`
+/// [`AnalyticVerdict`]; plan statistics (`lanes`, `units`,
+/// `trace_groups`) cover the *simulated* cells only.
+///
+/// Pruning is sound because the grid equivalence contract above is
+/// per-cell: a surviving cell's aggregate does not depend on which other
+/// cells share the pool, so answering some cells analytically cannot
+/// change a simulated cell's bits (pinned by the prefilter digest oracle
+/// in `tests/grid_equivalence.rs`).
+pub fn run_grid_filtered(
+    cells: &[GridCell],
+    leads: &LeadTimeModel,
+    config: &RunnerConfig,
+    prefilter: Option<&Prefilter>,
+) -> GridResult {
+    let verdicts: Vec<Option<AnalyticVerdict>> = match prefilter {
+        Some(pf) => cells.iter().map(|c| pf.cell_verdict(c, leads)).collect(),
+        None => vec![None; cells.len()],
+    };
+    let pruned = verdicts.iter().filter(|v| v.is_some()).count();
+    if pruned == 0 {
+        let mut grid = run_grid_simulated(cells, leads, config);
+        grid.analytic_verdicts = verdicts;
+        return grid;
+    }
+
+    let survivors: Vec<GridCell> = cells
+        .iter()
+        .zip(&verdicts)
+        .filter(|(_, v)| v.is_none())
+        .map(|(c, _)| c.clone())
+        .collect();
+    let simulated = if survivors.is_empty() {
+        None
+    } else {
+        Some(run_grid_simulated(&survivors, leads, config))
+    };
+    let threads = simulated
+        .as_ref()
+        .map(|g| g.threads)
+        .unwrap_or_else(|| config.effective_threads_for(0));
+
+    // Splice simulated campaigns back into input order; pruned cells get
+    // an empty campaign (their answer lives in `analytic_verdicts`).
+    let mut sim_cells = simulated
+        .as_ref()
+        .map(|g| g.cells.iter().cloned())
+        .into_iter()
+        .flatten();
+    let results: Vec<CampaignResult> = cells
+        .iter()
+        .zip(&verdicts)
+        .map(|(cell, verdict)| {
+            if verdict.is_some() {
+                CampaignResult {
+                    models: cell.models.clone(),
+                    aggregates: Vec::new(),
+                    threads,
+                }
+            } else {
+                // One simulated campaign per surviving cell, in order.
+                // simlint: allow(no-unwrap-in-lib)
+                sim_cells.next().expect("one campaign per surviving cell")
+            }
+        })
+        .collect();
+
+    GridResult {
+        cells: results,
+        labels: cells.iter().map(|c| c.label.clone()).collect(),
+        runs_per_cell: config.runs,
+        threads,
+        trace_groups: simulated.as_ref().map_or(0, |g| g.trace_groups),
+        lanes: simulated.as_ref().map_or(0, |g| g.lanes),
+        units: simulated.as_ref().map_or(0, |g| g.units),
+        trace_generations: simulated.as_ref().map_or(0, |g| g.trace_generations),
+        trace_reuses: simulated.as_ref().map_or(0, |g| g.trace_reuses),
+        leads_digest: leads.digest(),
+        analytic_verdicts: verdicts,
+        cells_pruned: pruned,
+    }
+}
+
+/// The simulation pool proper: every input cell is executed.
+fn run_grid_simulated(
+    cells: &[GridCell],
+    leads: &LeadTimeModel,
+    config: &RunnerConfig,
+) -> GridResult {
     assert!(config.runs > 0, "at least one run required");
     let plan = GridPlan::new(cells, leads);
     let runs = config.runs;
@@ -875,6 +1000,8 @@ pub fn run_grid(cells: &[GridCell], leads: &LeadTimeModel, config: &RunnerConfig
         trace_generations: generations.into_inner(),
         trace_reuses: reuses.into_inner(),
         leads_digest: leads.digest(),
+        analytic_verdicts: vec![None; cells.len()],
+        cells_pruned: 0,
     }
 }
 
@@ -1240,5 +1367,79 @@ mod tests {
         let plan = GridPlan::new(&cells, &leads);
         assert_eq!(plan.trace_groups(), 2);
         assert_eq!(plan.units(), 2);
+    }
+
+    const CROSSOVER: &[ModelKind] = &[ModelKind::B, ModelKind::M2, ModelKind::P1];
+
+    #[test]
+    fn prefilter_splices_pruned_and_simulated_cells_in_input_order() {
+        let leads = LeadTimeModel::desh_default();
+        let cfg = RunnerConfig::new(4, 9);
+        // CHIMERA's crossover is analytically decidable (p-ckpt, ~24 %
+        // clearance); the XGC [B, P2] cell has a hybrid model and must
+        // simulate.
+        let cells = [
+            GridCell::new(app_params(ModelKind::B, "CHIMERA"), CROSSOVER),
+            GridCell::new(app_params(ModelKind::B, "XGC"), &[ModelKind::B, ModelKind::P2]),
+        ];
+        let filtered = run_grid_filtered(&cells, &leads, &cfg, Some(&Prefilter::default()));
+        assert_eq!(filtered.cells_pruned, 1);
+        assert_eq!(filtered.cells_simulated(), 1);
+        let verdict = filtered.analytic_verdicts[0].expect("CHIMERA is decidable");
+        assert!(verdict.pckpt_wins);
+        assert!(filtered.analytic_verdicts[1].is_none());
+
+        // The pruned cell keeps its slot, label and model list but has
+        // no aggregates — get() answers None rather than panicking.
+        assert_eq!(filtered.labels, vec!["CHIMERA", "XGC"]);
+        assert_eq!(filtered.cell(0).models, CROSSOVER.to_vec());
+        assert!(filtered.cell(0).aggregates.is_empty());
+        assert!(filtered.cell(0).get(ModelKind::P1).is_none());
+
+        // The surviving cell is bit-identical to the unfiltered sweep.
+        let unfiltered = run_grid_filtered(&cells, &leads, &cfg, None);
+        assert_eq!(unfiltered.cells_pruned, 0);
+        for (f, u) in filtered
+            .cell(1)
+            .aggregates
+            .iter()
+            .zip(&unfiltered.cell(1).aggregates)
+        {
+            assert_eq!(digest(f), digest(u));
+        }
+
+        let meta = filtered.meta_json("prefilter_test");
+        assert!(meta.contains("\"prefilter_pruned\":1"), "{meta}");
+        assert!(meta.contains("\"prefilter_simulated\":1"), "{meta}");
+    }
+
+    #[test]
+    fn fully_pruned_grid_skips_the_pool_entirely() {
+        let leads = LeadTimeModel::desh_default();
+        let cfg = RunnerConfig::new(4, 9);
+        // CHIMERA → p-ckpt, POP (σ at the 0.90 cap) → LM: both decided.
+        let cells = [
+            GridCell::new(app_params(ModelKind::B, "CHIMERA"), CROSSOVER),
+            GridCell::new(app_params(ModelKind::B, "POP"), CROSSOVER),
+        ];
+        let grid = run_grid_filtered(&cells, &leads, &cfg, Some(&Prefilter::default()));
+        assert_eq!(grid.cells_pruned, 2);
+        assert_eq!(grid.cells_simulated(), 0);
+        assert_eq!((grid.lanes, grid.units, grid.trace_groups), (0, 0, 0));
+        assert_eq!(grid.trace_generations + grid.trace_reuses, 0);
+        assert!(grid.analytic_verdicts[0].unwrap().pckpt_wins);
+        assert!(!grid.analytic_verdicts[1].unwrap().pckpt_wins);
+        assert!(grid.cells.iter().all(|c| c.aggregates.is_empty()));
+    }
+
+    #[test]
+    fn no_prefilter_means_no_pruning_anywhere() {
+        let leads = LeadTimeModel::desh_default();
+        let cfg = RunnerConfig::new(2, 5);
+        let cells = [GridCell::new(app_params(ModelKind::B, "CHIMERA"), CROSSOVER)];
+        let grid = run_grid_filtered(&cells, &leads, &cfg, None);
+        assert_eq!(grid.cells_pruned, 0);
+        assert!(grid.analytic_verdicts.iter().all(|v| v.is_none()));
+        assert_eq!(grid.cell(0).aggregates.len(), CROSSOVER.len());
     }
 }

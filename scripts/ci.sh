@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Full CI chain: the tier-1 gate plus everything it doesn't cover —
-# workspace-member tests, the examples build, and the trace-feature
-# build (whose golden digests prove the recorder changes nothing it
-# observes).
+# workspace-member tests, the examples build, the trace-feature build
+# (whose golden digests prove the recorder changes nothing it observes),
+# and the analytic-tier equivalence gates.
 #
 #   1. scripts/lint.sh        simlint, release build, root test suite,
-#                             1-run bench smoke (CAMPAIGN/METRICS_JSON)
+#                             1-run bench smoke (CAMPAIGN/METRICS_JSON,
+#                             prefilter accounting)
 #   2. cargo test --workspace every crate's unit tests (trace off)
 #   3. cargo build --examples the doc examples compile against the
 #                             current API (they are not test targets, so
@@ -13,25 +14,34 @@
 #   4. cargo test --features trace
 #                             root suite again with the recorder live:
 #                             golden stream digests + on/off equivalence
+#   5. analytic tier          batch-vs-scalar bit-identity proptest and
+#                             the prefilter digest oracle (the two
+#                             equivalence contracts of the analytic
+#                             pre-filter) as an explicit, named gate
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==== [1/4] tier-1 gate (scripts/lint.sh) ===="
+echo "==== [1/5] tier-1 gate (scripts/lint.sh) ===="
 scripts/lint.sh
 
 echo
-echo "==== [2/4] workspace tests ===="
+echo "==== [2/5] workspace tests ===="
 cargo test -q --workspace
 
 echo
-echo "==== [3/4] examples build ===="
+echo "==== [3/5] examples build ===="
 cargo build -q --examples
 
 echo
-echo "==== [4/4] trace-feature tests ===="
+echo "==== [4/5] trace-feature tests ===="
 cargo test -q --features trace
+
+echo
+echo "==== [5/5] analytic tier: batch + prefilter equivalence ===="
+cargo test -q -p pckpt-analysis --test batch_equivalence
+cargo test -q --test grid_equivalence
 
 echo
 echo "ci.sh: all stages passed"

@@ -35,4 +35,28 @@ for tag, n in seen.items():
 print("bench smoke ok (2 campaigns, 2 metrics blocks)")
 '
 
+echo "== bench smoke (1-run grid + prefilter) =="
+# One-run grid sweep: the grid METRICS_JSON must carry the analytic
+# pre-filter accounting (pruned + simulated == cells on every grid), and
+# the POP crossover sweep must actually prune at least half its cells.
+PCKPT_RUNS=1 cargo run --release -q -p pckpt-bench --bin bench_grid \
+    | python3 -c '
+import json, sys
+grids = prefilter = 0
+for line in sys.stdin:
+    if line.startswith("METRICS_JSON ") and "\"prefilter_pruned\"" in line:
+        rec = json.loads(line[len("METRICS_JSON "):])
+        assert rec["prefilter_pruned"] + rec["prefilter_simulated"] == rec["cells"], rec
+        grids += 1
+    if line.startswith("GRID_JSON "):
+        rec = json.loads(line[len("GRID_JSON "):])
+        if rec["name"] == "grid_prefilter_pop":
+            assert rec["prune_rate"] >= 0.5, rec
+            assert rec["pruned"] + rec["simulated"] == rec["cells"], rec
+            prefilter += 1
+assert grids == 4, f"expected 4 grid METRICS_JSON lines, saw {grids}"
+assert prefilter == 1, "missing grid_prefilter_pop GRID_JSON line"
+print("grid smoke ok (4 grids, prefilter prunes >= 50% of the POP sweep)")
+'
+
 echo "lint.sh: all gates passed"
