@@ -96,6 +96,9 @@ impl Prefilter {
     /// the default margin; `analytic:<margin>` → an explicit margin.
     /// Anything else panics with the accepted grammar, so a typo fails a
     /// sweep loudly instead of silently simulating every cell.
+    // simlint: config — PCKPT_PREFILTER is the sanctioned sweep-config
+    // entry point; the parsed margin changes which cells are simulated,
+    // never the per-cell results.
     pub fn from_env() -> Option<Self> {
         match std::env::var("PCKPT_PREFILTER") {
             Ok(spec) => Self::parse(&spec),

@@ -81,8 +81,10 @@ impl PckptRound {
             phase: Phase::Phase1,
             queue: BinaryHeap::new(),
             writer: None,
-            committed: Vec::new(),
-            phase2_joiners: Vec::new(),
+            // Both vecs start at capacity 0 (no heap storage); steady
+            // state recycles rounds through reset(), never this path.
+            committed: Vec::new(), // simlint: allow(no-alloc-in-hot-loop)
+            phase2_joiners: Vec::new(), // simlint: allow(no-alloc-in-hot-loop)
             next_seq: 0,
         }
     }

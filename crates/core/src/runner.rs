@@ -92,6 +92,9 @@ impl RunnerConfig {
     /// Worker count for an item space of `items` independent work units
     /// (a lone campaign has one item per run; a grid has
     /// `runs × execution units`).
+    // simlint: config — PCKPT_THREADS is a sanctioned execution-config
+    // read: it sizes the worker pool and never reaches a result digest
+    // (fold order is lane-major regardless of thread count).
     fn effective_threads_for(&self, items: usize) -> usize {
         let t = if self.threads == 0 {
             // `PCKPT_THREADS` overrides auto-detection (containers and CI
@@ -672,14 +675,22 @@ impl<'a, 'p> GridWorker<'a, 'p> {
 
 /// Preallocated per-`(lane, run)` result storage with lock-free disjoint
 /// writes.
+//
+// simlint: invariant(slab-claim-partition): the chunk-claim counter hands
+// every (run, unit) item to exactly one worker, and a unit's member lanes
+// belong to that unit alone, so each (lane, run) slot has exactly one
+// writer, which writes it exactly once.
+// simlint: invariant(slab-scope-join): slots are read only after
+// thread::scope has joined every worker, so no read races a write.
+// (Both are model-checked by crates/schedcheck against the claim/put/fold
+// operation model.)
 struct ResultSlab {
     slots: Vec<UnsafeCell<Option<RunResult>>>,
 }
 
-// SAFETY: the claim counter hands every `(run, unit)` item to exactly one
-// worker, a unit's member lanes belong to that unit alone, and therefore
-// every `(lane, run)` slot index is written by exactly one worker, once.
-// Reads happen only after `thread::scope` has joined all workers.
+// SAFETY(slab-claim-partition, slab-scope-join): disjoint single writes
+// per slot plus join-ordered reads make cross-thread sharing of the
+// UnsafeCell slots sound.
 unsafe impl Sync for ResultSlab {}
 
 impl ResultSlab {
@@ -947,12 +958,12 @@ fn run_grid_simulated(
                         let result = worker.run_unit(&master, run, unit);
                         let lanes = &plan.units[unit].lanes;
                         for &lane in &lanes[1..] {
-                            // SAFETY: see ResultSlab — this worker owns
-                            // item (run, unit), and with it every member
-                            // lane's (lane, run) slot.
+                            // SAFETY(slab-claim-partition): this worker
+                            // owns item (run, unit), and with it every
+                            // member lane's (lane, run) slot.
                             unsafe { slab.put(lane * runs + run, result.clone()) };
                         }
-                        // SAFETY: as above.
+                        // SAFETY(slab-claim-partition): as above.
                         unsafe { slab.put(lanes[0] * runs + run, result) };
                     }
                 }

@@ -337,7 +337,10 @@ impl<S> ProcessWorld<S> {
             let mut pctx = ProcCtx {
                 now: ctx.now(),
                 me: pid,
-                commands: Vec::new(),
+                // Capacity-0 vec: only process-transition commands grow
+                // it, and the campaign steady state (CrSim, pinned by
+                // the counting-allocator test) never runs ProcessWorld.
+                commands: Vec::new(), // simlint: allow(no-alloc-in-hot-loop)
                 next_pid: self.next_pid,
             };
             let step = entry.process.resume(&mut self.shared, &mut pctx, wake);
@@ -449,7 +452,9 @@ impl<S> ProcessWorld<S> {
                         Entry {
                             process,
                             blocked: Blocked::Running,
-                            held: Vec::new(),
+                            // Spawn is topology construction, not steady
+                            // state; the vec starts at capacity 0.
+                            held: Vec::new(), // simlint: allow(no-alloc-in-hot-loop)
                         },
                     );
                     ctx.schedule_now(Resume(pid, Wake::Started));

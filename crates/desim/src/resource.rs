@@ -117,17 +117,17 @@ impl<T> Resource<T> {
         let mut drained: Vec<Reverse<Waiter<T>>> = std::mem::take(&mut self.waiters).into_vec();
         drained.sort(); // deterministic scan order (priority, seq)
         let mut removed = None;
-        let mut kept = BinaryHeap::with_capacity(drained.len());
-        for Reverse(w) in drained.into_iter().rev() {
-            // rev(): sort() puts Reverse-largest (lowest priority value)
-            // last, so iterate from the front of the service order.
-            if removed.is_none() && pred(&w.token) {
-                removed = Some(w.token);
-            } else {
-                kept.push(Reverse(w));
+        // sort() puts Reverse-largest (lowest priority value) last, so
+        // scan from the back to test waiters in service order.
+        for i in (0..drained.len()).rev() {
+            if pred(&drained[i].0.token) {
+                removed = Some(drained.remove(i).0.token);
+                break;
             }
         }
-        self.waiters = kept;
+        // Heapify in place: reuses the drained buffer, so cancellation
+        // never allocates (pop order is fixed by Ord, not heap layout).
+        self.waiters = BinaryHeap::from(drained);
         removed
     }
 

@@ -1,0 +1,14 @@
+// Seeded violation for `determinism-taint`: an environment variable —
+// a per-process nondeterminism source — flows through a helper into a
+// digest fn. No `// simlint: config` sanctions the read, so the taint
+// pass must flag the sink.
+fn read_tuning_knob() -> u64 {
+    std::env::var("PCKPT_KNOB")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+pub fn campaign_digest(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e3779b97f4a7c15) ^ read_tuning_knob()
+}

@@ -1,0 +1,10 @@
+// Hop one: clean. Hop two: allocates.
+pub fn stage_one(xs: &[u64]) -> usize {
+    stage_two(xs)
+}
+
+fn stage_two(xs: &[u64]) -> usize {
+    let mut scratch = Vec::new();
+    scratch.extend(xs.iter().copied());
+    scratch.len()
+}

@@ -1,0 +1,10 @@
+// Seeded violation for the transitive mode of `no-alloc-in-hot-loop`:
+// the hot fn itself is allocation-free, but a helper two call-graph hops
+// away (and in another file) builds a fresh Vec. The per-file scanner of
+// v1 could not see this; the call-graph pass must.
+mod helpers;
+
+// simlint: hot
+pub fn hot_entry(xs: &[u64]) -> usize {
+    helpers::stage_one(xs)
+}

@@ -1,0 +1,6 @@
+// Seeded violation for `unsafe-audit`: an unsafe block with no safety
+// comment naming the invariant it relies on.
+pub fn read_first(xs: &[u64]) -> u64 {
+    let p = xs.as_ptr();
+    unsafe { *p }
+}

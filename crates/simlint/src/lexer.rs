@@ -59,6 +59,29 @@ pub struct AllowDirective {
     pub rules: Vec<String>,
 }
 
+/// A `// SAFETY: …` or `// SAFETY(tag-a, tag-b): …` comment justifying
+/// an `unsafe` site. Tags name workspace invariants declared with
+/// `// simlint: invariant(tag)`; the unsafe-audit rule cross-references
+/// every tag against the declarations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyComment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Invariant tags named in `SAFETY(…)`, empty for a plain `SAFETY:`.
+    pub tags: Vec<String>,
+}
+
+/// A `// simlint: invariant(name): …` declaration — names a safety
+/// invariant (typically on the type whose `UnsafeCell` state it guards)
+/// that `SAFETY(name):` comments elsewhere may reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantDecl {
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// The invariant's name.
+    pub name: String,
+}
+
 /// The result of lexing one file.
 #[derive(Debug, Default)]
 pub struct Lexed {
@@ -70,6 +93,18 @@ pub struct Lexed {
     /// treated as allocation-free hot-path code by
     /// `no-alloc-in-hot-loop`.
     pub hots: Vec<u32>,
+    /// Lines carrying a `// simlint: config` marker — the next function
+    /// is a sanctioned config-parse entry point: a taint *barrier* that
+    /// `determinism-taint` never propagates through.
+    pub configs: Vec<u32>,
+    /// Every `// SAFETY:` / `// SAFETY(tags):` comment.
+    pub safeties: Vec<SafetyComment>,
+    /// Every `// simlint: invariant(name)` declaration.
+    pub invariants: Vec<InvariantDecl>,
+    /// Lines whose string literals contain a `{:p}`-style pointer format
+    /// (`:p}` / `:#p}`) — address formatting is a per-process random
+    /// value, so `determinism-taint` treats these as sources.
+    pub ptr_fmt_lines: Vec<u32>,
 }
 
 /// Lexes `src`, returning tokens plus allow directives.
@@ -86,6 +121,25 @@ pub fn lex(src: &str) -> Lexed {
         out: Lexed::default(),
     }
     .run()
+}
+
+/// Parses the `(a, b)` argument list that may follow a directive
+/// keyword, returning the trimmed, non-empty entries (None when no
+/// parenthesized list is present).
+fn paren_list(args: &str) -> Option<Vec<String>> {
+    let args = args.trim_start();
+    let open = args.strip_prefix('(')?;
+    let close = open.find(')')?;
+    let items: Vec<String> = open[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if items.is_empty() {
+        None
+    } else {
+        Some(items)
+    }
 }
 
 struct Lexer<'a> {
@@ -164,11 +218,20 @@ impl<'a> Lexer<'a> {
         self.record_allow(text, line0);
     }
 
-    /// Parses `simlint: allow(a, b)` out of a comment's bytes.
+    /// Parses `simlint:` directives (`allow`, `hot`, `config`,
+    /// `invariant`) and `SAFETY` justifications out of a comment's bytes.
     fn record_allow(&mut self, comment: &[u8], line: u32) {
         let Ok(text) = std::str::from_utf8(comment) else {
             return;
         };
+        if let Some(idx) = text.find("SAFETY") {
+            let rest = &text[idx + "SAFETY".len()..];
+            if rest.trim_start().starts_with(':') {
+                self.out.safeties.push(SafetyComment { line, tags: Vec::new() });
+            } else if let Some(tags) = paren_list(rest) {
+                self.out.safeties.push(SafetyComment { line, tags });
+            }
+        }
         let Some(idx) = text.find("simlint:") else {
             return;
         };
@@ -177,33 +240,36 @@ impl<'a> Lexer<'a> {
             self.out.hots.push(line);
             return;
         }
+        if rest == "config" || rest.starts_with("config ") || rest.starts_with("config\n") {
+            self.out.configs.push(line);
+            return;
+        }
+        if let Some(args) = rest.strip_prefix("invariant") {
+            if let Some(names) = paren_list(args) {
+                for name in names {
+                    self.out.invariants.push(InvariantDecl { line, name });
+                }
+            }
+            return;
+        }
         let Some(args) = rest.strip_prefix("allow") else {
             return;
         };
-        let args = args.trim_start();
-        let Some(open) = args.strip_prefix('(') else {
-            return;
-        };
-        let Some(close) = open.find(')') else {
-            return;
-        };
-        let rules: Vec<String> = open[..close]
-            .split(',')
-            .map(|r| r.trim().to_string())
-            .filter(|r| !r.is_empty())
-            .collect();
-        if !rules.is_empty() {
+        if let Some(rules) = paren_list(args) {
             self.out.allows.push(AllowDirective { line, rules });
         }
     }
 
     fn string_literal(&mut self) {
+        let line0 = self.line;
+        let start = self.pos;
         self.pos += 1; // opening quote
         while self.pos < self.bytes.len() {
             match self.bytes[self.pos] {
                 b'\\' => self.pos += 2,
                 b'"' => {
                     self.pos += 1;
+                    self.record_ptr_fmt(start, self.pos, line0);
                     return;
                 }
                 b'\n' => {
@@ -212,6 +278,17 @@ impl<'a> Lexer<'a> {
                 }
                 _ => self.pos += 1,
             }
+        }
+        self.record_ptr_fmt(start, self.pos, line0);
+    }
+
+    /// Records the line if a consumed string literal contains a pointer
+    /// format spec (`{:p}`, `{x:p}`, `{:#p}` — anything ending `:p}` or
+    /// `#p}`).
+    fn record_ptr_fmt(&mut self, start: usize, end: usize, line: u32) {
+        let body = &self.bytes[start..end.min(self.bytes.len())];
+        if body.windows(3).any(|w| w == b":p}" || w == b"#p}") {
+            self.out.ptr_fmt_lines.push(line);
         }
     }
 
@@ -281,6 +358,7 @@ impl<'a> Lexer<'a> {
             return true;
         }
         // Raw string: scan for `"` followed by `hashes` hash marks.
+        let (start, line0) = (self.pos, self.line);
         i += 1;
         while i < self.bytes.len() {
             if self.bytes[i] == b'\n' {
@@ -295,12 +373,14 @@ impl<'a> Lexer<'a> {
                 }
                 if j == hashes {
                     self.pos = i + 1 + hashes;
+                    self.record_ptr_fmt(start, self.pos, line0);
                     return true;
                 }
             }
             i += 1;
         }
         self.pos = self.bytes.len();
+        self.record_ptr_fmt(start, self.pos, line0);
         true
     }
 
@@ -484,6 +564,37 @@ mod tests {
         );
         assert_eq!(lexed.hots, vec![1, 3]);
         assert_eq!(lexed.allows.len(), 1, "hot is not an allow");
+    }
+
+    #[test]
+    fn safety_config_invariant_directives_are_recorded() {
+        let lexed = lex(
+            "// SAFETY: idx is in-bounds by the claim-counter partition\n\
+             unsafe { }\n\
+             // SAFETY(slab-partition, scope-join): cross-referenced tags\n\
+             unsafe { }\n\
+             // simlint: invariant(slab-partition): each idx claimed once\n\
+             // simlint: config\n\
+             fn from_env() {}\n",
+        );
+        assert_eq!(lexed.safeties.len(), 2);
+        assert_eq!(lexed.safeties[0].line, 1);
+        assert!(lexed.safeties[0].tags.is_empty());
+        assert_eq!(lexed.safeties[1].line, 3);
+        assert_eq!(
+            lexed.safeties[1].tags,
+            vec!["slab-partition", "scope-join"]
+        );
+        assert_eq!(lexed.invariants.len(), 1);
+        assert_eq!(lexed.invariants[0].name, "slab-partition");
+        assert_eq!(lexed.configs, vec![6]);
+    }
+
+    #[test]
+    fn ptr_format_strings_are_recorded() {
+        let lexed = lex("a \"addr {:p}\" b \"plain {}\" c \"{x:#p} alt\" d r\"raw {:p}\" e");
+        assert_eq!(lexed.ptr_fmt_lines, vec![1, 1, 1]);
+        assert!(lex("\"{:.3}\"").ptr_fmt_lines.is_empty());
     }
 
     #[test]

@@ -3,21 +3,40 @@
 //! The p-ckpt evaluation depends on bit-reproducible campaigns: the same
 //! seed must produce the same report, byte for byte, on every run and
 //! every machine. This crate enforces the source-level discipline behind
-//! that property (no randomized containers, no wall-clock reads, no
-//! float equality, centralized time casts, no library panics) without
-//! any external dependency — the registry is unreachable here, so the
-//! lexer in [`lexer`] is hand-rolled.
+//! that property without any external dependency — the registry is
+//! unreachable here, so the lexer in [`lexer`] is hand-rolled.
+//!
+//! Two layers of analysis share one lexed-file cache:
+//!
+//! * **per-file token rules** ([`rules`]): randomized containers,
+//!   wall-clock reads, float equality, lossy time casts, library
+//!   panics;
+//! * **workspace call-graph rules** ([`wsrules`] over [`callgraph`]):
+//!   transitive hot-path allocation, determinism taint from sources to
+//!   digest/fold/result sinks, and the unsafe audit
+//!   (`// SAFETY:` comments with cross-referenced invariant tags).
+//!
+//! Every file is read, lexed ([`lexer`]), and item-parsed ([`items`])
+//! exactly once into a [`Workspace`]; both rule layers and the call
+//! graph consume the same cache, so `cargo test -q` wall time stays
+//! flat as rule families grow.
 //!
 //! Entry points:
-//! - [`lint_tree`] lints every `.rs` file under a root directory.
-//! - [`rules::lint_file`] lints one file's source text.
+//! - [`Workspace::load`] + [`Workspace::lint`] — the full analysis.
+//! - [`lint_tree`] — convenience wrapper over the above.
+//! - [`rules::lint_file`] — one file's source text (single-file
+//!   workspace; per-file rules plus whatever graph rules can see in one
+//!   file).
 //!
 //! The `simlint` binary (see `src/main.rs`) walks the enclosing cargo
-//! workspace and exits non-zero on any finding; `scripts/lint.sh` and
-//! the root `tests/simlint_clean.rs` wire it into tier-1.
+//! workspace and exits non-zero on any finding; `--json` emits the
+//! machine-readable report `scripts/lint.sh` archives as a CI artifact.
 
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod wsrules;
 
 use std::path::{Path, PathBuf};
 
@@ -27,23 +46,142 @@ pub use rules::{lint_file, Finding};
 /// metadata, and simlint's own seeded-violation fixtures.
 const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", ".claude"];
 
+/// One source file, read and analyzed exactly once.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Crate / library-code classification derived from the path.
+    pub class: rules::FileClass,
+    /// The token stream plus directives (allows, SAFETY, invariants…).
+    pub lexed: lexer::Lexed,
+    /// Parsed items: fns, calls, allocs, taints, unsafe spans, sinks.
+    pub items: items::FileItems,
+}
+
+/// A fully-loaded analysis workspace: every file lexed and item-parsed
+/// once, plus the cross-file call graph built over them.
+pub struct Workspace {
+    /// All files, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// The call graph over every fn in `files`.
+    pub graph: callgraph::CallGraph,
+}
+
+impl Workspace {
+    /// Builds a workspace from `(relative path, source)` pairs.
+    pub fn from_sources(mut sources: Vec<(String, String)>) -> Workspace {
+        sources.sort_by(|a, b| a.0.cmp(&b.0));
+        let files: Vec<SourceFile> = sources
+            .into_iter()
+            .map(|(rel, src)| {
+                let lexed = lexer::lex(&src);
+                let items = items::parse(&lexed);
+                SourceFile {
+                    class: rules::classify(&rel),
+                    rel,
+                    lexed,
+                    items,
+                }
+            })
+            .collect();
+        let graph = callgraph::CallGraph::build(&files);
+        Workspace { files, graph }
+    }
+
+    /// Reads every `.rs` file under `root` (skipping [`SKIP_DIRS`]) into
+    /// a workspace.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut paths = Vec::new();
+        collect_rs_files(root, &mut paths)?;
+        let mut sources = Vec::with_capacity(paths.len());
+        for path in paths {
+            let rel = rel_path(root, &path);
+            sources.push((rel, std::fs::read_to_string(&path)?));
+        }
+        Ok(Workspace::from_sources(sources))
+    }
+
+    /// Runs every rule family over the shared cache, applies inline
+    /// `simlint: allow` directives and the file-level allowlist, and
+    /// returns the surviving findings sorted by path, line, then rule.
+    pub fn lint(&self) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for sf in &self.files {
+            rules::file_findings(sf, &mut findings);
+        }
+        wsrules::graph_findings(&self.files, &self.graph, &mut findings);
+        findings.retain(|f| !self.suppressed(f));
+        findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        findings.dedup();
+        findings
+    }
+
+    /// A finding is suppressed by an inline allow on its line or the
+    /// line above, or by the file-level [`rules::allowlist`].
+    fn suppressed(&self, f: &Finding) -> bool {
+        if rules::allowlist()
+            .iter()
+            .any(|&(rule, path)| rule == f.rule && f.path.contains(path))
+        {
+            return true;
+        }
+        let Ok(idx) = self.files.binary_search_by(|sf| sf.rel.as_str().cmp(&f.path)) else {
+            return false;
+        };
+        self.files[idx].lexed.allows.iter().any(|a| {
+            (a.line == f.line || a.line + 1 == f.line) && a.rules.iter().any(|r| r == f.rule)
+        })
+    }
+}
+
 /// Lints every `.rs` file under `root`, returning findings sorted by
 /// path, line, then rule. Paths in findings are relative to `root` with
 /// `/` separators on every platform.
 pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut files = Vec::new();
-    collect_rs_files(root, &mut files)?;
-    files.sort();
-    let mut findings = Vec::new();
-    for file in &files {
-        let rel = rel_path(root, file);
-        let src = std::fs::read_to_string(file)?;
-        findings.extend(rules::lint_file(&rel, &src));
+    Ok(Workspace::load(root)?.lint())
+}
+
+/// Serializes a lint report as JSON: finding count, file count, and one
+/// record per finding (`rule`, `path`, `line`, `message`). Hand-rolled
+/// (no serde in this build environment); key order is fixed so the
+/// artifact diffs cleanly between CI runs.
+pub fn report_json(findings: &[Finding], files: usize) -> String {
+    let mut out = String::with_capacity(128 + findings.len() * 128);
+    out.push_str(&format!(
+        "{{\"files\":{},\"count\":{},\"findings\":[",
+        files,
+        findings.len()
+    ));
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        ));
     }
-    findings.sort_by(|a, b| {
-        (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
-    });
-    Ok(findings)
+    out.push_str("]}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn rel_path(root: &Path, file: &Path) -> String {
@@ -110,5 +248,24 @@ mod tests {
             findings.is_empty(),
             "unexpected findings in simlint itself: {findings:?}"
         );
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let findings = vec![Finding {
+            rule: "no-wall-clock",
+            path: "crates/core/src/x.rs".into(),
+            line: 7,
+            message: "a \"quoted\"\nmessage".into(),
+        }];
+        let json = report_json(&findings, 42);
+        assert_eq!(
+            json,
+            "{\"files\":42,\"count\":1,\"findings\":[{\"rule\":\"no-wall-clock\",\
+             \"path\":\"crates/core/src/x.rs\",\"line\":7,\
+             \"message\":\"a \\\"quoted\\\"\\nmessage\"}]}\n"
+        );
+        let empty = report_json(&[], 3);
+        assert_eq!(empty, "{\"files\":3,\"count\":0,\"findings\":[]}\n");
     }
 }

@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -q -p simlint            # lint the workspace
 //! simlint --root path/to/tree        # lint an arbitrary tree
+//! simlint --json                     # machine-readable report on stdout
 //! simlint --list-rules               # print the rule names
 //! ```
 
@@ -13,6 +14,7 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -23,6 +25,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
             "--list-rules" => {
                 for rule in simlint::rules::ALL_RULES {
                     println!("{rule}");
@@ -30,7 +33,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("simlint [--root <dir>] [--list-rules]");
+                println!("simlint [--root <dir>] [--json] [--list-rules]");
                 println!("Lints the cargo workspace for determinism & invariant violations.");
                 return ExitCode::SUCCESS;
             }
@@ -64,21 +67,31 @@ fn main() -> ExitCode {
         }
     };
 
-    match simlint::lint_tree(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("simlint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
-            }
-            eprintln!("simlint: {} finding(s) in {}", findings.len(), root.display());
-            ExitCode::FAILURE
-        }
+    let ws = match simlint::Workspace::load(&root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("simlint: io error walking {}: {e}", root.display());
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    let findings = ws.lint();
+    if json {
+        // The report goes to stdout whole — findings or not — so CI can
+        // archive it as an artifact; the exit code still gates the run.
+        print!("{}", simlint::report_json(&findings, ws.files.len()));
+        if findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else if findings.is_empty() {
+        println!("simlint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!("simlint: {} finding(s) in {}", findings.len(), root.display());
+        ExitCode::FAILURE
     }
 }

@@ -1,7 +1,11 @@
-//! The lint rules.
+//! The per-file lint rules.
 //!
-//! Each rule walks the token stream of one file (see [`crate::lexer`])
-//! and produces [`Finding`]s. Scoping is per rule:
+//! Each rule here walks the token stream of one file (see
+//! [`crate::lexer`]) and produces [`Finding`]s. The workspace-level
+//! rule families (transitive hot-path allocation, determinism taint,
+//! unsafe audit) live in [`crate::wsrules`] on top of the call graph;
+//! both layers consume the same per-file cache ([`crate::SourceFile`]).
+//! Scoping is per rule:
 //!
 //! | rule                 | scope                                        |
 //! |----------------------|----------------------------------------------|
@@ -10,7 +14,9 @@
 //! | `no-float-eq`        | library code of the sim-semantic crates      |
 //! | `no-lossy-time-cast` | library code of the sim-semantic crates      |
 //! | `no-unwrap-in-lib`   | library code of the sim-semantic crates      |
-//! | `no-alloc-in-hot-loop` | fns marked `// simlint: hot` in sim crates |
+//! | `no-alloc-in-hot-loop` | fns reachable from `// simlint: hot` in sim crates ([`crate::wsrules`]) |
+//! | `determinism-taint`  | sim crates + `simobs`/`simrng` ([`crate::wsrules`]) |
+//! | `unsafe-audit`       | sim crates + `simobs`/`simrng` ([`crate::wsrules`]) |
 //!
 //! "Sim-semantic crates" are the five crates whose behaviour defines a
 //! simulated campaign: `desim`, `core`, `failure`, `workloads`,
@@ -24,7 +30,8 @@
 //! [`allowlist`]. An allow should always carry a justification in the
 //! surrounding comment.
 
-use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::lexer::{Token, TokenKind};
+use crate::SourceFile;
 
 /// The five crates whose code determines simulated behaviour.
 pub const SIM_CRATES: [&str; 5] = ["desim", "core", "failure", "workloads", "analysis"];
@@ -33,14 +40,17 @@ pub const SIM_CRATES: [&str; 5] = ["desim", "core", "failure", "workloads", "ana
 /// clock — that is its job).
 pub const WALL_CLOCK_EXEMPT: [&str; 2] = ["criterion", "bench"];
 
-/// All rule names, in reporting order.
-pub const ALL_RULES: [&str; 6] = [
+/// All rule names, in reporting order (the last three are the
+/// call-graph families in [`crate::wsrules`]).
+pub const ALL_RULES: [&str; 8] = [
     "no-randomized-maps",
     "no-wall-clock",
     "no-float-eq",
     "no-lossy-time-cast",
     "no-unwrap-in-lib",
     "no-alloc-in-hot-loop",
+    "determinism-taint",
+    "unsafe-audit",
 ];
 
 /// File-level allowlist: `(rule, path substring)`. A file whose
@@ -106,116 +116,44 @@ pub fn classify(rel_path: &str) -> FileClass {
     }
 }
 
-/// Lints one file's source text. `rel_path` is workspace-relative with
-/// `/` separators.
+/// Lints one file's source text as a single-file workspace: all
+/// per-file rules plus whatever the call-graph families can resolve
+/// inside one file. `rel_path` is workspace-relative with `/`
+/// separators. For multi-file analysis, build a [`crate::Workspace`]
+/// instead — it lexes every file exactly once for all rule families.
 pub fn lint_file(rel_path: &str, src: &str) -> Vec<Finding> {
-    let class = classify(rel_path);
-    let lexed = lex(src);
-    let test_mask = test_code_mask(&lexed.tokens);
-    let mut findings = Vec::new();
+    crate::Workspace::from_sources(vec![(rel_path.to_string(), src.to_string())]).lint()
+}
+
+/// Runs the per-file token rules over one cached file, appending raw
+/// (unsuppressed) findings to `out`. Suppression — inline allows and
+/// the [`allowlist`] — is applied centrally in
+/// [`crate::Workspace::lint`].
+pub(crate) fn file_findings(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let rel_path = sf.rel.as_str();
+    let class = &sf.class;
+    let tokens = &sf.lexed.tokens;
+    let test_mask = &sf.items.test_mask;
 
     let in_sim_crate = SIM_CRATES.contains(&class.crate_name.as_str());
     let wall_clock_applies = !WALL_CLOCK_EXEMPT.contains(&class.crate_name.as_str());
 
-    for (i, tok) in lexed.tokens.iter().enumerate() {
+    for (i, tok) in tokens.iter().enumerate() {
         let in_test_code = test_mask[i];
         let lib_scoped = class.is_lib && !in_test_code;
 
         if in_sim_crate {
-            randomized_maps(rel_path, tok, &mut findings);
+            randomized_maps(rel_path, tok, out);
             if lib_scoped {
-                float_eq(rel_path, &lexed.tokens, i, &mut findings);
-                lossy_time_cast(rel_path, &lexed.tokens, i, &mut findings);
-                unwrap_in_lib(rel_path, &lexed.tokens, i, &mut findings);
+                float_eq(rel_path, tokens, i, out);
+                lossy_time_cast(rel_path, tokens, i, out);
+                unwrap_in_lib(rel_path, tokens, i, out);
             }
         }
         if wall_clock_applies {
-            wall_clock(rel_path, tok, &mut findings);
+            wall_clock(rel_path, tok, out);
         }
     }
-
-    if in_sim_crate {
-        no_alloc_in_hot_loop(rel_path, &lexed, &test_mask, &mut findings);
-    }
-
-    findings.retain(|f| !suppressed(f, rel_path, &lexed));
-    findings
-}
-
-/// A finding is suppressed by an inline allow on its line or the line
-/// above, or by the file-level allowlist.
-fn suppressed(f: &Finding, rel_path: &str, lexed: &Lexed) -> bool {
-    if allowlist()
-        .iter()
-        .any(|&(rule, path)| rule == f.rule && rel_path.contains(path))
-    {
-        return true;
-    }
-    lexed.allows.iter().any(|a| {
-        (a.line == f.line || a.line + 1 == f.line)
-            && a.rules.iter().any(|r| r == f.rule)
-    })
-}
-
-/// Marks tokens inside `#[cfg(test)]`-gated items or `#[test]` fns.
-///
-/// Detection is token-level: on `# [ cfg ( test ) ]` or `# [ test ]`,
-/// everything through the end of the next brace-balanced block is test
-/// code. This covers `mod tests { … }` and standalone test fns; it does
-/// not attempt full attribute grammar (e.g. `cfg(all(test, unix))`), so
-/// exotic test gating should use an inline allow instead.
-fn test_code_mask(tokens: &[Token]) -> Vec<bool> {
-    let mut mask = vec![false; tokens.len()];
-    let mut i = 0;
-    while i < tokens.len() {
-        if let Some(skip_from) = test_attr_end(tokens, i) {
-            // Mark from the attribute through the end of the item body.
-            let mut j = skip_from;
-            let mut depth = 0usize;
-            let mut entered = false;
-            while j < tokens.len() {
-                match tokens[j].text.as_str() {
-                    "{" => {
-                        depth += 1;
-                        entered = true;
-                    }
-                    "}" => {
-                        depth = depth.saturating_sub(1);
-                        if entered && depth == 0 {
-                            break;
-                        }
-                    }
-                    ";" if !entered => break, // item without a body
-                    _ => {}
-                }
-                j += 1;
-            }
-            let end = (j + 1).min(tokens.len());
-            for m in mask.iter_mut().take(end).skip(i) {
-                *m = true;
-            }
-            i = end;
-        } else {
-            i += 1;
-        }
-    }
-    mask
-}
-
-/// If `tokens[i..]` starts a `#[cfg(test)]` or `#[test]` attribute,
-/// returns the index just past its closing `]`.
-fn test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
-    let t = |k: usize| tokens.get(i + k).map(|t| t.text.as_str()).unwrap_or("");
-    if t(0) != "#" || t(1) != "[" {
-        return None;
-    }
-    if t(2) == "test" && t(3) == "]" {
-        return Some(i + 4);
-    }
-    if t(2) == "cfg" && t(3) == "(" && t(4) == "test" && t(5) == ")" && t(6) == "]" {
-        return Some(i + 7);
-    }
-    None
 }
 
 // ----------------------------------------------------------------------
@@ -378,90 +316,6 @@ fn unwrap_in_lib(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>)
             ),
         });
     }
-}
-
-// ----------------------------------------------------------------------
-// Rule 6: no-alloc-in-hot-loop
-// ----------------------------------------------------------------------
-
-/// Flags obvious heap constructors inside functions marked with a
-/// `// simlint: hot` comment (the campaign steady-state paths that the
-/// counting-allocator test requires to be allocation-free). Detected
-/// patterns: `Vec::new(` / `Box::new(` / any `::with_capacity(`.
-/// Arena-friendly calls like `SmallMap::new()` (const, storage-free) or
-/// `clear()` + `extend()` on a reused buffer pass untouched.
-fn no_alloc_in_hot_loop(path: &str, lexed: &Lexed, test_mask: &[bool], out: &mut Vec<Finding>) {
-    let tokens = &lexed.tokens;
-    for &hot_line in &lexed.hots {
-        // The marker annotates the next fn item at or below it.
-        let Some(fn_idx) = tokens
-            .iter()
-            .position(|t| t.line >= hot_line && t.kind == TokenKind::Ident && t.text == "fn")
-        else {
-            continue;
-        };
-        if test_mask.get(fn_idx).copied().unwrap_or(false) {
-            continue;
-        }
-        // Brace-match the fn body: from its opening `{` to the matching `}`.
-        let mut j = fn_idx;
-        while j < tokens.len() && tokens[j].text != "{" {
-            j += 1;
-        }
-        let body_start = j;
-        let mut depth = 0usize;
-        let mut body_end = tokens.len();
-        while j < tokens.len() {
-            match tokens[j].text.as_str() {
-                "{" => depth += 1,
-                "}" => {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        body_end = j;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        for k in body_start..body_end {
-            hot_alloc_site(path, tokens, k, out);
-        }
-    }
-}
-
-fn hot_alloc_site(path: &str, tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
-    let tok = &tokens[i];
-    if tok.kind != TokenKind::Ident {
-        return;
-    }
-    let called = tokens.get(i + 1).is_some_and(|t| t.text == "(");
-    let via_path = i > 0 && tokens[i - 1].text == "::";
-    if !called || !via_path {
-        return;
-    }
-    let what = match tok.text.as_str() {
-        "with_capacity" => "::with_capacity",
-        "new" if i >= 2 && matches!(tokens[i - 2].text.as_str(), "Vec" | "Box") => {
-            if tokens[i - 2].text == "Vec" {
-                "Vec::new"
-            } else {
-                "Box::new"
-            }
-        }
-        _ => return,
-    };
-    out.push(Finding {
-        rule: "no-alloc-in-hot-loop",
-        path: path.to_string(),
-        line: tok.line,
-        message: format!(
-            "`{what}` allocates inside a `// simlint: hot` function; the campaign steady \
-             state must be allocation-free — reuse an arena buffer (clear() + extend(), \
-             field-wise clone_from) or hoist the allocation to construction time"
-        ),
-    });
 }
 
 #[cfg(test)]

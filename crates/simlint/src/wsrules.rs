@@ -1,0 +1,435 @@
+//! Workspace-level rule families, built on the cross-file call graph.
+//!
+//! Three families run here (per-file token rules stay in
+//! [`crate::rules`]):
+//!
+//! | rule                   | what it checks                              |
+//! |------------------------|---------------------------------------------|
+//! | `no-alloc-in-hot-loop` | heap constructors in any fn *reachable* from a `// simlint: hot` fn, not just the marked body |
+//! | `determinism-taint`    | nondeterminism sources must not reach digest/fold/result-construction sinks except through `// simlint: config` entry points |
+//! | `unsafe-audit`         | every `unsafe` block/impl carries a `// SAFETY:` comment; `SAFETY(tag)` tags resolve to declared invariants; `UnsafeCell` types declare invariants |
+//!
+//! Scoping: hot-path allocation stays inside the five sim-semantic
+//! crates ([`crate::rules::SIM_CRATES`]); taint and unsafe-audit extend
+//! to `simobs` and `simrng`, whose output feeds digests and whose state
+//! sits on the hot path.
+//!
+//! Taint direction: a sink is tainted when it *transitively calls* a fn
+//! containing a source (`std::env::var`, wall clock, `HashMap`
+//! iteration, thread ids, `{:p}` formatting). Propagation runs over the
+//! reverse call graph from every source fn; a `// simlint: config` fn
+//! is a barrier — it is sanctioned to read config-style nondeterminism,
+//! so sources inside it are ignored and taint never flows through it.
+
+use crate::callgraph::{CallGraph, NodeId};
+use crate::items::TaintKind;
+use crate::rules::{Finding, SIM_CRATES};
+use crate::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates in scope for `determinism-taint` and `unsafe-audit`: the sim
+/// crates plus the observability and RNG layers (their state reaches
+/// digests and their cells sit on the hot path).
+pub const EXTENDED_SCOPE: [&str; 7] =
+    ["desim", "core", "failure", "workloads", "analysis", "simobs", "simrng"];
+
+/// A `SAFETY` comment (or invariant declaration) must sit within this
+/// many lines above the site it justifies.
+pub const SAFETY_WINDOW: u32 = 8;
+
+/// Runs all three workspace rule families, appending raw (unsuppressed)
+/// findings to `out`.
+pub fn graph_findings(files: &[SourceFile], graph: &CallGraph, out: &mut Vec<Finding>) {
+    transitive_hot_alloc(files, graph, out);
+    determinism_taint(files, graph, out);
+    unsafe_audit(files, out);
+}
+
+fn in_sim(files: &[SourceFile], file: usize) -> bool {
+    SIM_CRATES.contains(&files[file].class.crate_name.as_str())
+}
+
+fn in_extended(files: &[SourceFile], file: usize) -> bool {
+    EXTENDED_SCOPE.contains(&files[file].class.crate_name.as_str())
+}
+
+// ----------------------------------------------------------------------
+// no-alloc-in-hot-loop (transitive)
+// ----------------------------------------------------------------------
+
+/// Forward closure from every `// simlint: hot` fn in a sim crate; any
+/// heap-constructor site in a reachable sim-crate fn fires, with the
+/// call chain from the hot root in the message.
+fn transitive_hot_alloc(files: &[SourceFile], g: &CallGraph, out: &mut Vec<Finding>) {
+    let mut roots: Vec<NodeId> = Vec::new();
+    for (id, r) in g.nodes.iter().enumerate() {
+        let item = &files[r.file].items.fns[r.fn_idx];
+        if item.hot && !item.is_test && in_sim(files, r.file) {
+            roots.push(id);
+        }
+    }
+    if roots.is_empty() {
+        return;
+    }
+    let parent = g.reach(&g.callees, &roots, |n| !g.item(files, n).is_test);
+    for &n in parent.keys() {
+        let r = g.nodes[n];
+        let sf = &files[r.file];
+        if !in_sim(files, r.file) || sf.items.fns[r.fn_idx].is_test {
+            continue;
+        }
+        for alloc in sf.items.allocs.iter().filter(|a| a.caller == r.fn_idx) {
+            let chain = g.chain(files, &parent, n);
+            let via = if chain.len() > 1 {
+                format!(" (reached from `// simlint: hot` via {})", chain.join(" -> "))
+            } else {
+                String::new()
+            };
+            out.push(Finding {
+                rule: "no-alloc-in-hot-loop",
+                path: sf.rel.clone(),
+                line: alloc.line,
+                message: format!(
+                    "`{}` allocates inside hot-path fn `{}`{via}; the campaign steady state \
+                     must be allocation-free — reuse an arena buffer (clear() + extend(), \
+                     field-wise clone_from) or hoist the allocation to construction time",
+                    alloc.what, chain.last().map(String::as_str).unwrap_or(""),
+                ),
+            });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// determinism-taint
+// ----------------------------------------------------------------------
+
+fn determinism_taint(files: &[SourceFile], g: &CallGraph, out: &mut Vec<Finding>) {
+    // Source fns: any in-scope, non-test fn containing a source token.
+    // Config entry points are sanctioned: their sources are ignored.
+    let mut sources: BTreeMap<NodeId, (TaintKind, u32)> = BTreeMap::new();
+    for (file, sf) in files.iter().enumerate() {
+        if !in_extended(files, file) {
+            continue;
+        }
+        for ts in &sf.items.taints {
+            let item = &sf.items.fns[ts.caller];
+            if item.is_test || item.config_entry {
+                continue;
+            }
+            if let Some(node) = g.node(file, ts.caller) {
+                sources.entry(node).or_insert((ts.kind, ts.line));
+            }
+        }
+    }
+    if sources.is_empty() {
+        return;
+    }
+
+    // Taint flows source -> callers; config fns and test fns are
+    // barriers (reached, never expanded through).
+    let roots: Vec<NodeId> = sources.keys().copied().collect();
+    let parent = g.reach(&g.callers, &roots, |n| {
+        let item = g.item(files, n);
+        !item.config_entry && !item.is_test
+    });
+
+    for (file, sf) in files.iter().enumerate() {
+        if !in_extended(files, file) || !sf.class.is_lib {
+            continue;
+        }
+        for sink in &sf.items.sinks {
+            let item = &sf.items.fns[sink.fn_idx];
+            if item.is_test || item.config_entry {
+                continue;
+            }
+            let Some(node) = g.node(file, sink.fn_idx) else {
+                continue;
+            };
+            if !parent.contains_key(&node) {
+                continue;
+            }
+            // Walk back to the source this taint came from.
+            let mut root = node;
+            while let Some(Some(p)) = parent.get(&root) {
+                root = *p;
+            }
+            let (kind, src_line) = sources[&root];
+            let src_file = &files[g.nodes[root].file].rel;
+            let mut chain = g.chain(files, &parent, node);
+            chain.reverse(); // call direction: sink -> ... -> source
+            out.push(Finding {
+                rule: "determinism-taint",
+                path: sf.rel.clone(),
+                line: item.line,
+                message: format!(
+                    "fn `{}` ({}) transitively reaches {} at {src_file}:{src_line}; \
+                     nondeterministic input must enter through a `// simlint: config` entry \
+                     point, never a digest/fold/result path — call path: {}",
+                    item.name,
+                    sink.reason,
+                    kind.describe(),
+                    chain.join(" -> "),
+                ),
+            });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// unsafe-audit
+// ----------------------------------------------------------------------
+
+fn unsafe_audit(files: &[SourceFile], out: &mut Vec<Finding>) {
+    // Invariant declarations are workspace-global: a SAFETY(tag) in the
+    // grid pool may reference an invariant declared on ResultSlab.
+    let declared: BTreeSet<&str> = files
+        .iter()
+        .flat_map(|sf| sf.lexed.invariants.iter().map(|d| d.name.as_str()))
+        .collect();
+
+    for (file, sf) in files.iter().enumerate() {
+        if !in_extended(files, file) {
+            continue;
+        }
+        // Every unsafe block/impl needs a SAFETY comment close above.
+        for site in &sf.items.unsafes {
+            let justified = sf
+                .lexed
+                .safeties
+                .iter()
+                .any(|s| s.line <= site.line && site.line - s.line <= SAFETY_WINDOW);
+            if !justified {
+                out.push(Finding {
+                    rule: "unsafe-audit",
+                    path: sf.rel.clone(),
+                    line: site.line,
+                    message: format!(
+                        "{} without a `// SAFETY:` comment within {} lines naming the invariant \
+                         it relies on; state the invariant (and tag it `SAFETY(tag):` if it is \
+                         declared with `// simlint: invariant(tag)`)",
+                        site.kind.describe(),
+                        SAFETY_WINDOW,
+                    ),
+                });
+            }
+        }
+        // Every SAFETY(tag) must reference a declared invariant.
+        for s in &sf.lexed.safeties {
+            for tag in &s.tags {
+                if !declared.contains(tag.as_str()) {
+                    out.push(Finding {
+                        rule: "unsafe-audit",
+                        path: sf.rel.clone(),
+                        line: s.line,
+                        message: format!(
+                            "SAFETY references undeclared invariant tag `{tag}`; declare it \
+                             with `// simlint: invariant({tag}): …` on the type whose state it \
+                             guards"
+                        ),
+                    });
+                }
+            }
+        }
+        // UnsafeCell-holding types must declare a named invariant.
+        for cs in &sf.items.cell_structs {
+            let declared_here = sf
+                .lexed
+                .invariants
+                .iter()
+                .any(|d| d.line + SAFETY_WINDOW >= cs.line && d.line <= cs.end_line);
+            if !declared_here {
+                out.push(Finding {
+                    rule: "unsafe-audit",
+                    path: sf.rel.clone(),
+                    line: cs.line,
+                    message: format!(
+                        "struct `{}` holds UnsafeCell state but declares no invariant; add \
+                         `// simlint: invariant(<tag>): …` above it so SAFETY comments can \
+                         cross-reference the rule that keeps its aliasing sound",
+                        cs.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Workspace;
+
+    fn lint(files: &[(&str, &str)]) -> Vec<crate::Finding> {
+        Workspace::from_sources(
+            files
+                .iter()
+                .map(|(p, s)| (p.to_string(), s.to_string()))
+                .collect(),
+        )
+        .lint()
+    }
+
+    #[test]
+    fn transitive_alloc_two_hops_cross_file() {
+        let findings = lint(&[
+            (
+                "crates/core/src/hot.rs",
+                "// simlint: hot\npub fn run() { mid(); }",
+            ),
+            (
+                "crates/core/src/mid.rs",
+                "pub fn mid() { leaf(); }\npub fn leaf() { let v: Vec<u8> = Vec::new(); }",
+            ),
+        ]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "no-alloc-in-hot-loop");
+        assert_eq!(findings[0].path, "crates/core/src/mid.rs");
+        assert_eq!(findings[0].line, 2);
+        assert!(
+            findings[0].message.contains("run -> mid -> leaf"),
+            "chain in message: {}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_alloc_does_not_fire() {
+        let findings = lint(&[
+            (
+                "crates/core/src/hot.rs",
+                "// simlint: hot\npub fn run() { helper(); }\npub fn helper() {}",
+            ),
+            (
+                "crates/core/src/cold.rs",
+                "pub fn cold() { let v: Vec<u8> = Vec::new(); }",
+            ),
+        ]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn env_taint_reaching_digest_fires_and_config_sanctions_it() {
+        let tainted = lint(&[(
+            "crates/core/src/digest.rs",
+            "pub fn read_knob() -> u64 { std::env::var(\"X\").map(|v| v.len() as u64).unwrap_or(0) }\n\
+             pub fn campaign_digest() -> u64 { read_knob() }",
+        )]);
+        let taint: Vec<_> = tainted.iter().filter(|f| f.rule == "determinism-taint").collect();
+        assert_eq!(taint.len(), 1, "{tainted:?}");
+        assert_eq!(taint[0].line, 2);
+        assert!(taint[0].message.contains("campaign_digest -> read_knob"));
+
+        let sanctioned = lint(&[(
+            "crates/core/src/digest.rs",
+            "// simlint: config\n\
+             pub fn read_knob() -> u64 { std::env::var(\"X\").map(|v| v.len() as u64).unwrap_or(0) }\n\
+             pub fn campaign_digest() -> u64 { read_knob() }",
+        )]);
+        assert!(
+            !sanctioned.iter().any(|f| f.rule == "determinism-taint"),
+            "{sanctioned:?}"
+        );
+    }
+
+    #[test]
+    fn taint_barrier_cuts_propagation_through_config_fn() {
+        // source <- config fn <- sink: the config fn is a barrier, so
+        // the sink stays clean even though a raw call path exists.
+        let findings = lint(&[(
+            "crates/core/src/digest.rs",
+            "fn raw_env() -> u64 { std::env::var(\"X\").map(|v| v.len() as u64).unwrap_or(0) }\n\
+             // simlint: config\n\
+             fn load_config() -> u64 { raw_env() }\n\
+             pub fn campaign_digest() -> u64 { load_config() }",
+        )]);
+        assert!(
+            !findings.iter().any(|f| f.rule == "determinism-taint"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn result_construction_is_a_sink() {
+        let findings = lint(&[(
+            "crates/analysis/src/assemble.rs",
+            "pub struct RunResult { pub v: u64 }\n\
+             fn now_ms() -> u64 { let t = std::time::Instant::now(); 0 }\n\
+             pub fn build() -> RunResult { RunResult { v: now_ms() } }",
+        )]);
+        assert!(
+            findings.iter().any(|f| f.rule == "determinism-taint" && f.line == 3),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn unsafe_without_safety_fires() {
+        let findings = lint(&[(
+            "crates/core/src/slab.rs",
+            "pub fn read(p: *const u8) -> u8 { unsafe { *p } }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "unsafe-audit");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn safety_comment_within_window_satisfies() {
+        let findings = lint(&[(
+            "crates/core/src/slab.rs",
+            "// SAFETY: p is valid for reads by the caller's contract\n\
+             pub fn read(p: *const u8) -> u8 { unsafe { *p } }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn safety_tag_must_be_declared() {
+        let undeclared = lint(&[(
+            "crates/core/src/slab.rs",
+            "// SAFETY(missing-tag): justified elsewhere\n\
+             pub fn read(p: *const u8) -> u8 { unsafe { *p } }",
+        )]);
+        assert_eq!(undeclared.len(), 1, "{undeclared:?}");
+        assert!(undeclared[0].message.contains("missing-tag"));
+
+        let declared = lint(&[(
+            "crates/core/src/slab.rs",
+            "// simlint: invariant(ptr-contract): p valid for reads while the slab lives\n\
+             pub struct S { cell: std::cell::UnsafeCell<u8> }\n\
+             // SAFETY(ptr-contract): see the declaration on S\n\
+             pub fn read(p: *const u8) -> u8 { unsafe { *p } }",
+        )]);
+        assert!(declared.is_empty(), "{declared:?}");
+    }
+
+    #[test]
+    fn unsafe_cell_struct_requires_invariant() {
+        let findings = lint(&[(
+            "crates/core/src/slab.rs",
+            "pub struct Slab { slots: Vec<std::cell::UnsafeCell<u64>> }",
+        )]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "unsafe-audit");
+        assert!(findings[0].message.contains("Slab"));
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_untouched() {
+        let findings = lint(&[(
+            "crates/cli/src/commands.rs",
+            "pub fn read(p: *const u8) -> u8 { unsafe { *p } }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_graph_findings() {
+        let findings = lint(&[(
+            "crates/core/src/slab.rs",
+            "// one-shot init path, measured cold. simlint: allow(unsafe-audit)\n\
+             pub fn read(p: *const u8) -> u8 { unsafe { *p } }",
+        )]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -70,11 +70,78 @@ fn fixture_no_alloc_in_hot_loop() {
 }
 
 #[test]
+fn fixture_transitive_hot_alloc() {
+    // Two hops deep and across files: the rule is still
+    // no-alloc-in-hot-loop, exercised through the call graph.
+    let (clean, stdout) = run_on(&fixture_root("transitive-hot-alloc"));
+    assert!(!clean, "transitive fixture should fail the lint; got:\n{stdout}");
+    let findings: Vec<&str> = stdout.lines().filter(|l| l.contains(": [")).collect();
+    assert_eq!(findings.len(), 1, "exactly the seeded violation:\n{stdout}");
+    assert!(findings[0].contains("[no-alloc-in-hot-loop]"), "{stdout}");
+    assert!(
+        findings[0].contains("helpers.rs:7"),
+        "finding points at the allocation, not the hot fn:\n{stdout}"
+    );
+    assert!(
+        findings[0].contains("hot_entry -> stage_one -> stage_two"),
+        "finding carries the call chain:\n{stdout}"
+    );
+}
+
+#[test]
+fn fixture_determinism_taint() {
+    let (clean, stdout) = run_on(&fixture_root("determinism-taint"));
+    assert!(!clean, "taint fixture should fail the lint; got:\n{stdout}");
+    let findings: Vec<&str> = stdout.lines().filter(|l| l.contains(": [")).collect();
+    assert_eq!(findings.len(), 1, "exactly the seeded violation:\n{stdout}");
+    assert!(findings[0].contains("[determinism-taint]"), "{stdout}");
+    assert!(
+        findings[0].contains("campaign_digest -> read_tuning_knob"),
+        "finding carries the sink-to-source path:\n{stdout}"
+    );
+}
+
+#[test]
+fn fixture_unsafe_audit() {
+    assert_fixture_trips("unsafe-audit");
+}
+
+#[test]
 fn workspace_is_clean() {
     let here = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = simlint::find_workspace_root(here).expect("workspace root");
     let (clean, stdout) = run_on(&root);
     assert!(clean, "workspace should lint clean; findings:\n{stdout}");
+}
+
+#[test]
+fn json_report_on_fixture_and_clean_tree() {
+    // Findings present: --json still writes the full report to stdout
+    // and exits non-zero, so CI can archive the artifact either way.
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--root"])
+        .arg(fixture_root("unsafe-audit"))
+        .arg("--json")
+        .output()
+        .expect("spawn simlint --json");
+    assert!(!out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.starts_with("{\"files\":"), "json on stdout: {json}");
+    assert!(json.contains("\"count\":1"), "{json}");
+    assert!(json.contains("\"rule\":\"unsafe-audit\""), "{json}");
+
+    // Clean tree: zero findings, empty array, exit 0.
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = simlint::find_workspace_root(here).expect("workspace root");
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["--root"])
+        .arg(&root)
+        .arg("--json")
+        .output()
+        .expect("spawn simlint --json");
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"count\":0,\"findings\":[]"), "{json}");
 }
 
 #[test]

@@ -18,30 +18,41 @@
 #                             the prefilter digest oracle (the two
 #                             equivalence contracts of the analytic
 #                             pre-filter) as an explicit, named gate
+#   6. concurrency + lint harness
+#                             schedcheck's bounded-exhaustive schedule
+#                             exploration of the grid pool's claim/slab/
+#                             fold protocol (incl. seeded-bug regressions)
+#                             and simlint's own fixture suite (each rule
+#                             family must still trip on its fixture)
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==== [1/5] tier-1 gate (scripts/lint.sh) ===="
+echo "==== [1/6] tier-1 gate (scripts/lint.sh) ===="
 scripts/lint.sh
 
 echo
-echo "==== [2/5] workspace tests ===="
+echo "==== [2/6] workspace tests ===="
 cargo test -q --workspace
 
 echo
-echo "==== [3/5] examples build ===="
+echo "==== [3/6] examples build ===="
 cargo build -q --examples
 
 echo
-echo "==== [4/5] trace-feature tests ===="
+echo "==== [4/6] trace-feature tests ===="
 cargo test -q --features trace
 
 echo
-echo "==== [5/5] analytic tier: batch + prefilter equivalence ===="
+echo "==== [5/6] analytic tier: batch + prefilter equivalence ===="
 cargo test -q -p pckpt-analysis --test batch_equivalence
 cargo test -q --test grid_equivalence
+
+echo
+echo "==== [6/6] schedcheck exhaustive + simlint fixtures ===="
+cargo test -q -p schedcheck
+cargo test -q -p simlint
 
 echo
 echo "ci.sh: all stages passed"

@@ -5,7 +5,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== simlint =="
-cargo run -q -p simlint
+# Machine-readable report is the CI artifact: archived whether or not
+# findings exist (|| true keeps the artifact on failure; the smoke below
+# re-asserts zero findings and fails the gate if any slipped through).
+mkdir -p target/ci
+cargo run -q -p simlint -- --json > target/ci/simlint-report.json || true
+python3 -c '
+import json
+rec = json.load(open("target/ci/simlint-report.json"))
+lines = ["{}:{}: [{}] {}".format(f["path"], f["line"], f["rule"], f["message"])
+         for f in rec["findings"]]
+assert rec["count"] == 0 and not lines, "simlint findings:\n" + "\n".join(lines)
+print("simlint clean ({} files, report: target/ci/simlint-report.json)".format(rec["files"]))
+'
 
 echo "== release build =="
 cargo build --release

@@ -1,18 +1,30 @@
 //! Workspace gate: `cargo test -q` fails if the tree stops linting
 //! clean, so determinism regressions cannot land silently.
+//!
+//! Runs the linter in-process through `simlint::Workspace`, the same
+//! entry point the binary uses: one load lexes and item-parses every
+//! file exactly once, and both the per-file token rules and the
+//! call-graph rules (transitive hot allocation, determinism taint,
+//! unsafe audit) read from that shared cache — no second pass, no
+//! `cargo run` subprocess.
 
-use std::process::Command;
+use std::path::Path;
 
 #[test]
 fn workspace_passes_simlint() {
-    let out = Command::new(env!("CARGO"))
-        .args(["run", "-q", "-p", "simlint"])
-        .output()
-        .expect("spawn cargo run -p simlint");
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    let stderr = String::from_utf8_lossy(&out.stderr);
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = simlint::find_workspace_root(here).expect("workspace root");
+    let ws = simlint::Workspace::load(&root).expect("load workspace sources");
+    let findings = ws.lint();
     assert!(
-        out.status.success(),
-        "simlint reported findings:\n{stdout}\n{stderr}"
+        findings.is_empty(),
+        "simlint reported {} finding(s) over {} files:\n{}",
+        findings.len(),
+        ws.files.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
