@@ -157,4 +157,127 @@ fn main() {
         "METRICS_JSON {}",
         filtered.meta_json("grid_prefilter_pop_grid")
     );
+
+    variance_reduction_headline(&leads);
+}
+
+/// Runs-to-±1%-CI on the Fig.-4-shaped sweep (the three figure apps ×
+/// four lead scales), fixed-provisioned vs adaptive
+/// antithetic+stratified.
+///
+/// Fixed mode must provision every cell at the budget its *worst* cell
+/// needs (the target CI is unknown a priori, so a uniform sweep buys
+/// `cells × max_c N_c(1%)` runs — and POP converges an order of
+/// magnitude slower than XGC/CHIMERA, so the worst cell is expensive).
+/// The VR engine instead runs the real adaptive allocator (antithetic
+/// pairs, 8 first-failure strata, per-cell CI stopping) and each side's
+/// measured relative CI half-width is extrapolated to ±1% by the CLT
+/// (`N(1%) = runs × (ci_rel / 0.01)²`) so the headline does not have to
+/// simulate millions of POP runs. Both sides use identical cells, seed,
+/// and primary metric.
+fn variance_reduction_headline(leads: &LeadTimeModel) {
+    use pckpt_core::{run_grid, AdaptiveConfig, RunnerConfig, VrConfig};
+
+    const TARGET: f64 = 0.01;
+    const FIXED_BUDGET: usize = 512;
+    let cells: Vec<_> = pckpt_bench::figure_apps()
+        .into_iter()
+        .flat_map(|app| {
+            SWEEP_SCALES.iter().map(move |&s| {
+                sweep_cell(app, &MODELS, FailureDistribution::OLCF_TITAN, s, None, None)
+            })
+        })
+        .collect();
+
+    let fixed_cfg = RunnerConfig::new(FIXED_BUDGET, seed());
+    let started = Instant::now();
+    let fixed = run_grid(&cells, leads, &fixed_cfg);
+    let fixed_wall = started.elapsed().as_secs_f64();
+    // Uniform provisioning: every cell buys the worst cell's budget.
+    let fixed_need = |i: usize| {
+        let ci = fixed.cell_ci_rel[i];
+        fixed.cell_runs[i] as f64 * (ci / TARGET).powi(2)
+    };
+    let worst_need = (0..cells.len()).map(fixed_need).fold(0.0, f64::max);
+    let fixed_provisioned = cells.len() as f64 * worst_need;
+
+    let mut vr_cfg = RunnerConfig::new(4096, seed());
+    vr_cfg.vr = VrConfig {
+        antithetic: true,
+        strata: 8,
+        adaptive: Some(AdaptiveConfig {
+            rel_target: 0.06,
+            ..AdaptiveConfig::default()
+        }),
+    };
+    let started = Instant::now();
+    let vr = run_grid(&cells, leads, &vr_cfg);
+    let vr_wall = started.elapsed().as_secs_f64();
+    let vr_total: f64 = (0..cells.len())
+        .map(|i| vr.cell_runs[i] as f64 * (vr.cell_ci_rel[i] / TARGET).powi(2))
+        .sum();
+
+    let speedup = fixed_provisioned / vr_total;
+    // How much of the sweep the per-cell stopping rule alone saved,
+    // relative to provisioning every cell at the worst cell's spend.
+    let max_cell = vr.cell_runs.iter().copied().max().unwrap_or(0);
+    let saved_pct = 100.0
+        * (1.0 - vr.total_runs() as f64 / (cells.len() * max_cell.max(1)) as f64);
+
+    // Per-strategy attained CI at one fixed budget (worst lane of the
+    // slowest-converging cell, POP@1.5) — the column view of what each
+    // transform buys before adaptive allocation enters.
+    let pop = pckpt_workloads::Application::by_name("POP").expect("Table I app");
+    let one_cell = [sweep_cell(
+        pop,
+        &MODELS,
+        FailureDistribution::OLCF_TITAN,
+        SWEEP_SCALES[0],
+        None,
+        None,
+    )];
+    let strategies: [(&str, VrConfig); 4] = [
+        ("plain", VrConfig::default()),
+        ("antithetic", VrConfig { antithetic: true, ..VrConfig::default() }),
+        ("stratified", VrConfig { strata: 8, ..VrConfig::default() }),
+        (
+            "antithetic_stratified",
+            VrConfig { antithetic: true, strata: 8, ..VrConfig::default() },
+        ),
+    ];
+    let mut ci_cols = String::new();
+    println!(
+        "  variance reduction {{CHIMERA,XGC,POP}} x scales x [B, M2]: fixed {FIXED_BUDGET}/cell \
+         (worst ci {:.4}), adaptive spent {:?} (ci {:?})",
+        fixed.worst_ci_rel(),
+        vr.cell_runs,
+        vr.cell_ci_rel.iter().map(|c| (c * 1e4).round() / 1e4).collect::<Vec<_>>(),
+    );
+    for (name, vrc) in strategies {
+        let mut cfg = RunnerConfig::new(FIXED_BUDGET, seed());
+        cfg.vr = vrc;
+        let g = run_grid(&one_cell, leads, &cfg);
+        let ci = g.worst_ci_rel();
+        println!("    {name:<22} ci_rel @ {FIXED_BUDGET} runs: {ci:.5}");
+        ci_cols.push_str(&format!(",\"ci_rel_{name}\":{ci:.6}"));
+    }
+    println!(
+        "  runs to ±1%: fixed-provisioned {:.0}, VR adaptive {:.0}  ({speedup:.2}x); \
+         adaptive allocation alone saves {saved_pct:.0}%",
+        fixed_provisioned, vr_total,
+    );
+    println!(
+        "GRID_JSON {{\"name\":\"variance_reduction_fig4\",\"cells\":{n},\
+         \"fixed_budget\":{FIXED_BUDGET},\"fixed_runs_to_1pct\":{fixed_provisioned:.1},\
+         \"vr_runs_to_1pct\":{vr_total:.1},\"variance_reduction_speedup\":{speedup:.3},\
+         \"adaptive_runs_saved_pct\":{saved_pct:.2},\"adaptive_total_runs\":{total},\
+         \"fixed_wall_secs\":{fixed_wall:.6},\"vr_wall_secs\":{vr_wall:.6}{ci_cols}}}",
+        n = cells.len(),
+        total = vr.total_runs(),
+    );
+    println!("METRICS_JSON {}", vr.meta_json("variance_reduction_fig4_grid"));
+    println!(
+        "METRICS_JSON {}",
+        pckpt_core::obs::allocation_json("variance_reduction_fig4_alloc", &vr.allocations())
+    );
 }

@@ -26,18 +26,21 @@
 //! another stream.
 
 use pckpt_core::{
-    run_grid, run_models, CampaignResult, GridCell, GridResult, ModelKind, RunnerConfig, SimParams,
+    parse_runs_spec, run_grid, run_models, CampaignResult, GridCell, GridResult, ModelKind,
+    RunnerConfig, RunsSpec, SimParams,
 };
 use pckpt_failure::{FailureDistribution, LeadTimeModel};
 use pckpt_workloads::Application;
 
-/// Monte-Carlo runs per configuration (`PCKPT_RUNS`, default 1000).
+/// Monte-Carlo runs per configuration (`PCKPT_RUNS`, default 1000). In
+/// adaptive mode (`PCKPT_RUNS=auto[:target[:cap]]`) this is the per-cell
+/// run cap; the stopping rule usually spends far fewer.
 pub fn runs() -> usize {
-    std::env::var("PCKPT_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1000)
+    match std::env::var("PCKPT_RUNS").ok().and_then(|v| parse_runs_spec(&v)) {
+        Some(RunsSpec::Fixed(n)) => n,
+        Some(RunsSpec::Auto(a)) => a.max_runs,
+        None => 1000,
+    }
 }
 
 /// Master seed (`PCKPT_SEED`, default 20220530 — the paper's IPDPS
@@ -49,9 +52,11 @@ pub fn seed() -> u64 {
         .unwrap_or(20_220_530)
 }
 
-/// The runner configuration used by all experiments.
+/// The runner configuration used by all experiments: `PCKPT_RUNS` runs
+/// from `PCKPT_SEED`, with the `PCKPT_VR` / `PCKPT_RUNS=auto`
+/// variance-reduction knobs applied on top.
 pub fn runner() -> RunnerConfig {
-    RunnerConfig::new(runs(), seed())
+    RunnerConfig::new(runs(), seed()).with_env_vr()
 }
 
 /// The three applications whose per-app curves the paper shows
@@ -112,6 +117,15 @@ pub fn run_cells(cells: &[GridCell]) -> GridResult {
 pub fn print_grid_metrics(name: &str, grid: &GridResult) {
     println!("METRICS_JSON {}", grid.obs_merged().to_json(name));
     println!("METRICS_JSON {}", grid.meta_json(&format!("{name}_grid")));
+    // Per-cell run allocation becomes interesting once cells can differ
+    // (adaptive mode or a prefiltered sweep); keep fixed uniform sweeps'
+    // output unchanged.
+    if grid.cell_runs.iter().any(|&r| r != grid.runs_per_cell) {
+        println!(
+            "METRICS_JSON {}",
+            pckpt_core::obs::allocation_json(&format!("{name}_alloc"), &grid.allocations())
+        );
+    }
 }
 
 /// Runs one app × model-set campaign with optional overrides.
@@ -144,6 +158,7 @@ pub fn print_fig6_panel(distribution: FailureDistribution, title: &str) {
         "recomp(h)",
         "recovery(h)",
         "total(h)",
+        "±95%CI",
         "p05..p95",
         "vs B",
     ]);
@@ -189,6 +204,9 @@ pub fn print_fig6_panel(distribution: FailureDistribution, title: &str) {
                 format!("{rc:.2}"),
                 format!("{rv:.2}"),
                 format!("{total:.2}"),
+                // Student-t 95% half-width on the mean — the precision
+                // the adaptive allocator (PCKPT_RUNS=auto) steers by.
+                format!("{:.2}", a.total_hours.ci_half_width(0.95)),
                 format!(
                     "{:.1}..{:.1}",
                     a.total_hours_quantile(0.05),

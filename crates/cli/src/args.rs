@@ -24,7 +24,11 @@ common options:
   --dist <D>          titan | lanl8 | lanl18 (default titan)
   --lead-scale <F>    lead-time scaling, e.g. 0.5 = -50% (default 1.0)
   --fn-rate <F>       predictor false-negative rate (default 0.15)
-  --alpha <F>         LM transfer factor (default 3.0)";
+  --alpha <F>         LM transfer factor (default 3.0)
+
+environment:
+  PCKPT_RUNS=auto[:target[:cap]]  adaptive CI-driven run allocation
+  PCKPT_VR=antithetic,stratified[:K]  variance-reduced trace generation";
 
 /// Options shared by the simulation subcommands.
 #[derive(Debug, Clone, PartialEq)]

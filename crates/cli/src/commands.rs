@@ -146,7 +146,11 @@ fn simulate(models: &[ModelKind], opts: &SimOptions) -> Result<(), String> {
         opts.alpha,
     );
     let cells = [GridCell::new(params.clone(), models)];
-    let grid = run_grid(&cells, &leads, &RunnerConfig::new(opts.runs, opts.seed));
+    let grid = run_grid(
+        &cells,
+        &leads,
+        &RunnerConfig::new(opts.runs, opts.seed).with_env_vr(),
+    );
     let campaign = grid.cell(0);
     if let Some(v) = grid.analytic_verdicts[0] {
         // PCKPT_PREFILTER answered the cell analytically — report the

@@ -47,10 +47,26 @@ pub use config::{ModelKind, SimParams};
 pub use metrics::{Aggregate, OverheadLedger, RunResult};
 pub use prefilter::{AnalyticVerdict, Prefilter, DEFAULT_MARGIN};
 pub use runner::{
-    record_run, run_grid, run_grid_filtered, run_many, run_models, CampaignResult, GridCell,
-    GridPlan, GridResult, GridWorker, RunArena, RunnerConfig,
+    parse_runs_spec, parse_vr_spec, record_run, run_grid, run_grid_filtered, run_many, run_models,
+    AdaptiveConfig, CampaignResult, GridCell, GridPlan, GridResult, GridWorker, RunArena,
+    RunnerConfig, RunsSpec, VrConfig,
 };
 pub use sim::CrSim;
+
+/// Test-only serialization of process-global environment mutation.
+///
+/// `std::env::set_var` is process-global while `cargo test` runs tests
+/// concurrently, so two tests that mutate the same variable (or one that
+/// mutates while another reads) race. Every test that calls `set_var` /
+/// `remove_var` must hold this lock for its whole mutate–assert–restore
+/// span. Not part of the public API.
+#[doc(hidden)]
+pub fn env_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    // A panic while holding the lock poisons it, but the env state it
+    // guards is restored by each test's own cleanup; keep going.
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Re-export of the structured observability layer (recorders, metrics,
 /// trace exporters) so downstream bins need only depend on `pckpt-core`.

@@ -272,9 +272,10 @@ mod tests {
 
     #[test]
     fn from_env_reads_the_documented_variable() {
-        // Serialized with the runner's env tests by cargo's per-process
-        // test threading being irrelevant here: the variable is set and
-        // removed within this test only.
+        // The environment is process-global: hold the shared env lock
+        // across the mutate–assert–restore span so this cannot race the
+        // runner's env tests.
+        let _env = crate::env_test_lock();
         std::env::set_var("PCKPT_PREFILTER", "analytic:0.2");
         assert_eq!(Prefilter::from_env(), Some(Prefilter::new(0.2)));
         std::env::remove_var("PCKPT_PREFILTER");

@@ -54,32 +54,175 @@ use std::thread;
 use pckpt_desim::{run_with_queue, EventQueue};
 use pckpt_failure::{FailureTrace, LeadTimeModel, Predictor, TraceConfig, TraceCore};
 use pckpt_simobs::{ObsAggregate, Recorder, Recording};
-use pckpt_simrng::SimRng;
+use pckpt_simrng::{t_critical, PairedSummary, SimRng, StratifiedSummary, Summary};
 
 use crate::config::{ModelKind, SimParams};
 use crate::metrics::{Aggregate, RunResult};
 use crate::prefilter::{AnalyticVerdict, Prefilter};
 use crate::sim::{CrSim, Ev};
 
+/// Variance-reduction strategy selection (the `PCKPT_VR` / `PCKPT_RUNS`
+/// knobs). The default — everything off — reproduces the fixed-run
+/// engine bit-for-bit; every non-default mode is a *different estimator*
+/// of the same quantities, deterministic in `(seed, config)` across any
+/// thread count, but not bit-comparable to the plain mode.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VrConfig {
+    /// Generate runs in antithetic (U, 1−U) pairs: run `2p+1` replays run
+    /// `2p`'s stream with every uniform reflected, and normal variates
+    /// switch from Box–Muller to the inverse CDF so reflection negates
+    /// them exactly (see [`SimRng::set_reflected`]).
+    pub antithetic: bool,
+    /// Stratify the first-failure-time quantile into this many
+    /// equal-probability strata (0 = off): each run's first uniform draw
+    /// is confined to its stratum's sub-interval and per-stratum
+    /// summaries fold with weights `1/K`.
+    pub strata: u32,
+    /// Sequential CI-driven run allocation (`PCKPT_RUNS=auto`); `None`
+    /// runs the fixed `RunnerConfig::runs` count.
+    pub adaptive: Option<AdaptiveConfig>,
+}
+
+impl VrConfig {
+    /// Is any variance-reduction strategy active?
+    pub fn is_active(&self) -> bool {
+        *self != Self::default()
+    }
+}
+
+/// Parameters of the adaptive (sequential) run-allocation procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Stop a cell when every lane's Student-t CI half-width on the
+    /// primary metric (total overhead hours) is below this fraction of
+    /// its mean.
+    pub rel_target: f64,
+    /// Confidence level of the stopping CI (one of 0.90 / 0.95 / 0.99).
+    pub confidence: f64,
+    /// Runs per sequential batch; stopping is re-evaluated on the
+    /// main-thread fold after each batch.
+    pub batch: usize,
+    /// Hard per-cell run cap (a cell that never converges stops here).
+    pub max_runs: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            rel_target: 0.01,
+            confidence: 0.95,
+            batch: 32,
+            max_runs: 4096,
+        }
+    }
+}
+
+/// How a `PCKPT_RUNS` value resolves: a fixed count or adaptive
+/// CI-driven allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunsSpec {
+    /// A plain positive run count.
+    Fixed(usize),
+    /// `auto[:target[:cap]]` — sequential allocation to a relative CI
+    /// target with a hard cap.
+    Auto(AdaptiveConfig),
+}
+
+/// Parses a `PCKPT_RUNS` value: a positive integer (`"500"`), or
+/// `"auto"` / `"auto:0.02"` / `"auto:0.02:8192"` for adaptive allocation
+/// with an optional relative CI target and run cap. Returns `None` for
+/// anything unparsable (callers fall back to their defaults).
+pub fn parse_runs_spec(s: &str) -> Option<RunsSpec> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("auto") {
+        let mut a = AdaptiveConfig::default();
+        let mut parts = rest.strip_prefix(':').map(|r| r.split(':')).into_iter().flatten();
+        if let Some(t) = parts.next() {
+            a.rel_target = t.parse::<f64>().ok().filter(|&t| t > 0.0 && t < 1.0)?;
+        }
+        if let Some(c) = parts.next() {
+            a.max_runs = c.parse::<usize>().ok().filter(|&n| n >= a.batch)?;
+        }
+        if parts.next().is_some() || (!rest.is_empty() && !rest.starts_with(':')) {
+            return None;
+        }
+        return Some(RunsSpec::Auto(a));
+    }
+    s.parse::<usize>().ok().filter(|&n| n > 0).map(RunsSpec::Fixed)
+}
+
+/// Parses a `PCKPT_VR` value: a comma-separated subset of `antithetic`
+/// and `stratified[:K]` (K defaults to 8). Returns `None` — leaving the
+/// caller's config untouched — when any token is unknown, so a typo
+/// cannot silently half-enable a mode. `adaptive` is never set here;
+/// that lives in `PCKPT_RUNS`.
+pub fn parse_vr_spec(s: &str) -> Option<VrConfig> {
+    let mut vr = VrConfig::default();
+    for token in s.split(',') {
+        let token = token.trim();
+        match token {
+            "" | "off" => {}
+            "antithetic" => vr.antithetic = true,
+            "stratified" => vr.strata = 8,
+            _ => {
+                let k = token.strip_prefix("stratified:")?;
+                vr.strata = k.parse::<u32>().ok().filter(|&k| k > 0)?;
+            }
+        }
+    }
+    Some(vr)
+}
+
 /// Campaign size and execution parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct RunnerConfig {
-    /// Number of Monte-Carlo runs.
+    /// Number of Monte-Carlo runs (the per-cell cap in adaptive mode).
     pub runs: usize,
     /// Master seed; run *i* uses stream `split(i)`.
     pub base_seed: u64,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Variance-reduction strategy selection (default: all off, which is
+    /// bit-identical to the pre-VR engine).
+    pub vr: VrConfig,
 }
 
 impl RunnerConfig {
-    /// `runs` runs from a seed, auto-threaded.
+    /// `runs` runs from a seed, auto-threaded, no variance reduction.
     pub fn new(runs: usize, base_seed: u64) -> Self {
         Self {
             runs,
             base_seed,
             threads: 0,
+            vr: VrConfig::default(),
         }
+    }
+
+    /// Applies the `PCKPT_VR` and `PCKPT_RUNS=auto` environment knobs on
+    /// top of this config (a plain numeric `PCKPT_RUNS` is the caller's
+    /// business and is ignored here; unset or unparsable values leave
+    /// the config untouched).
+    // simlint: config — PCKPT_VR / PCKPT_RUNS are the sanctioned
+    // variance-reduction config reads: they select the estimator and the
+    // run-allocation procedure, which are part of the experiment
+    // definition (like the seed), never a hidden input to any single
+    // run's computation.
+    pub fn with_env_vr(mut self) -> Self {
+        if let Some(spec) = std::env::var("PCKPT_VR")
+            .ok()
+            .and_then(|v| parse_vr_spec(&v))
+        {
+            self.vr.antithetic = spec.antithetic;
+            self.vr.strata = spec.strata;
+        }
+        if let Some(RunsSpec::Auto(a)) = std::env::var("PCKPT_RUNS")
+            .ok()
+            .and_then(|v| parse_runs_spec(&v))
+        {
+            self.runs = a.max_runs;
+            self.vr.adaptive = Some(a);
+        }
+        self
     }
 
     /// Worker count for a plain `runs`-item campaign (kept for tests;
@@ -143,6 +286,46 @@ impl CampaignResult {
     pub fn reduction(&self, model: ModelKind, base: ModelKind) -> Option<f64> {
         Some(self.get(model)?.reduction_vs(self.get(base)?))
     }
+}
+
+/// Derives run `run`'s RNG stream under `vr`.
+///
+/// Plain mode is exactly `master.split(run)`. Antithetic mode maps runs
+/// to (pair, member): both members of pair `p` seed from
+/// `master.split(p)`, the odd member with every uniform reflected, and
+/// both with inverse-CDF normals so reflection negates normal variates
+/// bit-exactly, and both marked paired so trace generators keep the
+/// mirrored streams draw-aligned ([`SimRng::set_paired`]). A nonzero
+/// stratum count arms a one-shot remap of the
+/// run's *first* uniform draw — the first Weibull inter-arrival, i.e.
+/// the first-failure-time quantile — into stratum `stratum`'s
+/// sub-interval (armed after the reflection flag, so pair members share
+/// a stratum; see [`SimRng::set_next_stratum`]).
+fn vr_run_rng(master: &SimRng, run: usize, vr: &VrConfig, stratum: u32) -> SimRng {
+    let mut rng = if vr.antithetic {
+        let mut r = master.split((run / 2) as u64);
+        r.set_inverse_normals(true);
+        r.set_paired(true);
+        r.set_reflected(run % 2 == 1);
+        r
+    } else {
+        master.split(run as u64)
+    };
+    if vr.strata > 0 {
+        rng.set_next_stratum(stratum, vr.strata);
+    }
+    rng
+}
+
+/// The static (non-adaptive) stratum assignment for run `run`: pairs (or
+/// single runs) round-robin through the strata, so any prefix of the run
+/// sequence is balanced to within one sample per stratum.
+fn fixed_stratum(run: usize, vr: &VrConfig) -> u32 {
+    if vr.strata == 0 {
+        return 0;
+    }
+    let idx = if vr.antithetic { run / 2 } else { run };
+    (idx % vr.strata as usize) as u32
 }
 
 fn trace_config(params: &SimParams) -> TraceConfig {
@@ -579,6 +762,7 @@ struct TraceSlot {
 /// [`run_grid`].
 pub struct GridWorker<'a, 'p> {
     plan: &'p GridPlan<'a>,
+    vr: VrConfig,
     sims: Vec<Option<CrSim>>,
     queue: EventQueue<Ev>,
     slots: Vec<TraceSlot>,
@@ -590,10 +774,18 @@ pub struct GridWorker<'a, 'p> {
 }
 
 impl<'a, 'p> GridWorker<'a, 'p> {
-    /// A fresh worker over `plan` (simulators build lazily on first use).
+    /// A fresh worker over `plan` (simulators build lazily on first use)
+    /// with no variance reduction.
     pub fn new(plan: &'p GridPlan<'a>) -> Self {
+        Self::with_vr(plan, VrConfig::default())
+    }
+
+    /// A fresh worker whose per-run RNG streams are derived under `vr`
+    /// (the default config is bit-identical to [`GridWorker::new`]).
+    pub fn with_vr(plan: &'p GridPlan<'a>, vr: VrConfig) -> Self {
         Self {
             plan,
+            vr,
             sims: (0..plan.n_lanes).map(|_| None).collect(),
             queue: EventQueue::new(),
             slots: plan
@@ -614,9 +806,27 @@ impl<'a, 'p> GridWorker<'a, 'p> {
 
     /// Executes `unit` for `run` and returns the run's result (the
     /// caller copies it into every member lane's slot). Deterministic in
-    /// `(master, run, unit)` alone — worker-local caches never change
-    /// results, only whether work is redone.
+    /// `(master, run, unit)` and the worker's [`VrConfig`] alone —
+    /// worker-local caches never change results, only whether work is
+    /// redone. Stratified runs use the static round-robin stratum; the
+    /// adaptive pool supplies its own schedule via
+    /// [`run_unit_stratum`](Self::run_unit_stratum).
     pub fn run_unit(&mut self, master: &SimRng, run: usize, unit: usize) -> RunResult {
+        let stratum = fixed_stratum(run, &self.vr);
+        self.run_unit_stratum(master, run, unit, stratum)
+    }
+
+    /// [`run_unit`](Self::run_unit) with an explicit stratum for the
+    /// run's first-failure-time draw (ignored unless the worker's config
+    /// stratifies). All units of one run must be executed with the same
+    /// stratum — the per-run trace cache is keyed by `run` alone.
+    pub fn run_unit_stratum(
+        &mut self,
+        master: &SimRng,
+        run: usize,
+        unit: usize,
+        stratum: u32,
+    ) -> RunResult {
         let u = &self.plan.units[unit];
         let lane = self.plan.lane(u.cell, u.model_idx);
         if self.sims[lane].is_none() {
@@ -625,14 +835,14 @@ impl<'a, 'p> GridWorker<'a, 'p> {
             p.model = cell.models[u.model_idx];
             self.sims[lane] = Some(CrSim::new(p, FailureTrace::default(), self.plan.leads));
         }
-        self.run_unit_warm(master, run, unit)
+        self.run_unit_warm(master, run, unit, stratum)
     }
 
     /// The grid steady state: once each lane's simulator exists and the
     /// per-group trace buffers have grown, this performs no heap
     /// allocation (enforced by `crates/core/tests/alloc_free.rs`).
     // simlint: hot
-    fn run_unit_warm(&mut self, master: &SimRng, run: usize, unit: usize) -> RunResult {
+    fn run_unit_warm(&mut self, master: &SimRng, run: usize, unit: usize, stratum: u32) -> RunResult {
         let u = &self.plan.units[unit];
         let group = &self.plan.groups[u.group];
         let slot = &mut self.slots[u.group];
@@ -640,7 +850,8 @@ impl<'a, 'p> GridWorker<'a, 'p> {
             // Cache miss: consume the run's RNG stream exactly as a
             // standalone campaign would — trace draws first, then the
             // background stream splits off the post-generation state.
-            let mut rng = master.split(run as u64);
+            // Under the default VrConfig this is exactly master.split(run).
+            let mut rng = vr_run_rng(master, run, &self.vr, stratum);
             if group.multi_view {
                 slot.core
                     .generate_into(&group.core_key, self.plan.leads, &group.predictor, &mut rng);
@@ -720,8 +931,18 @@ pub struct GridResult {
     pub cells: Vec<CampaignResult>,
     /// Cell display labels, index-aligned with `cells`.
     pub labels: Vec<String>,
-    /// Monte-Carlo runs per cell.
+    /// Monte-Carlo runs per cell (the maximum of `cell_runs` in adaptive
+    /// mode, where cells stop individually).
     pub runs_per_cell: usize,
+    /// Runs actually executed per input cell (all equal to
+    /// `runs_per_cell` in fixed mode; 0 for analytically pruned cells).
+    pub cell_runs: Vec<usize>,
+    /// Attained relative CI half-width per input cell: the worst (max)
+    /// over the cell's model lanes of `ci_half_width(0.95) / |mean|` on
+    /// the primary metric (total overhead hours), under the estimator
+    /// the sweep actually used (paired / stratified / plain). 0 for
+    /// pruned or degenerate cells.
+    pub cell_ci_rel: Vec<f64>,
     /// Worker threads the sweep actually ran on.
     pub threads: usize,
     /// Distinct trace groups (cells sharing per-run failure traces).
@@ -788,15 +1009,52 @@ impl GridResult {
         )
     }
 
+    /// Total runs executed across all cells (in adaptive mode, usually
+    /// far below `cells × runs_per_cell`).
+    pub fn total_runs(&self) -> usize {
+        self.cell_runs.iter().sum()
+    }
+
+    /// Worst attained relative CI half-width across simulated cells.
+    pub fn worst_ci_rel(&self) -> f64 {
+        self.cell_ci_rel.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Per-cell run-allocation records (label, runs executed, attained
+    /// relative CI) for the observability layer — see
+    /// [`pckpt_simobs::allocation_json`].
+    pub fn allocations(&self) -> Vec<pckpt_simobs::CellAllocation> {
+        self.labels
+            .iter()
+            .zip(&self.cell_runs)
+            .zip(&self.cell_ci_rel)
+            .map(|((label, &runs), &ci_rel)| pckpt_simobs::CellAllocation {
+                label: label.clone(),
+                runs,
+                ci_rel,
+            })
+            .collect()
+    }
+
     /// Campaign-style execution metadata as a JSON object (the grid
     /// counterpart of the `METRICS_JSON` payload: cell/lane/unit counts,
-    /// thread count, and the trace-sharing accounting).
+    /// thread count, trace-sharing accounting, and the run-allocation
+    /// summary).
     pub fn meta_json(&self, name: &str) -> String {
+        let runs_min = self
+            .cell_runs
+            .iter()
+            .zip(&self.analytic_verdicts)
+            .filter(|(_, v)| v.is_none())
+            .map(|(&r, _)| r)
+            .min()
+            .unwrap_or(0);
         format!(
             "{{\"name\":\"{name}\",\"cells\":{},\"lanes\":{},\"units\":{},\"runs_per_cell\":{},\
              \"threads\":{},\"trace_groups\":{},\"trace_generations\":{},\"trace_reuses\":{},\
              \"trace_cache_hit_rate\":{:.4},\"leads_digest\":\"{:016x}\",\
-             \"prefilter_pruned\":{},\"prefilter_simulated\":{}}}",
+             \"prefilter_pruned\":{},\"prefilter_simulated\":{},\
+             \"total_runs\":{},\"runs_min\":{},\"worst_ci_rel\":{:.6}}}",
             self.cells.len(),
             self.lanes,
             self.units,
@@ -809,6 +1067,9 @@ impl GridResult {
             self.leads_digest,
             self.cells_pruned,
             self.cells_simulated(),
+            self.total_runs(),
+            runs_min,
+            self.worst_ci_rel(),
         )
     }
 }
@@ -905,10 +1166,33 @@ pub fn run_grid_filtered(
         })
         .collect();
 
+    // Per-cell run counts and attained CIs splice like the campaigns:
+    // pruned cells executed nothing and report a zero CI.
+    let mut sim_runs = simulated
+        .as_ref()
+        .map(|g| g.cell_runs.iter().copied().zip(g.cell_ci_rel.iter().copied()))
+        .into_iter()
+        .flatten();
+    let mut cell_runs = Vec::with_capacity(cells.len());
+    let mut cell_ci_rel = Vec::with_capacity(cells.len());
+    for verdict in &verdicts {
+        let (r, ci) = if verdict.is_some() {
+            (0, 0.0)
+        } else {
+            // One simulated cell per surviving cell, in order.
+            // simlint: allow(no-unwrap-in-lib)
+            sim_runs.next().expect("one run count per surviving cell")
+        };
+        cell_runs.push(r);
+        cell_ci_rel.push(ci);
+    }
+
     GridResult {
         cells: results,
         labels: cells.iter().map(|c| c.label.clone()).collect(),
-        runs_per_cell: config.runs,
+        runs_per_cell: simulated.as_ref().map_or(config.runs, |g| g.runs_per_cell),
+        cell_runs,
+        cell_ci_rel,
         threads,
         trace_groups: simulated.as_ref().map_or(0, |g| g.trace_groups),
         lanes: simulated.as_ref().map_or(0, |g| g.lanes),
@@ -921,6 +1205,17 @@ pub fn run_grid_filtered(
     }
 }
 
+/// Relative CI half-width of an aggregate's primary metric (total
+/// overhead hours): `ci_half_width(0.95) / |mean|`, 0 when degenerate.
+fn rel_ci(total_hours: &Summary) -> f64 {
+    let m = total_hours.mean().abs();
+    if m > 0.0 {
+        total_hours.ci_half_width(0.95) / m
+    } else {
+        0.0
+    }
+}
+
 /// The simulation pool proper: every input cell is executed.
 fn run_grid_simulated(
     cells: &[GridCell],
@@ -928,6 +1223,9 @@ fn run_grid_simulated(
     config: &RunnerConfig,
 ) -> GridResult {
     assert!(config.runs > 0, "at least one run required");
+    if config.vr.is_active() {
+        return run_grid_vr(cells, leads, config);
+    }
     let plan = GridPlan::new(cells, leads);
     let runs = config.runs;
     let n_units = plan.units.len();
@@ -1000,16 +1298,366 @@ fn run_grid_simulated(
         });
     }
 
+    let cell_ci_rel = results
+        .iter()
+        .map(|c| {
+            c.aggregates
+                .iter()
+                .map(|a| rel_ci(&a.total_hours))
+                .fold(0.0, f64::max)
+        })
+        .collect();
+
     GridResult {
         cells: results,
         labels: cells.iter().map(|c| c.label.clone()).collect(),
         runs_per_cell: runs,
+        cell_runs: vec![runs; cells.len()],
+        cell_ci_rel,
         threads,
         trace_groups: plan.trace_groups(),
         lanes: plan.lanes(),
         units: plan.units(),
         trace_generations: generations.into_inner(),
         trace_reuses: reuses.into_inner(),
+        leads_digest: leads.digest(),
+        analytic_verdicts: vec![None; cells.len()],
+        cells_pruned: 0,
+    }
+}
+
+/// One lane's running CI estimator under the active VR mode.
+///
+/// The variance basis must match the estimator: under antithetic pairing
+/// the per-run values are negatively correlated, so the CI comes from the
+/// variance over *pair means*; under stratification from the
+/// stratum-weighted fold. Using the crude per-run variance in those modes
+/// would overstate (antithetic) or understate (stratified) the CI and
+/// corrupt the stopping rule.
+enum CiTracker {
+    /// Crude per-run variance (no VR).
+    Plain(Summary),
+    /// Variance over antithetic pair means.
+    Paired(PairedSummary),
+    /// Stratum-weighted fold over equal-probability strata.
+    Strat(StratifiedSummary),
+    /// Antithetic pairs within equal-probability strata: one paired
+    /// summary per stratum, folded with weights `1/K`.
+    StratPaired(Vec<PairedSummary>),
+}
+
+impl CiTracker {
+    fn new(vr: &VrConfig) -> Self {
+        match (vr.antithetic, vr.strata) {
+            (false, 0) => Self::Plain(Summary::new()),
+            (true, 0) => Self::Paired(PairedSummary::new()),
+            (false, k) => Self::Strat(StratifiedSummary::equal_weights(k as usize)),
+            (true, k) => Self::StratPaired(vec![PairedSummary::new(); k as usize]),
+        }
+    }
+
+    /// Adds one per-run observation. Callers push in ascending run order
+    /// (the fold order), which is what makes consecutive pushes of one
+    /// stratum form antithetic pairs.
+    fn push(&mut self, stratum: u32, x: f64) {
+        match self {
+            Self::Plain(s) => s.push(x),
+            Self::Paired(p) => p.push(x),
+            Self::Strat(s) => s.push(stratum as usize, x),
+            Self::StratPaired(v) => v[stratum as usize].push(x),
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        match self {
+            Self::Plain(s) => s.mean(),
+            Self::Paired(p) => p.mean(),
+            Self::Strat(s) => s.mean(),
+            Self::StratPaired(v) => {
+                if v.iter().any(|p| p.pairs() == 0) {
+                    return 0.0;
+                }
+                v.iter().map(PairedSummary::mean).sum::<f64>() / v.len() as f64
+            }
+        }
+    }
+
+    /// CI half-width of the mean, or `None` while the estimator lacks
+    /// the observations to state one (e.g. a stratum with fewer than two
+    /// pairs).
+    fn half_width(&self, confidence: f64) -> Option<f64> {
+        match self {
+            Self::Plain(s) => (s.count() >= 2).then(|| s.ci_half_width(confidence)),
+            Self::Paired(p) => (p.pairs() >= 2).then(|| p.ci_half_width(confidence)),
+            Self::Strat(s) => {
+                let ready = (0..s.strata()).all(|j| s.stratum(j).count() >= 2);
+                ready.then(|| s.ci_half_width(confidence))
+            }
+            Self::StratPaired(v) => {
+                if v.iter().any(|p| p.pairs() < 2) {
+                    return None;
+                }
+                let w = 1.0 / v.len() as f64;
+                let var: f64 = v.iter().map(|p| w * w * p.std_err() * p.std_err()).sum();
+                let df: u64 = v.iter().map(|p| p.pairs() - 1).sum();
+                Some(t_critical(df, confidence) * var.sqrt())
+            }
+        }
+    }
+
+    /// Relative CI half-width (`half_width / |mean|`), 0 when not yet
+    /// statable or degenerate.
+    fn rel_ci(&self, confidence: f64) -> f64 {
+        let m = self.mean().abs();
+        match self.half_width(confidence) {
+            Some(hw) if m > 0.0 => hw / m,
+            _ => 0.0,
+        }
+    }
+
+    /// Has this lane's CI cleared the relative target?
+    fn converged(&self, rel_target: f64, confidence: f64) -> bool {
+        let m = self.mean().abs();
+        match self.half_width(confidence) {
+            Some(hw) => m > 0.0 && hw <= rel_target * m,
+            None => false,
+        }
+    }
+}
+
+/// The stratum of each run in the batch `[start, start + n_batch)`,
+/// decided deterministically before the batch is scheduled.
+///
+/// Until `pooled` has a variance estimate in every stratum the schedule
+/// is the static round-robin (a self-bootstrapping pilot); afterwards
+/// each batch's sample slots follow the Neyman allocation of the pooled
+/// per-stratum spreads. Antithetic pairs always occupy consecutive
+/// (even, odd) offsets with equal strata: batches are pair-aligned and
+/// every allocation block is a multiple of the pair width.
+fn batch_schedule(
+    start: usize,
+    n_batch: usize,
+    vr: &VrConfig,
+    pooled: Option<&StratifiedSummary>,
+) -> Vec<u32> {
+    if vr.strata == 0 {
+        return vec![0; n_batch];
+    }
+    let pair_w = if vr.antithetic { 2 } else { 1 };
+    let neyman = pooled.filter(|p| (0..p.strata()).all(|j| p.stratum(j).count() >= 2));
+    match neyman {
+        Some(p) => {
+            let alloc = p.neyman_allocation(n_batch / pair_w);
+            let mut sched = Vec::with_capacity(n_batch);
+            for (j, &n) in alloc.iter().enumerate() {
+                sched.extend(std::iter::repeat(j as u32).take(n * pair_w));
+            }
+            // A final truncated batch may leave a remainder slot; pin it
+            // to stratum 0 (deterministic, and weights stay exact because
+            // the fold is by stratum, not by position).
+            sched.resize(n_batch, 0);
+            sched
+        }
+        None => (0..n_batch).map(|i| fixed_stratum(start + i, vr)).collect(),
+    }
+}
+
+/// The variance-reduced simulation pool: the same claim/slab/fold
+/// skeleton as [`run_grid_simulated`], executed in sequential batches.
+///
+/// **Determinism.** Within a batch, every `(run, unit)` item is
+/// deterministic in `(master, run, unit, stratum)` alone, and the batch's
+/// stratum schedule is fixed before any worker starts. Between batches,
+/// all feedback — per-cell stopping, the Neyman schedule — is computed
+/// from the main-thread fold, which consumes the slab in (cell, model,
+/// run) order regardless of which worker produced each slot. Scheduling
+/// races therefore cannot reach any statistic that decides what runs
+/// next, and the whole procedure — including the adaptive per-cell run
+/// counts — is bit-identical for a given `(seed, config)` across any
+/// thread count (pinned by the VR determinism tests and the adaptive
+/// golden digest in `tests/trace_determinism.rs`).
+///
+/// A stopped cell's lanes stop folding; its execution units keep running
+/// only while a still-active cell shares them (unit activity is the OR
+/// of its member lanes' cells).
+fn run_grid_vr(cells: &[GridCell], leads: &LeadTimeModel, config: &RunnerConfig) -> GridResult {
+    let vr = config.vr;
+    let plan = GridPlan::new(cells, leads);
+    let n_units = plan.units.len();
+    let n_cells = cells.len();
+    // Pair-align the batch geometry so antithetic pairs never straddle a
+    // batch boundary. Fixed-count VR is a single batch of `config.runs`.
+    let align = |n: usize| -> usize {
+        if vr.antithetic {
+            (n.max(1) + 1) & !1
+        } else {
+            n.max(1)
+        }
+    };
+    let (batch, max_runs, confidence) = match vr.adaptive {
+        Some(a) => {
+            let batch = align(a.batch);
+            (batch, align(a.max_runs).max(batch), a.confidence)
+        }
+        None => (config.runs, config.runs, 0.95),
+    };
+
+    let threads = config.effective_threads_for(batch.min(max_runs) * n_units);
+    let master = SimRng::seed_from(config.base_seed);
+
+    // lane → cell lookup for unit-activity checks.
+    let mut lane_cell = vec![0usize; plan.n_lanes];
+    for (c, cell) in cells.iter().enumerate() {
+        for m in 0..cell.models.len() {
+            lane_cell[plan.lane(c, m)] = c;
+        }
+    }
+
+    let mut cell_active = vec![true; n_cells];
+    let mut cell_runs = vec![0usize; n_cells];
+    let mut aggs: Vec<Aggregate> = (0..plan.n_lanes).map(|_| Aggregate::new()).collect();
+    let mut trackers: Vec<CiTracker> = (0..plan.n_lanes).map(|_| CiTracker::new(&vr)).collect();
+    // Pooled per-stratum spread of the primary metric across every lane,
+    // driving the next batch's Neyman schedule. Grid-level rather than
+    // per-cell because a run's stratum is a property of its *shared*
+    // trace — one schedule must serve every cell in the batch.
+    let mut pooled = (vr.strata > 0 && vr.adaptive.is_some())
+        .then(|| StratifiedSummary::equal_weights(vr.strata as usize));
+
+    let mut workers: Vec<GridWorker> = (0..threads)
+        .map(|_| GridWorker::with_vr(&plan, vr))
+        .collect();
+    let mut start = 0usize;
+    while start < max_runs && cell_active.iter().any(|&a| a) {
+        let n_batch = batch.min(max_runs - start);
+        let schedule = batch_schedule(start, n_batch, &vr, pooled.as_ref());
+        let active_units: Vec<usize> = (0..n_units)
+            .filter(|&u| plan.units[u].lanes.iter().any(|&l| cell_active[lane_cell[l]]))
+            .collect();
+        let n_active = active_units.len();
+        let total = n_batch * n_active;
+        let slab = ResultSlab::new(plan.n_lanes * n_batch);
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for mut worker in workers.drain(..) {
+                let master = master.clone();
+                let plan = &plan;
+                let slab = &slab;
+                let next = &next;
+                let schedule = &schedule;
+                let active_units = &active_units;
+                handles.push(scope.spawn(move || {
+                    while let Some((s, e)) = claim_chunk(next, total, threads) {
+                        for item in s..e {
+                            // Run-major within the batch, exactly like
+                            // the fixed pool.
+                            let (off, ui) = (item / n_active, item % n_active);
+                            let unit = active_units[ui];
+                            let result =
+                                worker.run_unit_stratum(&master, start + off, unit, schedule[off]);
+                            let lanes = &plan.units[unit].lanes;
+                            for &lane in &lanes[1..] {
+                                // SAFETY(slab-claim-partition): this
+                                // worker owns item (run, unit), and with
+                                // it every member lane's slot.
+                                unsafe { slab.put(lane * n_batch + off, result.clone()) };
+                            }
+                            // SAFETY(slab-claim-partition): as above.
+                            unsafe { slab.put(lanes[0] * n_batch + off, result) };
+                        }
+                    }
+                    worker
+                }));
+            }
+            for handle in handles {
+                // A worker panic is already fatal; re-raise it here. simlint: allow(no-unwrap-in-lib)
+                workers.push(handle.join().expect("worker panicked"));
+            }
+        });
+
+        // Deterministic main-thread fold, (cell, model, run) order —
+        // the only place statistics accumulate, and the only input to
+        // the stopping and scheduling decisions below.
+        let slots = slab.into_results();
+        for c in 0..n_cells {
+            if !cell_active[c] {
+                continue;
+            }
+            for m in 0..cells[c].models.len() {
+                let lane = plan.lane(c, m);
+                for off in 0..n_batch {
+                    let slot = slots[lane * n_batch + off].as_ref();
+                    // Active cells belong to active units, which the
+                    // claim counter exhausts. simlint: allow(no-unwrap-in-lib)
+                    let r = slot.expect("every active unit produced a result");
+                    aggs[lane].push(r);
+                    let x = r.ledger.total_overhead_secs() / 3600.0;
+                    trackers[lane].push(schedule[off], x);
+                    if let Some(p) = pooled.as_mut() {
+                        p.push(schedule[off] as usize, x);
+                    }
+                }
+            }
+            cell_runs[c] += n_batch;
+        }
+        start += n_batch;
+
+        if let Some(a) = vr.adaptive {
+            for c in 0..n_cells {
+                if !cell_active[c] || cell_runs[c] < 2 * batch {
+                    continue;
+                }
+                let done = (0..cells[c].models.len()).all(|m| {
+                    trackers[plan.lane(c, m)].converged(a.rel_target, a.confidence)
+                });
+                if done {
+                    cell_active[c] = false;
+                }
+            }
+        }
+    }
+
+    let cell_ci_rel: Vec<f64> = (0..n_cells)
+        .map(|c| {
+            (0..cells[c].models.len())
+                .map(|m| trackers[plan.lane(c, m)].rel_ci(confidence))
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let (mut generations, mut reuses) = (0u64, 0u64);
+    for w in &workers {
+        generations += w.trace_generations;
+        reuses += w.trace_reuses;
+    }
+
+    let mut agg_it = aggs.into_iter();
+    let results: Vec<CampaignResult> = cells
+        .iter()
+        .map(|cell| CampaignResult {
+            models: cell.models.clone(),
+            aggregates: cell
+                .models
+                .iter()
+                // Lanes are cell-major contiguous. simlint: allow(no-unwrap-in-lib)
+                .map(|_| agg_it.next().expect("one aggregate per lane"))
+                .collect(),
+            threads,
+        })
+        .collect();
+
+    GridResult {
+        runs_per_cell: cell_runs.iter().copied().max().unwrap_or(0),
+        cells: results,
+        labels: cells.iter().map(|c| c.label.clone()).collect(),
+        cell_runs,
+        cell_ci_rel,
+        threads,
+        trace_groups: plan.trace_groups(),
+        lanes: plan.lanes(),
+        units: plan.units(),
+        trace_generations: generations,
+        trace_reuses: reuses,
         leads_digest: leads.digest(),
         analytic_verdicts: vec![None; cells.len()],
         cells_pruned: 0,
@@ -1143,9 +1791,9 @@ mod tests {
     #[test]
     fn pckpt_threads_env_overrides_auto_detection() {
         // Auto mode (threads = 0) honors PCKPT_THREADS. The variable is
-        // process-global, so restore it before the test ends; results are
-        // thread-count-independent, so a concurrent reader only sees a
-        // different (still correct) parallelism.
+        // process-global, so hold the env lock for the whole
+        // mutate–assert–restore span and restore before the test ends.
+        let _env = crate::env_test_lock();
         std::env::set_var("PCKPT_THREADS", "2");
         let cfg = RunnerConfig::new(5, 9);
         assert_eq!(cfg.effective_threads(), 2);
@@ -1157,6 +1805,72 @@ mod tests {
         std::env::set_var("PCKPT_THREADS", "2");
         assert_eq!(pinned.effective_threads(), 5, "explicit threads win (clamped to runs)");
         std::env::remove_var("PCKPT_THREADS");
+    }
+
+    #[test]
+    fn runs_spec_parses_fixed_and_auto() {
+        assert_eq!(parse_runs_spec("500"), Some(RunsSpec::Fixed(500)));
+        assert_eq!(parse_runs_spec(" 12 "), Some(RunsSpec::Fixed(12)));
+        assert_eq!(parse_runs_spec("0"), None);
+        assert_eq!(parse_runs_spec("banana"), None);
+        assert_eq!(
+            parse_runs_spec("auto"),
+            Some(RunsSpec::Auto(AdaptiveConfig::default()))
+        );
+        match parse_runs_spec("auto:0.02") {
+            Some(RunsSpec::Auto(a)) => {
+                assert!((a.rel_target - 0.02).abs() < 1e-12);
+                assert_eq!(a.max_runs, AdaptiveConfig::default().max_runs);
+            }
+            other => panic!("expected auto spec, got {other:?}"),
+        }
+        match parse_runs_spec("auto:0.05:512") {
+            Some(RunsSpec::Auto(a)) => {
+                assert!((a.rel_target - 0.05).abs() < 1e-12);
+                assert_eq!(a.max_runs, 512);
+            }
+            other => panic!("expected auto spec, got {other:?}"),
+        }
+        assert_eq!(parse_runs_spec("auto:1.5"), None, "target must be < 1");
+        assert_eq!(parse_runs_spec("auto:0.01:4"), None, "cap below batch");
+        assert_eq!(parse_runs_spec("autox"), None);
+        assert_eq!(parse_runs_spec("auto:0.01:64:9"), None);
+    }
+
+    #[test]
+    fn vr_spec_parses_modes_and_rejects_typos() {
+        assert_eq!(parse_vr_spec(""), Some(VrConfig::default()));
+        let a = parse_vr_spec("antithetic").unwrap();
+        assert!(a.antithetic && a.strata == 0 && a.adaptive.is_none());
+        let s = parse_vr_spec("stratified").unwrap();
+        assert_eq!(s.strata, 8);
+        let both = parse_vr_spec("antithetic,stratified:4").unwrap();
+        assert!(both.antithetic);
+        assert_eq!(both.strata, 4);
+        assert_eq!(parse_vr_spec("stratified:0"), None);
+        assert_eq!(parse_vr_spec("antithetc"), None, "typos must not half-apply");
+    }
+
+    #[test]
+    fn with_env_vr_reads_the_documented_variables() {
+        let _env = crate::env_test_lock();
+        std::env::set_var("PCKPT_VR", "antithetic,stratified:4");
+        std::env::set_var("PCKPT_RUNS", "auto:0.02:256");
+        let cfg = RunnerConfig::new(10, 7).with_env_vr();
+        std::env::remove_var("PCKPT_VR");
+        std::env::remove_var("PCKPT_RUNS");
+        assert!(cfg.vr.antithetic);
+        assert_eq!(cfg.vr.strata, 4);
+        let a = cfg.vr.adaptive.expect("auto enables adaptive allocation");
+        assert!((a.rel_target - 0.02).abs() < 1e-12);
+        assert_eq!(a.max_runs, 256);
+        assert_eq!(cfg.runs, 256, "runs becomes the adaptive cap");
+        // A plain numeric PCKPT_RUNS is the caller's business.
+        std::env::set_var("PCKPT_RUNS", "77");
+        let cfg = RunnerConfig::new(10, 7).with_env_vr();
+        std::env::remove_var("PCKPT_RUNS");
+        assert_eq!(cfg.runs, 10);
+        assert!(cfg.vr.adaptive.is_none());
     }
 
     #[test]
@@ -1172,6 +1886,7 @@ mod tests {
             runs: 12,
             base_seed: 41,
             threads: 3,
+            vr: VrConfig::default(),
         };
         let campaign = run_models(&base, &models, &leads, &cfg);
 
@@ -1253,6 +1968,7 @@ mod tests {
             runs: 10,
             base_seed: 23,
             threads: 3,
+            vr: VrConfig::default(),
         };
         let grid = run_grid(&cells, &leads, &cfg);
         assert_eq!(grid.cells.len(), 4);
@@ -1283,6 +1999,7 @@ mod tests {
                 runs: 9,
                 base_seed: 5,
                 threads,
+                vr: VrConfig::default(),
             };
             let grid = run_grid(&cells, &leads, &cfg);
             let d: Vec<_> = grid
@@ -1441,6 +2158,174 @@ mod tests {
         assert!(grid.analytic_verdicts[0].unwrap().pckpt_wins);
         assert!(!grid.analytic_verdicts[1].unwrap().pckpt_wins);
         assert!(grid.cells.iter().all(|c| c.aggregates.is_empty()));
+    }
+
+    fn vr_cfg(runs: usize, seed: u64, threads: usize, vr: VrConfig) -> RunnerConfig {
+        RunnerConfig {
+            runs,
+            base_seed: seed,
+            threads,
+            vr,
+        }
+    }
+
+    #[test]
+    fn vr_modes_are_thread_count_invariant() {
+        // Antithetic, stratified, combined, and adaptive: each mode's
+        // full grid digest — including adaptive per-cell run counts —
+        // must be identical across 1/3/8 threads.
+        let leads = LeadTimeModel::desh_default();
+        let cells = scale_sweep_cells("XGC", &[1.1, 0.9]);
+        let modes = [
+            VrConfig {
+                antithetic: true,
+                ..VrConfig::default()
+            },
+            VrConfig {
+                strata: 4,
+                ..VrConfig::default()
+            },
+            VrConfig {
+                antithetic: true,
+                strata: 2,
+                ..VrConfig::default()
+            },
+            VrConfig {
+                antithetic: true,
+                adaptive: Some(AdaptiveConfig {
+                    rel_target: 0.05,
+                    batch: 8,
+                    max_runs: 48,
+                    ..AdaptiveConfig::default()
+                }),
+                ..VrConfig::default()
+            },
+        ];
+        for vr in modes {
+            let mut digests = Vec::new();
+            for threads in [1, 3, 8] {
+                let grid = run_grid(&cells, &leads, &vr_cfg(16, 5, threads, vr));
+                let d: Vec<_> = grid
+                    .cells
+                    .iter()
+                    .flat_map(|c| c.aggregates.iter().map(digest))
+                    .collect();
+                digests.push((grid.cell_runs.clone(), d));
+            }
+            assert_eq!(digests[0], digests[1], "{vr:?}");
+            assert_eq!(digests[0], digests[2], "{vr:?}");
+        }
+    }
+
+    #[test]
+    fn antithetic_mode_produces_exact_run_counts() {
+        // Pair members replay the same stream mirrored (uniforms
+        // reflected, bounded integer draws reversed), which anti-
+        // correlates their thinning accepts; tests/variance_reduction.rs
+        // pins the resulting CI tightening. Here, sanity-check the
+        // machinery end to end: antithetic runs still produce valid
+        // results and the run count is exact.
+        let leads = LeadTimeModel::desh_default();
+        let cells = [GridCell::new(
+            app_params(ModelKind::B, "XGC"),
+            &[ModelKind::B],
+        )];
+        let vr = VrConfig {
+            antithetic: true,
+            ..VrConfig::default()
+        };
+        let grid = run_grid(&cells, &leads, &vr_cfg(32, 9, 2, vr));
+        let agg = &grid.cells[0].aggregates[0];
+        assert_eq!(agg.runs(), 32);
+        assert!(agg.total_hours.mean() > 0.0);
+        assert_eq!(grid.cell_runs, vec![32]);
+    }
+
+    #[test]
+    fn adaptive_mode_stops_cells_individually_and_respects_the_cap() {
+        let leads = LeadTimeModel::desh_default();
+        // A loose target converges fast; a tight one runs to the cap.
+        let cells = scale_sweep_cells("XGC", &[1.5, 0.5]);
+        let loose = VrConfig {
+            adaptive: Some(AdaptiveConfig {
+                rel_target: 0.5,
+                batch: 8,
+                max_runs: 64,
+                ..AdaptiveConfig::default()
+            }),
+            ..VrConfig::default()
+        };
+        let grid = run_grid(&cells, &leads, &vr_cfg(64, 3, 2, loose));
+        // ≥ 2 batches before any stop; every cell's count is a batch
+        // multiple and within the cap.
+        for (&r, campaign) in grid.cell_runs.iter().zip(&grid.cells) {
+            assert!(r >= 16 && r <= 64 && r % 8 == 0, "cell ran {r}");
+            for a in &campaign.aggregates {
+                assert_eq!(a.runs() as usize, r, "aggregate matches cell_runs");
+            }
+        }
+        assert_eq!(grid.runs_per_cell, *grid.cell_runs.iter().max().unwrap());
+        assert!(grid.cell_runs.iter().any(|&r| r < 64), "loose target stops early");
+
+        let tight = VrConfig {
+            adaptive: Some(AdaptiveConfig {
+                rel_target: 1e-6,
+                batch: 8,
+                max_runs: 24,
+                ..AdaptiveConfig::default()
+            }),
+            ..VrConfig::default()
+        };
+        let grid = run_grid(&cells, &leads, &vr_cfg(24, 3, 2, tight));
+        assert_eq!(grid.cell_runs, vec![24, 24], "unreachable target runs to cap");
+        assert!(grid.worst_ci_rel() > 1e-6);
+        let meta = grid.meta_json("vr_test");
+        assert!(meta.contains("\"total_runs\":48"), "{meta}");
+        assert!(meta.contains("\"runs_min\":24"), "{meta}");
+    }
+
+    #[test]
+    fn stratified_fixed_mode_balances_strata_round_robin() {
+        // 12 runs over 4 strata → each stratum holds exactly 3 runs of
+        // the lane tracker; verify through the reported rel CI being
+        // finite and the aggregate holding all runs.
+        let leads = LeadTimeModel::desh_default();
+        let cells = [GridCell::new(
+            app_params(ModelKind::B, "POP"),
+            &[ModelKind::B],
+        )];
+        let vr = VrConfig {
+            strata: 4,
+            ..VrConfig::default()
+        };
+        let grid = run_grid(&cells, &leads, &vr_cfg(12, 17, 2, vr));
+        assert_eq!(grid.cells[0].aggregates[0].runs(), 12);
+        assert!(grid.cell_ci_rel[0] > 0.0, "stratified CI is statable");
+    }
+
+    #[test]
+    fn batch_schedule_is_pair_aligned_and_exhaustive() {
+        let vr = VrConfig {
+            antithetic: true,
+            strata: 3,
+            ..VrConfig::default()
+        };
+        // Pilot (no pooled variance): pairs round-robin the strata.
+        let sched = batch_schedule(0, 12, &vr, None);
+        assert_eq!(sched.len(), 12);
+        for p in 0..6 {
+            assert_eq!(sched[2 * p], sched[2 * p + 1], "pair members share a stratum");
+        }
+        // Neyman: all samples flow to the only-variance stratum, blocks
+        // stay pair-aligned.
+        let mut pooled = StratifiedSummary::equal_weights(3);
+        for i in 0..8 {
+            pooled.push(0, i as f64); // spread
+            pooled.push(1, 1.0); // constant
+            pooled.push(2, 1.0); // constant
+        }
+        let sched = batch_schedule(12, 8, &vr, Some(&pooled));
+        assert_eq!(sched, vec![0; 8], "all slots go to the spread stratum");
     }
 
     #[test]

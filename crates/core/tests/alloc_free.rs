@@ -17,7 +17,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pckpt_core::iosim::PfsMode;
-use pckpt_core::{GridCell, GridPlan, GridWorker, ModelKind, RunArena, RunResult, SimParams};
+use pckpt_core::{
+    GridCell, GridPlan, GridWorker, ModelKind, RunArena, RunResult, SimParams, VrConfig,
+};
 use pckpt_failure::LeadTimeModel;
 use pckpt_simrng::SimRng;
 use pckpt_workloads::Application;
@@ -141,4 +143,41 @@ fn warm_arena_runs_do_not_allocate() {
     let _ = (before, after);
     assert_eq!(checksum.to_bits(), replay.to_bits(), "replay must be bit-identical");
     assert!(worker.trace_reuses > 0, "sweep must exercise the trace-cache hit path");
+
+    // Variance-reduction steady state: antithetic pairing and stratified
+    // generation route draws through per-event split substreams and the
+    // geometric-block thinning path. `SimRng::split` is a value
+    // transform (no boxing), so a warm VR worker must be exactly as
+    // silent as the plain one.
+    let vr = VrConfig {
+        antithetic: true,
+        strata: 4,
+        ..VrConfig::default()
+    };
+    let mut vr_worker = GridWorker::with_vr(&plan, vr);
+    let mut vr_checksum = 0.0f64;
+    for run in 0..GRID_RUNS {
+        for unit in 0..plan.units() {
+            vr_checksum += vr_worker.run_unit(&master, run, unit).wall_secs;
+        }
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut vr_replay = 0.0f64;
+    for run in 0..GRID_RUNS {
+        for unit in 0..plan.units() {
+            vr_replay += vr_worker.run_unit(&master, run, unit).wall_secs;
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    #[cfg(debug_assertions)]
+    assert_eq!(after - before, 0, "warm VR grid unit executions must not allocate");
+    #[cfg(not(debug_assertions))]
+    let _ = (before, after);
+    assert_eq!(
+        vr_checksum.to_bits(),
+        vr_replay.to_bits(),
+        "VR replay must be bit-identical"
+    );
 }

@@ -352,8 +352,18 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// `set_var` is process-global while tests run concurrently; every
+    /// test mutating `PCKPT_BENCH_SAMPLE_MS` holds this lock for its
+    /// whole span (the same pattern as `pckpt_core::env_test_lock`,
+    /// local here because this shim depends on nothing).
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn bencher_measures_and_summarizes() {
+        let _env = env_lock();
         std::env::set_var("PCKPT_BENCH_SAMPLE_MS", "1");
         let mut b = Bencher::new();
         b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
@@ -365,6 +375,7 @@ mod tests {
 
     #[test]
     fn iter_batched_excludes_setup() {
+        let _env = env_lock();
         std::env::set_var("PCKPT_BENCH_SAMPLE_MS", "1");
         let mut b = Bencher::new();
         b.iter_batched(

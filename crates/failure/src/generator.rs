@@ -192,6 +192,26 @@ impl FailureEvent {
     }
 }
 
+/// Number of Bernoulli(`p`) trials up to and including the first success,
+/// inverted from the single quantile `u`: `G = 1 + ⌊ln(1−u) / ln(1−p)⌋`.
+///
+/// This is the variance-reduction form of the thinning projection's
+/// membership test: instead of one raw draw per system event ("is this
+/// event in the job?"), one *uniform* decides how many system events pass
+/// before the next in-job failure. Identical in law — in an i.i.d.
+/// Bernoulli sequence the index of the next success is Geometric — but
+/// the run's dominant noise now flows through an inversion-sampled
+/// uniform, which antithetic reflection mirrors and a stratum remap can
+/// confine. `u = 1` (reachable under reflection) saturates: the caller's
+/// horizon check terminates the block.
+fn geometric_trials(u: f64, p: f64) -> u64 {
+    if p >= 1.0 {
+        return 1;
+    }
+    let g = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+    (g as u64).saturating_add(1)
+}
+
 /// A complete fault stream for one run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FailureTrace {
@@ -229,6 +249,13 @@ impl FailureTrace {
         self.failures.clear();
         self.false_positives.clear();
         let failures = &mut self.failures;
+        // Variance-reduction structured path (see [`geometric_trials`]):
+        // active when the stream is an antithetic pair member or carries
+        // an armed stratum. Same law as the literal path; the default
+        // path is untouched — every fixed-run digest depends on its
+        // exact draw sequence.
+        let vr = rng.paired() || rng.stratum_armed();
+        let mut event: u64 = 0;
         match config.projection {
             Projection::MinStability => {
                 let w = config.distribution.job_weibull(config.job_nodes);
@@ -238,7 +265,16 @@ impl FailureTrace {
                     if t >= config.horizon_hours {
                         break;
                     }
-                    failures.push(Self::make_failure(config, leads, predictor, rng, t, None));
+                    if vr {
+                        // Attribute draws from a per-event substream keep
+                        // the main stream's consumption unconditional, so
+                        // a mirrored pair stays draw-aligned all horizon.
+                        let mut sub = rng.split(event);
+                        failures.push(Self::make_failure_vr(config, leads, predictor, &mut sub, t));
+                    } else {
+                        failures.push(Self::make_failure(config, leads, predictor, rng, t, None));
+                    }
+                    event += 1;
                 }
             }
             Projection::Thinning => {
@@ -250,29 +286,59 @@ impl FailureTrace {
                 );
                 let w = config.distribution.system_weibull();
                 let mut t = 0.0;
-                loop {
-                    t += w.sample(rng);
-                    if t >= config.horizon_hours {
-                        break;
+                if vr {
+                    // Geometric-block form: the count of system events up
+                    // to and including the next in-job one is
+                    // Geometric(c/N), inverted from ONE uniform — the
+                    // run's first uniform becomes the first-job-failure
+                    // quantile (what the stratum confines, and what
+                    // reflection mirrors). Identical law to the literal
+                    // per-event Bernoulli path below.
+                    let p = config.job_nodes as f64 / n as f64;
+                    'events: loop {
+                        let g = geometric_trials(rng.uniform01(), p);
+                        // Gaps live in the block's substream: the main
+                        // stream consumes exactly one uniform per block,
+                        // so pair members' j-th geometric quantiles stay
+                        // positionally mirrored no matter where either
+                        // run's horizon lands.
+                        let mut sub = rng.split(event);
+                        event += 1;
+                        let mut gaps = sub.split(0);
+                        for _ in 0..g {
+                            t += w.sample(&mut gaps);
+                            if t >= config.horizon_hours {
+                                break 'events;
+                            }
+                        }
+                        failures.push(Self::make_failure_vr(config, leads, predictor, &mut sub, t));
                     }
-                    // Uniform node over the whole system; in-job nodes keep
-                    // the event. Under a non-uniform selection model the
-                    // membership probability stays c/N but the job-local
-                    // placement is re-drawn from the selection.
-                    let node = rng.below(n);
-                    if node < config.job_nodes {
-                        let job_node = match config.node_selection {
-                            NodeSelection::Uniform => node as u32,
-                            sel => sel.pick(rng, config.job_nodes),
-                        };
-                        failures.push(Self::make_failure(
-                            config,
-                            leads,
-                            predictor,
-                            rng,
-                            t,
-                            Some(job_node),
-                        ));
+                } else {
+                    loop {
+                        t += w.sample(rng);
+                        if t >= config.horizon_hours {
+                            break;
+                        }
+                        // Uniform node over the whole system; in-job nodes
+                        // keep the event. Under a non-uniform selection
+                        // model the membership probability stays c/N but
+                        // the job-local placement is re-drawn from the
+                        // selection.
+                        let node = rng.below(n);
+                        if node < config.job_nodes {
+                            let job_node = match config.node_selection {
+                                NodeSelection::Uniform => node as u32,
+                                sel => sel.pick(rng, config.job_nodes),
+                            };
+                            failures.push(Self::make_failure(
+                                config,
+                                leads,
+                                predictor,
+                                rng,
+                                t,
+                                Some(job_node),
+                            ));
+                        }
                     }
                 }
             }
@@ -328,6 +394,43 @@ impl FailureTrace {
             lead_secs,
             est_lead_secs,
             predicted: predictor.predicts(rng),
+        }
+    }
+
+    /// Variance-reduction variant of [`Self::make_failure`]: every
+    /// attribute class draws from its own child of the event substream,
+    /// so variable-length draws in one class (the lead-time mixture's
+    /// rejection sampling, a multi-draw node selection) cannot shift the
+    /// stream positions of the others. Across an antithetic pair this
+    /// keeps each attribute of the j-th failure exactly mirrored — in
+    /// particular the predicted flag, whose complement (`u < r` vs
+    /// `u > 1 − r`) makes the pair's unpredicted-failure indicators
+    /// disjoint for recall > ½.
+    fn make_failure_vr(
+        config: &TraceConfig,
+        leads: &LeadTimeModel,
+        predictor: &Predictor,
+        sub: &mut SimRng,
+        time_hours: f64,
+    ) -> FailureEvent {
+        let node = config.node_selection.pick(&mut sub.split(1), config.job_nodes);
+        let mut lead_rng = sub.split(2);
+        let (sequence_id, raw_lead) = leads.sample(&mut lead_rng);
+        let lead_secs = predictor.usable_lead_secs(raw_lead * config.lead_scale);
+        let est_lead_secs = if config.lead_error_cv > 0.0 {
+            let noise = pckpt_simrng::dist::LogNormal::from_mean_cv(1.0, config.lead_error_cv)
+                .sample(&mut lead_rng);
+            (lead_secs * noise).max(0.0)
+        } else {
+            lead_secs
+        };
+        FailureEvent {
+            time_hours,
+            node,
+            sequence_id,
+            lead_secs,
+            est_lead_secs,
+            predicted: predictor.predicts(&mut sub.split(3)),
         }
     }
 
@@ -408,6 +511,11 @@ impl TraceCore {
         self.false_positives.clear();
         self.key = Some(config.scale_invariant());
         let failures = &mut self.failures;
+        // Same structured/literal path split as
+        // `FailureTrace::generate_into` — the two must consume identical
+        // draw sequences in every mode.
+        let vr = rng.paired() || rng.stratum_armed();
+        let mut event: u64 = 0;
         match config.projection {
             Projection::MinStability => {
                 let w = config.distribution.job_weibull(config.job_nodes);
@@ -417,7 +525,16 @@ impl TraceCore {
                     if t >= config.horizon_hours {
                         break;
                     }
-                    failures.push(Self::make_core_failure(config, leads, predictor, rng, t, None));
+                    if vr {
+                        let mut sub = rng.split(event);
+                        failures.push(Self::make_core_failure_vr(
+                            config, leads, predictor, &mut sub, t,
+                        ));
+                    } else {
+                        failures
+                            .push(Self::make_core_failure(config, leads, predictor, rng, t, None));
+                    }
+                    event += 1;
                 }
             }
             Projection::Thinning => {
@@ -429,25 +546,44 @@ impl TraceCore {
                 );
                 let w = config.distribution.system_weibull();
                 let mut t = 0.0;
-                loop {
-                    t += w.sample(rng);
-                    if t >= config.horizon_hours {
-                        break;
-                    }
-                    let node = rng.below(n);
-                    if node < config.job_nodes {
-                        let job_node = match config.node_selection {
-                            NodeSelection::Uniform => node as u32,
-                            sel => sel.pick(rng, config.job_nodes),
-                        };
-                        failures.push(Self::make_core_failure(
-                            config,
-                            leads,
-                            predictor,
-                            rng,
-                            t,
-                            Some(job_node),
+                if vr {
+                    let p = config.job_nodes as f64 / n as f64;
+                    'events: loop {
+                        let g = geometric_trials(rng.uniform01(), p);
+                        let mut sub = rng.split(event);
+                        event += 1;
+                        let mut gaps = sub.split(0);
+                        for _ in 0..g {
+                            t += w.sample(&mut gaps);
+                            if t >= config.horizon_hours {
+                                break 'events;
+                            }
+                        }
+                        failures.push(Self::make_core_failure_vr(
+                            config, leads, predictor, &mut sub, t,
                         ));
+                    }
+                } else {
+                    loop {
+                        t += w.sample(rng);
+                        if t >= config.horizon_hours {
+                            break;
+                        }
+                        let node = rng.below(n);
+                        if node < config.job_nodes {
+                            let job_node = match config.node_selection {
+                                NodeSelection::Uniform => node as u32,
+                                sel => sel.pick(rng, config.job_nodes),
+                            };
+                            failures.push(Self::make_core_failure(
+                                config,
+                                leads,
+                                predictor,
+                                rng,
+                                t,
+                                Some(job_node),
+                            ));
+                        }
                     }
                 }
             }
@@ -496,6 +632,34 @@ impl TraceCore {
             raw_lead,
             est_noise,
             predicted: predictor.predicts(rng),
+        }
+    }
+
+    /// Mirrors `FailureTrace::make_failure_vr` draw-for-draw, storing the
+    /// raw lead and noise factor instead of the scaled view.
+    fn make_core_failure_vr(
+        config: &TraceConfig,
+        leads: &LeadTimeModel,
+        predictor: &Predictor,
+        sub: &mut SimRng,
+        time_hours: f64,
+    ) -> CoreFailure {
+        let node = config.node_selection.pick(&mut sub.split(1), config.job_nodes);
+        let mut lead_rng = sub.split(2);
+        let (sequence_id, raw_lead) = leads.sample(&mut lead_rng);
+        let est_noise = if config.lead_error_cv > 0.0 {
+            pckpt_simrng::dist::LogNormal::from_mean_cv(1.0, config.lead_error_cv)
+                .sample(&mut lead_rng)
+        } else {
+            1.0
+        };
+        CoreFailure {
+            time_hours,
+            node,
+            sequence_id,
+            raw_lead,
+            est_noise,
+            predicted: predictor.predicts(&mut sub.split(3)),
         }
     }
 

@@ -749,9 +749,78 @@ impl ObsAggregate {
     }
 }
 
+/// One cell's run-allocation observability record: how many Monte-Carlo
+/// runs the sweep actually spent on the cell and the relative CI
+/// half-width it attained on the primary metric. Fixed-run sweeps report
+/// a uniform count; adaptive sweeps (`PCKPT_RUNS=auto`) report the
+/// per-cell counts the stopping rule settled on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellAllocation {
+    /// Cell display label.
+    pub label: String,
+    /// Runs executed for this cell (0 when answered analytically).
+    pub runs: usize,
+    /// Attained relative CI half-width of the cell's primary metric
+    /// under the estimator the sweep used (0 when not statable).
+    pub ci_rel: f64,
+}
+
+/// Renders per-cell run allocations as a one-line `METRICS_JSON`-style
+/// document: total/min/max run counts, the worst attained relative CI,
+/// and the per-cell `[label, runs, ci_rel]` rows.
+pub fn allocation_json(name: &str, cells: &[CellAllocation]) -> String {
+    let total: usize = cells.iter().map(|c| c.runs).sum();
+    let executed: Vec<&CellAllocation> = cells.iter().filter(|c| c.runs > 0).collect();
+    let min = executed.iter().map(|c| c.runs).min().unwrap_or(0);
+    let max = executed.iter().map(|c| c.runs).max().unwrap_or(0);
+    let worst = cells.iter().map(|c| c.ci_rel).fold(0.0, f64::max);
+    let mut s = format!(
+        "{{\"name\":\"{name}\",\"total_runs\":{total},\"runs_min\":{min},\
+         \"runs_max\":{max},\"worst_ci_rel\":{worst:.6},\"cells\":["
+    );
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "[\"{}\",{},{:.6}]",
+            c.label, c.runs, c.ci_rel
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn allocation_json_reports_totals_and_rows() {
+        let cells = [
+            CellAllocation {
+                label: "POP@1.5".into(),
+                runs: 64,
+                ci_rel: 0.008,
+            },
+            CellAllocation {
+                label: "POP@0.5".into(),
+                runs: 256,
+                ci_rel: 0.010,
+            },
+            CellAllocation {
+                label: "pruned".into(),
+                runs: 0,
+                ci_rel: 0.0,
+            },
+        ];
+        let j = allocation_json("adaptive_pop", &cells);
+        assert!(j.contains("\"total_runs\":320"), "{j}");
+        assert!(j.contains("\"runs_min\":64"), "{j}");
+        assert!(j.contains("\"runs_max\":256"), "{j}");
+        assert!(j.contains("\"worst_ci_rel\":0.010000"), "{j}");
+        assert!(j.contains("[\"POP@0.5\",256,0.010000]"), "{j}");
+    }
 
     #[test]
     fn hist_bucket_edges() {

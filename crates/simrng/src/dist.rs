@@ -185,12 +185,98 @@ impl Normal {
     }
 
     /// Draws a standard-normal variate.
+    ///
+    /// Box–Muller by default (two uniforms; the historical transform every
+    /// fixed-run digest depends on). When the stream has
+    /// [`SimRng::set_inverse_normals`] set — the antithetic
+    /// variance-reduction mode — it switches to the single-uniform inverse
+    /// CDF `Φ⁻¹(u)`: Box–Muller's `cos(2πu₂)` is even around `u₂ = ½`, so
+    /// reflecting the uniforms would leave the deviate's magnitude
+    /// structure intact instead of negating it, defeating the pairing.
+    /// `Φ⁻¹(1 − u) = −Φ⁻¹(u)` exactly.
     pub fn standard(rng: &mut SimRng) -> f64 {
+        if rng.inverse_normals() {
+            return norm_inv_cdf(rng.uniform01_open());
+        }
         // Box–Muller; we use only one of the pair for simplicity — the
         // samplers here are nowhere near the simulation's critical path.
         let u1 = rng.uniform01_open();
         let u2 = rng.uniform01();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Standard-normal CDF `Φ(z)` via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7).
+pub fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * ax);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-ax * ax).exp();
+    let signed = if x >= 0.0 { erf } else { -erf };
+    0.5 * (1.0 + signed)
+}
+
+/// Standard-normal inverse CDF `Φ⁻¹(p)` (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 over `(0, 1)`).
+///
+/// This is the transform behind the antithetic normal path: it is oddly
+/// symmetric, `Φ⁻¹(1 − p) = −Φ⁻¹(p)`, so reflecting the driving uniform
+/// negates the deviate exactly. Returns ±∞ at the endpoints.
+pub fn norm_inv_cdf(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "norm_inv_cdf domain is [0, 1]");
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p > 1.0 - P_LOW {
+        // Tail symmetry keeps the two tails bit-exact mirrors of each
+        // other, which the antithetic pairing tests rely on.
+        -norm_inv_cdf(1.0 - p)
+    } else {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
     }
 }
 
@@ -735,5 +821,86 @@ mod tests {
         let mut r = rng();
         assert_eq!(e.sample(&mut r), 7.0);
         assert_eq!(e.quantile(0.3), 7.0);
+    }
+
+    #[test]
+    fn norm_inv_cdf_known_quantiles() {
+        assert_eq!(norm_inv_cdf(0.5), 0.0);
+        for (p, z) in [
+            (0.975, 1.959_963_985),
+            (0.95, 1.644_853_627),
+            (0.995, 2.575_829_304),
+            (0.841_344_746, 1.0),
+            (0.1, -1.281_551_566),
+            (0.001, -3.090_232_306),
+        ] {
+            let got = norm_inv_cdf(p);
+            assert!((got - z).abs() < 1e-6, "Φ⁻¹({p}) = {got}, want {z}");
+        }
+        assert_eq!(norm_inv_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(norm_inv_cdf(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn norm_inv_cdf_is_oddly_symmetric_bitwise() {
+        // Exact antisymmetry is what makes reflection negate deviates.
+        // (p = 0.5 maps to ±0.0 — same value, different sign bit — so the
+        // midpoint is skipped by the bitwise comparison.)
+        for k in (1..512u64).filter(|&k| k != 256) {
+            let p = k as f64 / 512.0;
+            assert_eq!(
+                norm_inv_cdf(1.0 - p).to_bits(),
+                (-norm_inv_cdf(p)).to_bits(),
+                "asymmetry at p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_inv_cdf_roundtrips_through_normal_cdf() {
+        for k in 1..100 {
+            let p = k as f64 / 100.0;
+            let back = normal_cdf(norm_inv_cdf(p));
+            assert!((back - p).abs() < 2e-7, "Φ(Φ⁻¹({p})) = {back}");
+        }
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-5);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_normal_mode_matches_box_muller_distribution() {
+        // Same marginal, different transform: compare moments.
+        let mut bm = rng();
+        let mut inv = rng();
+        inv.set_inverse_normals(true);
+        let n = 100_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        let (mut t1, mut t2) = (0.0, 0.0);
+        for _ in 0..n {
+            let a = Normal::standard(&mut bm);
+            let b = Normal::standard(&mut inv);
+            s1 += a;
+            s2 += a * a;
+            t1 += b;
+            t2 += b * b;
+        }
+        let nf = n as f64;
+        assert!((s1 / nf).abs() < 0.02 && (t1 / nf).abs() < 0.02);
+        assert!((s2 / nf - 1.0).abs() < 0.03 && (t2 / nf - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn reflected_inverse_normals_negate_exactly() {
+        let mut a = rng();
+        let mut b = rng();
+        a.set_inverse_normals(true);
+        b.set_inverse_normals(true);
+        b.set_reflected(true);
+        for _ in 0..1000 {
+            let x = Normal::standard(&mut a);
+            let y = Normal::standard(&mut b);
+            assert_eq!(x.to_bits(), (-y).to_bits(), "{x} vs {y}");
+        }
     }
 }

@@ -27,9 +27,12 @@ pub mod rng;
 pub mod stats;
 
 pub use dist::{
-    Deterministic, Discrete, Distribution, Empirical, Exponential, LogNormal, Mixture, Normal,
-    TruncatedNormal, Uniform, Weibull,
+    norm_inv_cdf, normal_cdf, Deterministic, Discrete, Distribution, Empirical, Exponential,
+    LogNormal, Mixture, Normal, TruncatedNormal, Uniform, Weibull,
 };
 pub use fit::{fit_weibull, WeibullFit};
 pub use rng::SimRng;
-pub use stats::{ks_two_sample, BoxPlot, Histogram, KsResult, Quantiles, Summary};
+pub use stats::{
+    ks_one_sample, ks_two_sample, t_critical, BoxPlot, Histogram, KsResult, PairedSummary,
+    Quantiles, StratifiedSummary, Summary,
+};

@@ -127,6 +127,281 @@ impl Summary {
             self.std_dev() / (self.n as f64).sqrt()
         }
     }
+
+    /// Half-width of the two-sided Student-t confidence interval on the
+    /// mean, i.e. `t_{n−1, confidence} · std_err`. Supported confidence
+    /// levels are 0.90, 0.95 and 0.99 (see [`t_critical`]). Returns 0 for
+    /// fewer than two observations.
+    pub fn ci_half_width(&self, confidence: f64) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            t_critical(self.n - 1, confidence) * self.std_err()
+        }
+    }
+}
+
+/// Two-sided Student-t critical value for `df` degrees of freedom at the
+/// given confidence level (0.90, 0.95 or 0.99).
+///
+/// Exact table entries for df ≤ 30, interpolated in `1/df` through the
+/// 40/60/120 anchors beyond that, and the normal critical value for
+/// df > 120 — at which point t and z differ by under 0.5 %.
+pub fn t_critical(df: u64, confidence: f64) -> f64 {
+    assert!(df > 0, "t_critical requires df ≥ 1");
+    // Columns: 0.90, 0.95, 0.99 two-sided.
+    const TABLE: [[f64; 3]; 30] = [
+        [6.314, 12.706, 63.657],
+        [2.920, 4.303, 9.925],
+        [2.353, 3.182, 5.841],
+        [2.132, 2.776, 4.604],
+        [2.015, 2.571, 4.032],
+        [1.943, 2.447, 3.707],
+        [1.895, 2.365, 3.499],
+        [1.860, 2.306, 3.355],
+        [1.833, 2.262, 3.250],
+        [1.812, 2.228, 3.169],
+        [1.796, 2.201, 3.106],
+        [1.782, 2.179, 3.055],
+        [1.771, 2.160, 3.012],
+        [1.761, 2.145, 2.977],
+        [1.753, 2.131, 2.947],
+        [1.746, 2.120, 2.921],
+        [1.740, 2.110, 2.898],
+        [1.734, 2.101, 2.878],
+        [1.729, 2.093, 2.861],
+        [1.725, 2.086, 2.845],
+        [1.721, 2.080, 2.831],
+        [1.717, 2.074, 2.819],
+        [1.714, 2.069, 2.807],
+        [1.711, 2.064, 2.797],
+        [1.708, 2.060, 2.787],
+        [1.706, 2.056, 2.779],
+        [1.703, 2.052, 2.771],
+        [1.701, 2.048, 2.763],
+        [1.699, 2.045, 2.756],
+        [1.697, 2.042, 2.750],
+    ];
+    const ANCHORS: [(u64, [f64; 3]); 3] = [
+        (40, [1.684, 2.021, 2.704]),
+        (60, [1.671, 2.000, 2.660]),
+        (120, [1.658, 1.980, 2.617]),
+    ];
+    const Z: [f64; 3] = [1.644_853_627, 1.959_963_985, 2.575_829_304];
+    let col = if (confidence - 0.90).abs() < 1e-9 {
+        0
+    } else if (confidence - 0.95).abs() < 1e-9 {
+        1
+    } else if (confidence - 0.99).abs() < 1e-9 {
+        2
+    } else {
+        panic!("t_critical supports confidence 0.90 / 0.95 / 0.99, got {confidence}")
+    };
+    if df <= 30 {
+        return TABLE[(df - 1) as usize][col];
+    }
+    if df > 120 {
+        return Z[col];
+    }
+    // Linear interpolation in 1/df between the bracketing anchors (the
+    // classical textbook device; error < 0.001 over this range).
+    let (mut lo_df, mut lo_v) = (30u64, TABLE[29][col]);
+    for &(a_df, a_v) in &ANCHORS {
+        if df <= a_df {
+            let x = 1.0 / df as f64;
+            let x0 = 1.0 / lo_df as f64;
+            let x1 = 1.0 / a_df as f64;
+            return lo_v + (a_v[col] - lo_v) * (x - x0) / (x1 - x0);
+        }
+        lo_df = a_df;
+        lo_v = a_v[col];
+    }
+    unreachable!("df ≤ 120 is always bracketed")
+}
+
+/// Summary over antithetic *pair means*.
+///
+/// Feed it per-run values in run order; runs `2p` and `2p+1` form pair
+/// `p`, and each completed pair contributes `(x₂ₚ + x₂ₚ₊₁)/2` to an inner
+/// [`Summary`]. Because pair members are negatively correlated by
+/// construction, the variance over pair means — not the naive per-run
+/// variance — is the correct basis for a confidence interval on the mean.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PairedSummary {
+    pairs: Summary,
+    pending: Option<f64>,
+}
+
+impl PairedSummary {
+    /// Creates an empty paired summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one per-run observation; every second call completes a pair.
+    pub fn push(&mut self, x: f64) {
+        match self.pending.take() {
+            Some(first) => self.pairs.push(0.5 * (first + x)),
+            None => self.pending = Some(x),
+        }
+    }
+
+    /// Number of completed pairs.
+    pub fn pairs(&self) -> u64 {
+        self.pairs.count()
+    }
+
+    /// Mean over completed pair means (equals the plain mean over those
+    /// runs). An unpaired trailing value is excluded.
+    pub fn mean(&self) -> f64 {
+        self.pairs.mean()
+    }
+
+    /// Standard error of the mean, estimated over pair means.
+    pub fn std_err(&self) -> f64 {
+        self.pairs.std_err()
+    }
+
+    /// Student-t CI half-width over pair means (df = pairs − 1).
+    pub fn ci_half_width(&self, confidence: f64) -> f64 {
+        self.pairs.ci_half_width(confidence)
+    }
+
+    /// The inner summary of pair means.
+    pub fn inner(&self) -> &Summary {
+        &self.pairs
+    }
+}
+
+/// Per-stratum [`Summary`]s folded with fixed stratum weights.
+///
+/// For equal-probability strata (the generator's
+/// [`crate::SimRng::set_next_stratum`] remap) every weight is `1/K`. The
+/// stratified mean is `Σ wⱼ·meanⱼ` and the estimator variance is
+/// `Σ wⱼ²·sⱼ²/nⱼ` — strictly smaller than the crude-Monte-Carlo variance
+/// whenever the strata means differ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratifiedSummary {
+    strata: Vec<Summary>,
+    weights: Vec<f64>,
+}
+
+impl StratifiedSummary {
+    /// Creates a stratified summary with `k` equal-weight strata.
+    pub fn equal_weights(k: usize) -> Self {
+        assert!(k > 0, "at least one stratum");
+        Self {
+            strata: vec![Summary::new(); k],
+            weights: vec![1.0 / k as f64; k],
+        }
+    }
+
+    /// Creates a stratified summary with explicit stratum weights
+    /// (must sum to ≈ 1).
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "at least one stratum");
+        let total: f64 = weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights must sum to 1");
+        Self {
+            strata: vec![Summary::new(); weights.len()],
+            weights,
+        }
+    }
+
+    /// Adds one observation to stratum `j`.
+    pub fn push(&mut self, j: usize, x: f64) {
+        self.strata[j].push(x);
+    }
+
+    /// Number of strata.
+    pub fn strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Per-stratum summaries, in stratum order.
+    pub fn stratum(&self, j: usize) -> &Summary {
+        &self.strata[j]
+    }
+
+    /// Total observations across strata.
+    pub fn count(&self) -> u64 {
+        self.strata.iter().map(Summary::count).sum()
+    }
+
+    /// Stratum-weighted mean `Σ wⱼ·meanⱼ` (0 until every stratum has at
+    /// least one observation).
+    pub fn mean(&self) -> f64 {
+        if self.strata.iter().any(|s| s.count() == 0) {
+            return 0.0;
+        }
+        self.strata
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| w * s.mean())
+            .sum()
+    }
+
+    /// Standard error of the stratified mean, `√(Σ wⱼ²·sⱼ²/nⱼ)`.
+    /// Requires every stratum to hold ≥ 2 observations; returns 0 before
+    /// that.
+    pub fn std_err(&self) -> f64 {
+        if self.strata.iter().any(|s| s.count() < 2) {
+            return 0.0;
+        }
+        self.strata
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| w * w * s.variance() / s.count() as f64)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Student-t CI half-width of the stratified mean. Degrees of freedom
+    /// are taken conservatively as `Σ(nⱼ − 1)` (Satterthwaite would only
+    /// be larger, so this never under-covers by df choice).
+    pub fn ci_half_width(&self, confidence: f64) -> f64 {
+        if self.strata.iter().any(|s| s.count() < 2) {
+            return 0.0;
+        }
+        let df: u64 = self.strata.iter().map(|s| s.count() - 1).sum();
+        t_critical(df, confidence) * self.std_err()
+    }
+
+    /// Neyman allocation of `n` further observations: stratum `j` receives
+    /// a share proportional to `wⱼ·σⱼ` (largest-remainder rounding, ties
+    /// to the lower stratum index — fully deterministic). Falls back to a
+    /// proportional split while any stratum still lacks a variance
+    /// estimate, so pilot batches self-bootstrap.
+    pub fn neyman_allocation(&self, n: usize) -> Vec<usize> {
+        let k = self.strata.len();
+        let mut scores: Vec<f64> = self
+            .strata
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| w * s.std_dev())
+            .collect();
+        let total: f64 = scores.iter().sum();
+        if !(total > 0.0) || self.strata.iter().any(|s| s.count() < 2) {
+            scores = self.weights.clone();
+        }
+        let total: f64 = scores.iter().sum();
+        let mut alloc = vec![0usize; k];
+        let mut rema: Vec<(usize, f64)> = Vec::with_capacity(k);
+        let mut assigned = 0usize;
+        for j in 0..k {
+            let exact = n as f64 * scores[j] / total;
+            let base = exact.floor() as usize;
+            alloc[j] = base;
+            assigned += base;
+            rema.push((j, exact - base as f64));
+        }
+        // Largest remainder first; ties broken by stratum index.
+        rema.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for (j, _) in rema.into_iter().take(n - assigned) {
+            alloc[j] += 1;
+        }
+        alloc
+    }
 }
 
 /// Interpolated quantiles over a sorted copy of a data set.
@@ -644,6 +919,134 @@ mod tests {
         assert_eq!(kolmogorov_q(0.0), 1.0);
         assert!(kolmogorov_q(0.5) > 0.9);
         assert!(kolmogorov_q(2.0) < 0.001);
+    }
+
+    #[test]
+    fn t_critical_matches_published_table() {
+        // Spot values straight from the standard two-sided t table.
+        assert_eq!(t_critical(1, 0.95), 12.706);
+        assert_eq!(t_critical(4, 0.95), 2.776);
+        assert_eq!(t_critical(10, 0.99), 3.169);
+        assert_eq!(t_critical(30, 0.90), 1.697);
+        // Interpolated range: bracketed by its anchors, monotone.
+        let t50 = t_critical(50, 0.95);
+        assert!(t50 < t_critical(40, 0.95) && t50 > t_critical(60, 0.95));
+        assert!((t_critical(40, 0.95) - 2.021).abs() < 1e-9);
+        assert!((t50 - 2.009).abs() < 0.002, "t(50, .95) = {t50}");
+        // Normal fallback past 120.
+        assert!((t_critical(121, 0.95) - 1.959_963_985).abs() < 1e-9);
+        assert!((t_critical(10_000, 0.90) - 1.644_853_627).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn t_critical_rejects_unsupported_confidence() {
+        t_critical(10, 0.5);
+    }
+
+    #[test]
+    fn ci_half_width_known_example() {
+        // n = 5, values 1..5: mean 3, s = √2.5, se = √0.5, t₄ = 2.776.
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let want = 2.776 * (0.5f64).sqrt();
+        assert!((s.ci_half_width(0.95) - want).abs() < 1e-9);
+        // Degenerate cases.
+        assert_eq!(Summary::new().ci_half_width(0.95), 0.0);
+        assert_eq!(Summary::from_slice(&[7.0]).ci_half_width(0.95), 0.0);
+    }
+
+    #[test]
+    fn paired_summary_means_and_pending() {
+        let mut p = PairedSummary::new();
+        for x in [1.0, 3.0, 5.0, 7.0, 100.0] {
+            p.push(x);
+        }
+        // Pairs (1,3) and (5,7); the trailing 100 is pending.
+        assert_eq!(p.pairs(), 2);
+        assert_eq!(p.mean(), 4.0);
+        assert_eq!(p.inner().min(), 2.0);
+        assert_eq!(p.inner().max(), 6.0);
+    }
+
+    #[test]
+    fn paired_summary_kills_variance_of_perfect_antithesis() {
+        // x and c − x in each pair: every pair mean is c/2 exactly.
+        let mut p = PairedSummary::new();
+        let mut plain = Summary::new();
+        for i in 0..100 {
+            let x = i as f64;
+            p.push(x);
+            p.push(10.0 - x);
+            plain.push(x);
+            plain.push(10.0 - x);
+        }
+        assert_eq!(p.mean(), 5.0);
+        assert_eq!(p.std_err(), 0.0);
+        assert!(plain.std_err() > 1.0, "plain se {}", plain.std_err());
+    }
+
+    #[test]
+    fn stratified_equal_weight_fold_matches_flat_merge() {
+        // Round-robin over K strata with a count divisible by K: the
+        // stratified mean equals the flat mean exactly, and per-stratum
+        // merges reassemble the flat summary.
+        let values: Vec<f64> = (0..240).map(|i| ((i * 37) % 101) as f64).collect();
+        const K: usize = 8;
+        let mut strat = StratifiedSummary::equal_weights(K);
+        let mut per_stratum = vec![Summary::new(); K];
+        for (i, &v) in values.iter().enumerate() {
+            strat.push(i % K, v);
+            per_stratum[i % K].push(v);
+        }
+        let mut merged = Summary::new();
+        for s in &per_stratum {
+            merged.merge(s);
+        }
+        let flat = Summary::from_slice(&values);
+        assert_eq!(merged.count(), flat.count());
+        assert!((merged.mean() - flat.mean()).abs() < 1e-9);
+        assert!((merged.variance() - flat.variance()).abs() < 1e-9);
+        assert!((strat.mean() - flat.mean()).abs() < 1e-9);
+        assert_eq!(strat.count(), flat.count());
+    }
+
+    #[test]
+    fn stratified_variance_drops_when_strata_separate_means() {
+        // Values clustered by stratum: stratified se ≪ crude se.
+        let mut strat = StratifiedSummary::equal_weights(4);
+        let mut flat = Summary::new();
+        let mut k = 0u64;
+        for j in 0..4usize {
+            for _ in 0..50 {
+                // Base level 100·j plus small deterministic jitter.
+                k = k.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let jitter = (k >> 33) as f64 / u32::MAX as f64;
+                let v = 100.0 * j as f64 + jitter;
+                strat.push(j, v);
+                flat.push(v);
+            }
+        }
+        assert!(strat.std_err() < 0.1 * flat.std_err());
+        assert!(strat.ci_half_width(0.95) < 0.1 * flat.ci_half_width(0.95));
+    }
+
+    #[test]
+    fn neyman_allocation_is_deterministic_and_exhaustive() {
+        let mut strat = StratifiedSummary::equal_weights(3);
+        // Stratum σ ≈ 0, 1, 10 → allocation skews to stratum 2.
+        for i in 0..10 {
+            let x = i as f64;
+            strat.push(0, 5.0);
+            strat.push(1, x * 0.2);
+            strat.push(2, x * 2.0);
+        }
+        let alloc = strat.neyman_allocation(32);
+        assert_eq!(alloc.iter().sum::<usize>(), 32);
+        assert!(alloc[2] > alloc[1] && alloc[1] > alloc[0]);
+        assert_eq!(alloc, strat.neyman_allocation(32));
+        // Pilot fallback: no variance yet → proportional split.
+        let pilot = StratifiedSummary::equal_weights(4);
+        assert_eq!(pilot.neyman_allocation(8), vec![2, 2, 2, 2]);
     }
 
     #[test]

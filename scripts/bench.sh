@@ -6,7 +6,7 @@
 # sweep vs serial cells, scalar vs SoA analytic evaluation) and the
 # end-to-end campaign + grid-sweep timers, then folds the
 # machine-parsable CRITERION_JSON / CAMPAIGN_JSON / GRID_JSON /
-# METRICS_JSON lines into one snapshot (default BENCH_pr6.json; earlier
+# METRICS_JSON lines into one snapshot (default BENCH_pr8.json; earlier
 # BENCH_pr<N>.json files are kept as the perf trajectory across the PR
 # sequence):
 #
@@ -27,6 +27,14 @@
 #   prefilter_prune_rate           share of the 4-cell POP crossover
 #                                  sweep answered analytically
 #                                  (PCKPT_PREFILTER tier)
+#   variance_reduction_speedup     runs-to-±1%-CI on the Fig.-4 sweep:
+#                                  fixed uniform provisioning vs the
+#                                  adaptive antithetic+stratified engine
+#   adaptive_runs_saved_pct        share of the sweep the per-cell CI
+#                                  stopping rule alone saved
+#   vr_ci_rel_*                    attained relative CI per strategy
+#                                  (plain / antithetic / stratified /
+#                                  both) at one fixed POP budget
 #
 # Usage: scripts/bench.sh [output.json]
 # Env:   PCKPT_RUNS (campaign size, default 1000), PCKPT_SEED,
@@ -36,7 +44,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr6.json}
+OUT=${1:-BENCH_pr8.json}
 BENCH_LOG=$(mktemp)
 CAMPAIGN_LOG=$(mktemp)
 trap 'rm -f "$BENCH_LOG" "$CAMPAIGN_LOG"' EXIT
@@ -130,6 +138,17 @@ prefilter = grids.get("grid_prefilter_pop")
 if prefilter:
     doc["prefilter_prune_rate"] = prefilter["prune_rate"]
 
+# Variance reduction: runs-to-±1%-CI on the Fig.-4 sweep, fixed uniform
+# provisioning vs adaptive antithetic+stratified allocation, plus the
+# per-strategy attained-CI columns from the fixed-budget POP cell.
+vr = grids.get("variance_reduction_fig4")
+if vr:
+    doc["variance_reduction_speedup"] = vr["variance_reduction_speedup"]
+    doc["adaptive_runs_saved_pct"] = vr["adaptive_runs_saved_pct"]
+    for strategy in ("plain", "antithetic", "stratified",
+                     "antithetic_stratified"):
+        doc[f"vr_ci_rel_{strategy}"] = vr[f"ci_rel_{strategy}"]
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
@@ -150,6 +169,12 @@ for key in (
     "analytic_cells_per_s",
     "analytic_batch_speedup",
     "prefilter_prune_rate",
+    "variance_reduction_speedup",
+    "adaptive_runs_saved_pct",
+    "vr_ci_rel_plain",
+    "vr_ci_rel_antithetic",
+    "vr_ci_rel_stratified",
+    "vr_ci_rel_antithetic_stratified",
 ):
     if key in doc:
         print(f"  {key}: {doc[key]}")

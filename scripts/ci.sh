@@ -24,35 +24,46 @@
 #                             fold protocol (incl. seeded-bug regressions)
 #                             and simlint's own fixture suite (each rule
 #                             family must still trip on its fixture)
+#   7. variance reduction     KS marginal-preservation proptests for the
+#                             antithetic reflection, stratified fold
+#                             consistency, VR/adaptive thread-count
+#                             invariance, the adaptive-grid golden
+#                             digest, and the VR-on zero-allocation gate
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==== [1/6] tier-1 gate (scripts/lint.sh) ===="
+echo "==== [1/7] tier-1 gate (scripts/lint.sh) ===="
 scripts/lint.sh
 
 echo
-echo "==== [2/6] workspace tests ===="
+echo "==== [2/7] workspace tests ===="
 cargo test -q --workspace
 
 echo
-echo "==== [3/6] examples build ===="
+echo "==== [3/7] examples build ===="
 cargo build -q --examples
 
 echo
-echo "==== [4/6] trace-feature tests ===="
+echo "==== [4/7] trace-feature tests ===="
 cargo test -q --features trace
 
 echo
-echo "==== [5/6] analytic tier: batch + prefilter equivalence ===="
+echo "==== [5/7] analytic tier: batch + prefilter equivalence ===="
 cargo test -q -p pckpt-analysis --test batch_equivalence
 cargo test -q --test grid_equivalence
 
 echo
-echo "==== [6/6] schedcheck exhaustive + simlint fixtures ===="
+echo "==== [6/7] schedcheck exhaustive + simlint fixtures ===="
 cargo test -q -p schedcheck
 cargo test -q -p simlint
+
+echo
+echo "==== [7/7] variance reduction: marginals, folds, determinism ===="
+cargo test -q --test variance_reduction
+cargo test -q --test trace_determinism adaptive_grid
+cargo test -q -p pckpt-core --test alloc_free
 
 echo
 echo "ci.sh: all stages passed"

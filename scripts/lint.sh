@@ -47,14 +47,16 @@ for tag, n in seen.items():
 print("bench smoke ok (2 campaigns, 2 metrics blocks)")
 '
 
-echo "== bench smoke (1-run grid + prefilter) =="
+echo "== bench smoke (1-run grid + prefilter + VR headline) =="
 # One-run grid sweep: the grid METRICS_JSON must carry the analytic
-# pre-filter accounting (pruned + simulated == cells on every grid), and
-# the POP crossover sweep must actually prune at least half its cells.
+# pre-filter accounting (pruned + simulated == cells on every grid), the
+# POP crossover sweep must actually prune at least half its cells, and
+# the variance-reduction headline (which runs at its own fixed budgets,
+# independent of PCKPT_RUNS) must beat fixed provisioning.
 PCKPT_RUNS=1 cargo run --release -q -p pckpt-bench --bin bench_grid \
     | python3 -c '
 import json, sys
-grids = prefilter = 0
+grids = prefilter = vr = 0
 for line in sys.stdin:
     if line.startswith("METRICS_JSON ") and "\"prefilter_pruned\"" in line:
         rec = json.loads(line[len("METRICS_JSON "):])
@@ -66,9 +68,14 @@ for line in sys.stdin:
             assert rec["prune_rate"] >= 0.5, rec
             assert rec["pruned"] + rec["simulated"] == rec["cells"], rec
             prefilter += 1
-assert grids == 4, f"expected 4 grid METRICS_JSON lines, saw {grids}"
+        if rec["name"] == "variance_reduction_fig4":
+            assert rec["variance_reduction_speedup"] > 1.5, rec
+            assert 0.0 < rec["adaptive_runs_saved_pct"] < 100.0, rec
+            vr += 1
+assert grids == 5, f"expected 5 grid METRICS_JSON lines, saw {grids}"
 assert prefilter == 1, "missing grid_prefilter_pop GRID_JSON line"
-print("grid smoke ok (4 grids, prefilter prunes >= 50% of the POP sweep)")
+assert vr == 1, "missing variance_reduction_fig4 GRID_JSON line"
+print("grid smoke ok (5 grids, prefilter prunes >= 50%, VR speedup > 1.5x)")
 '
 
 echo "lint.sh: all gates passed"

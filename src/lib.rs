@@ -57,8 +57,9 @@ pub use pckpt_workloads as workloads;
 /// The most common imports for driving simulations.
 pub mod prelude {
     pub use pckpt_core::{
-        run_grid, run_many, run_models, Aggregate, CampaignResult, CrSim, GridCell, GridResult,
-        ModelKind, OverheadLedger, RunResult, RunnerConfig, SimParams,
+        run_grid, run_many, run_models, AdaptiveConfig, Aggregate, CampaignResult, CrSim,
+        GridCell, GridResult, ModelKind, OverheadLedger, RunResult, RunnerConfig, SimParams,
+        VrConfig,
     };
     pub use pckpt_failure::{
         FailureDistribution, FailureTrace, LeadTimeModel, Prediction, Predictor, Projection,

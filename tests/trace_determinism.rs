@@ -126,6 +126,80 @@ fn grid_digest_matches_golden_with_and_without_trace() {
     );
 }
 
+/// Golden digest of the adaptive variance-reduction grid below: the
+/// per-cell run counts the CI stopping rule settles on, then the usual
+/// per-lane digests. Pinned under both `trace` feature settings and
+/// every thread count — the adaptive fold runs on the main thread in
+/// (cell, model, run) order, so batch scheduling and stopping decisions
+/// are thread-invariant by construction.
+const GOLDEN_ADAPTIVE_DIGEST: &str = "runs[24,16,16]\
+     XGC@1.5/B:4011b6bf067d724d-0000000000000000-40513fffffffffff;\
+     XGC@1.5/P2:3ff7390d0f8dc4eb-3feca81e9131abed-4050c00000000002;\
+     XGC@1/B:40115eb2fae2f990-0000000000000000-4046ffffffffffff;\
+     XGC@1/P2:3ffb1d414e932cfd-3fec71c71c71c71c-4046800000000000;\
+     XGC@0.5/B:40115eb2fae2f990-0000000000000000-4046ffffffffffff;\
+     XGC@0.5/P2:40022cbe64c40fbc-3fea4fa4fa4fa4fa-4046800000000000;";
+
+#[test]
+fn adaptive_grid_digest_matches_golden_with_and_without_trace() {
+    use pckpt::core::{AdaptiveConfig, VrConfig};
+    let leads = LeadTimeModel::desh_default();
+    let models = [ModelKind::B, ModelKind::P2];
+    let cells: Vec<GridCell> = [1.5, 1.0, 0.5]
+        .iter()
+        .map(|&scale| {
+            let mut p = xgc_params(PfsMode::Analytic);
+            p.lead_scale = scale;
+            GridCell::new(p, &models).with_label(format!("XGC@{scale}"))
+        })
+        .collect();
+    let mut digests = Vec::new();
+    for threads in [1, 3, 8] {
+        let mut cfg = RunnerConfig::new(64, 61);
+        cfg.threads = threads;
+        cfg.vr = VrConfig {
+            antithetic: true,
+            strata: 4,
+            adaptive: Some(AdaptiveConfig {
+                rel_target: 0.2,
+                batch: 8,
+                max_runs: 64,
+                ..AdaptiveConfig::default()
+            }),
+        };
+        let grid = run_grid(&cells, &leads, &cfg);
+        let mut s = format!(
+            "runs[{}]",
+            grid.cell_runs
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for (label, c) in grid.labels.iter().zip(&grid.cells) {
+            for (m, a) in c.models.iter().zip(&c.aggregates) {
+                s.push_str(&format!(
+                    "{}/{}:{:016x}-{:016x}-{:016x};",
+                    label,
+                    m.name(),
+                    a.total_hours.mean().to_bits(),
+                    a.ft_ratio_pooled().to_bits(),
+                    a.failures.sum().to_bits(),
+                ));
+            }
+        }
+        digests.push(s);
+    }
+    assert_eq!(digests[0], digests[1], "adaptive grid diverged 1 vs 3 threads");
+    assert_eq!(digests[0], digests[2], "adaptive grid diverged 1 vs 8 threads");
+    println!("adaptive grid digest: {}", digests[0]);
+    assert_eq!(
+        digests[0], GOLDEN_ADAPTIVE_DIGEST,
+        "adaptive grid digest drifted (trace feature {}abled)",
+        if cfg!(feature = "trace") { "en" } else { "dis" }
+    );
+}
+
 #[cfg(not(feature = "trace"))]
 mod trace_off {
     use super::*;
