@@ -17,6 +17,11 @@ usage:
   pckpt logs analyze --in <FILE>
   pckpt trace --app <NAME> --model <B|M1|M2|P1|P2> [--run 0] [--verbose true]
               [common options]
+  pckpt grid  --app <NAME> [--scales 1.5,1,0.5] [--models B,P2]
+              [--shards N] [common options]
+  pckpt shard --app <NAME> [--scales ...] [--models ...] [common options]
+              (internal: executes one shard; requires PCKPT_SHARD and
+               PCKPT_SHARD_OUT in the environment)
 
 common options:
   --runs <N>          Monte-Carlo runs (default 400)
@@ -28,7 +33,8 @@ common options:
 
 environment:
   PCKPT_RUNS=auto[:target[:cap]]  adaptive CI-driven run allocation
-  PCKPT_VR=antithetic,stratified[:K]  variance-reduced trace generation";
+  PCKPT_VR=antithetic,stratified[:K]  variance-reduced trace generation
+  PCKPT_SHARD_TIMEOUT_SECS=N      per-shard watchdog for `grid --shards`";
 
 /// Options shared by the simulation subcommands.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +84,22 @@ pub struct LogGenOptions {
     pub seed: u64,
 }
 
+/// Options for the `grid` and `shard` subcommands: a lead-time sweep of
+/// one application across several models, optionally scaled out over
+/// subprocess shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridOptions {
+    /// Common simulation options (`lead_scale` is ignored — the sweep
+    /// covers `scales` instead).
+    pub opts: SimOptions,
+    /// Lead-time scales, one grid cell per entry.
+    pub scales: Vec<f64>,
+    /// Models simulated in every cell.
+    pub models: Vec<ModelKind>,
+    /// Shard subprocesses to fan out over (1 = in-process).
+    pub shards: usize,
+}
+
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -97,6 +119,10 @@ pub enum Command {
     Trace(ModelKind, SimOptions, usize, bool),
     /// Mine failure chains from a log file.
     LogsAnalyze(String),
+    /// A lead-time sweep grid, optionally sharded across subprocesses.
+    Grid(GridOptions),
+    /// Internal: execute one shard of a grid (spawned by `grid --shards`).
+    Shard(GridOptions),
 }
 
 /// Parses an argument vector into a [`Command`].
@@ -135,6 +161,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             Ok(Command::Compare(opts))
         }
         "logs" => parse_logs(it),
+        "grid" => parse_grid(it).map(Command::Grid),
+        "shard" => parse_grid(it).map(Command::Shard),
         "trace" => {
             let (opts, extra) = parse_options(it)?;
             let model = extract_model(&extra)?;
@@ -201,6 +229,50 @@ fn parse_logs<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<Command, S
     }
 }
 
+fn parse_grid<'a>(it: impl Iterator<Item = &'a String>) -> Result<GridOptions, String> {
+    let (opts, extra) = parse_options(it)?;
+    if opts.app.is_empty() {
+        return Err("grid requires --app".into());
+    }
+    if let Some(k) = extra
+        .iter()
+        .step_by(2)
+        .find(|k| !matches!(k.as_str(), "--scales" | "--models" | "--shards"))
+    {
+        return Err(format!("unexpected option {k}"));
+    }
+    let scales = match extract_kv::<String>(&extra, "--scales")? {
+        None => vec![opts.lead_scale],
+        Some(csv) => csv
+            .split(',')
+            .map(|s| parse_float("--scales", s.trim(), 0.01, 10.0))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    let models = match extract_kv::<String>(&extra, "--models")? {
+        None => vec![ModelKind::B, ModelKind::P2],
+        Some(csv) => csv
+            .split(',')
+            .map(|s| {
+                ModelKind::by_name(s.trim())
+                    .ok_or_else(|| format!("--models: unknown model {s:?}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    if scales.is_empty() || models.is_empty() {
+        return Err("--scales and --models must be non-empty".into());
+    }
+    let shards = extract_kv::<usize>(&extra, "--shards")?.unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(GridOptions {
+        opts,
+        scales,
+        models,
+        shards,
+    })
+}
+
 fn expect_end<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), String> {
     match it.next() {
         None => Ok(()),
@@ -227,14 +299,10 @@ fn parse_options<'a>(
             "--fn-rate" => opts.fn_rate = parse_float(key, value, 0.0, 1.0)?,
             "--alpha" => opts.alpha = parse_float(key, value, 0.1, 100.0)?,
             "--dist" => {
-                opts.dist = match value.to_ascii_lowercase().as_str() {
-                    "titan" => FailureDistribution::OLCF_TITAN,
-                    "lanl8" => FailureDistribution::LANL_SYSTEM_8,
-                    "lanl18" => FailureDistribution::LANL_SYSTEM_18,
-                    other => return Err(format!("unknown distribution {other:?}")),
-                }
+                opts.dist = FailureDistribution::by_name(value)
+                    .ok_or_else(|| format!("unknown distribution {value:?}"))?
             }
-            "--model" | "--run" | "--verbose" => {
+            "--model" | "--run" | "--verbose" | "--scales" | "--models" | "--shards" => {
                 extra.push(key.clone());
                 extra.push(value.clone());
             }
@@ -381,6 +449,50 @@ mod tests {
         assert!(parse(&v(&["logs", "analyze"])).is_err()); // no --in
         assert!(parse(&v(&["logs", "prune"])).is_err());
         assert!(parse(&v(&["logs", "generate", "--out", "x", "--nodes", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_grid_with_sweep_and_shards() {
+        let cmd = parse(&v(&[
+            "grid", "--app", "XGC", "--scales", "1.5,1,0.5", "--models", "b,P2", "--shards", "4",
+            "--runs", "12", "--seed", "61",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Grid(g) => {
+                assert_eq!(g.opts.app, "XGC");
+                assert_eq!(g.scales, vec![1.5, 1.0, 0.5]);
+                assert_eq!(g.models, vec![ModelKind::B, ModelKind::P2]);
+                assert_eq!(g.shards, 4);
+                assert_eq!(g.opts.runs, 12);
+                assert_eq!(g.opts.seed, 61);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: one cell at --lead-scale, B + P2, no sharding.
+        match parse(&v(&["grid", "--app", "POP", "--lead-scale", "0.9"])).unwrap() {
+            Command::Grid(g) => {
+                assert_eq!(g.scales, vec![0.9]);
+                assert_eq!(g.models, vec![ModelKind::B, ModelKind::P2]);
+                assert_eq!(g.shards, 1);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // `shard` shares the grammar.
+        match parse(&v(&["shard", "--app", "XGC", "--scales", "1"])).unwrap() {
+            Command::Shard(g) => assert_eq!(g.scales, vec![1.0]),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_rejects_bad_input() {
+        assert!(parse(&v(&["grid", "--scales", "1"])).is_err()); // no app
+        assert!(parse(&v(&["grid", "--app", "XGC", "--shards", "0"])).is_err());
+        assert!(parse(&v(&["grid", "--app", "XGC", "--models", "Z9"])).is_err());
+        assert!(parse(&v(&["grid", "--app", "XGC", "--scales", "nope"])).is_err());
+        assert!(parse(&v(&["grid", "--app", "XGC", "--model", "P2"])).is_err());
+        assert!(parse(&v(&["grid", "--app", "XGC", "--run", "1"])).is_err());
     }
 
     #[test]

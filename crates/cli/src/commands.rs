@@ -1,11 +1,14 @@
 //! Command implementations.
 
 use pckpt_analysis::Table;
-use pckpt_core::{run_grid, Aggregate, GridCell, ModelKind, RunnerConfig, SimParams};
+use pckpt_core::{
+    run_grid, run_grid_sharded, run_shard_child, shard_child_config, shard_spec_from_env,
+    Aggregate, GridCell, ModelKind, RunnerConfig, ShardLauncher, SimParams,
+};
 use pckpt_failure::LeadTimeModel;
 use pckpt_workloads::{Application, TABLE_I};
 
-use crate::args::{Command, LogGenOptions, SimOptions};
+use crate::args::{Command, GridOptions, LogGenOptions, SimOptions};
 
 /// Executes a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
@@ -18,7 +21,113 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::LogsGenerate(opts) => logs_generate(&opts),
         Command::LogsAnalyze(path) => logs_analyze(&path),
         Command::Trace(model, opts, run, verbose) => trace_run(model, &opts, run, verbose),
+        Command::Grid(g) => grid(&g),
+        Command::Shard(g) => shard(&g),
     }
+}
+
+/// Builds the grid cells for a `grid`/`shard` invocation. Coordinator and
+/// shard children call this with identical [`GridOptions`], so both sides
+/// reconstruct bit-identical `SimParams` — the shard protocol ships only
+/// results, never configuration.
+fn build_grid_cells(g: &GridOptions) -> Result<Vec<GridCell>, String> {
+    let mut cells = Vec::with_capacity(g.scales.len());
+    for &scale in &g.scales {
+        let mut params = build_params(&g.opts)?;
+        params.lead_scale = scale;
+        cells.push(
+            GridCell::new(params, &g.models).with_label(format!("{}@{}", g.opts.app, scale)),
+        );
+    }
+    Ok(cells)
+}
+
+/// Rebuilds this invocation's argv as a `shard` subcommand for child
+/// processes. `f64` `Display` is shortest-roundtrip, so the child parses
+/// back the exact scales the coordinator holds.
+fn shard_launcher(g: &GridOptions) -> Result<ShardLauncher, String> {
+    let join = |xs: &[String]| xs.join(",");
+    let args = vec![
+        "shard".to_string(),
+        "--app".into(),
+        g.opts.app.clone(),
+        "--dist".into(),
+        g.opts.dist.short_key().into(),
+        "--fn-rate".into(),
+        g.opts.fn_rate.to_string(),
+        "--alpha".into(),
+        g.opts.alpha.to_string(),
+        "--scales".into(),
+        join(&g.scales.iter().map(f64::to_string).collect::<Vec<_>>()),
+        "--models".into(),
+        join(&g.models.iter().map(|m| m.name().to_string()).collect::<Vec<_>>()),
+    ];
+    ShardLauncher::current_exe(args)
+}
+
+fn grid(g: &GridOptions) -> Result<(), String> {
+    let cells = build_grid_cells(g)?;
+    let leads = LeadTimeModel::desh_default();
+    let config = RunnerConfig::new(g.opts.runs, g.opts.seed).with_env_vr();
+    let result = if g.shards > 1 {
+        run_grid_sharded(&cells, &leads, &config, g.shards, &shard_launcher(g)?)?
+    } else {
+        run_grid(&cells, &leads, &config)
+    };
+    let mut t = Table::new(vec!["cell", "model", "total (h)", "vs B", "FT ratio"]).with_title(
+        format!(
+            "{} sweep on {} — {} runs/cell, seed {}",
+            g.opts.app, g.opts.dist.name, g.opts.runs, g.opts.seed
+        ),
+    );
+    for (i, cell) in result.cells.iter().enumerate() {
+        let label = &result.labels[i];
+        if let Some(v) = result.analytic_verdicts[i] {
+            t.row(vec![
+                label.clone(),
+                "-".into(),
+                "-".into(),
+                format!("analytic: {}", if v.pckpt_wins { "p-ckpt" } else { "LM" }),
+                "-".into(),
+            ]);
+            continue;
+        }
+        let base = cell.get(ModelKind::B);
+        for (model, agg) in cell.models.iter().zip(&cell.aggregates) {
+            t.row(vec![
+                label.clone(),
+                model.name().to_string(),
+                format!("{:.2}", agg.total_hours.mean()),
+                match base {
+                    Some(b) if !std::ptr::eq(agg as *const Aggregate, b as *const Aggregate) => {
+                        format!("{:+.1}%", agg.reduction_vs(b))
+                    }
+                    _ => "-".to_string(),
+                },
+                format!("{:.2}", agg.ft_ratio_pooled()),
+            ]);
+        }
+    }
+    println!("{t}");
+    if let Some(s) = result.shard_meta {
+        println!(
+            "sharded over {} subprocess(es): {} re-execution(s), {} frame byte(s)",
+            s.shards, s.reexecutions, s.frame_bytes
+        );
+    }
+    println!(
+        "GRID_JSON {}",
+        result.meta_json(&format!("cli_grid_{}", g.opts.app.to_ascii_lowercase()))
+    );
+    Ok(())
+}
+
+fn shard(g: &GridOptions) -> Result<(), String> {
+    let spec = shard_spec_from_env()
+        .ok_or("shard is internal: requires PCKPT_SHARD=<i>/<RxG> and PCKPT_SHARD_OUT=<path>")?;
+    let cells = build_grid_cells(g)?;
+    let leads = LeadTimeModel::desh_default();
+    run_shard_child(&cells, &leads, &shard_child_config(), &spec)
 }
 
 fn trace_run(model: ModelKind, opts: &SimOptions, run: usize, verbose: bool) -> Result<(), String> {
@@ -346,6 +455,27 @@ mod tests {
         logs_analyze(&path_str).unwrap();
         assert!(logs_analyze("/nonexistent/file.log").is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn grid_small_sweep_runs_in_process() {
+        let g = GridOptions {
+            opts: SimOptions {
+                app: "XGC".into(),
+                runs: 2,
+                ..Default::default()
+            },
+            scales: vec![1.0, 0.5],
+            models: vec![ModelKind::B, ModelKind::P2],
+            shards: 1,
+        };
+        grid(&g).unwrap();
+        // `shard` is internal and refuses to run without the coordinator's
+        // environment contract.
+        let _lock = pckpt_core::env_test_lock();
+        std::env::remove_var("PCKPT_SHARD");
+        let err = shard(&g).unwrap_err();
+        assert!(err.contains("PCKPT_SHARD"), "got: {err}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod oci;
 pub mod prefilter;
 pub mod protocol;
 pub mod runner;
+pub mod shard;
 pub mod sim;
 pub mod tracer;
 
@@ -49,7 +50,12 @@ pub use prefilter::{AnalyticVerdict, Prefilter, DEFAULT_MARGIN};
 pub use runner::{
     parse_runs_spec, parse_vr_spec, record_run, run_grid, run_grid_filtered, run_many, run_models,
     AdaptiveConfig, CampaignResult, GridCell, GridPlan, GridResult, GridWorker, RunArena,
-    RunnerConfig, RunsSpec, VrConfig,
+    RunnerConfig, RunsSpec, ShardMeta, VrConfig,
+};
+pub use shard::{
+    decode_frame, encode_frame, run_grid_sharded, run_grid_sharded_opts, run_shard_child,
+    shard_child_config, shard_spec_from_env, ShardAssignment, ShardFrame, ShardLauncher,
+    ShardOptions, ShardPlan, ShardSpec,
 };
 pub use sim::CrSim;
 

@@ -127,6 +127,14 @@ impl Prefilter {
         );
     }
 
+    /// Renders this filter as a `PCKPT_PREFILTER` value that
+    /// [`Self::parse`] maps back to an equal filter (`f64`'s `Display`
+    /// round-trips exactly); the shard coordinator propagates it into
+    /// children so both sides prune identically.
+    pub fn spec(&self) -> String {
+        format!("analytic:{}", self.margin)
+    }
+
     /// The analytic answer for `cell`, if the filter can decide it
     /// confidently: `None` → simulate (not a crossover cell, σ in the
     /// guard band, or inside the margin band around the threshold).

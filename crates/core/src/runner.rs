@@ -151,6 +151,26 @@ pub fn parse_runs_spec(s: &str) -> Option<RunsSpec> {
     s.parse::<usize>().ok().filter(|&n| n > 0).map(RunsSpec::Fixed)
 }
 
+/// Renders `vr` as a `PCKPT_VR` value that [`parse_vr_spec`] parses back
+/// to the same antithetic/strata selection, or `None` when both are off.
+/// Adaptive allocation lives in `PCKPT_RUNS` and is not rendered here
+/// (the shard coordinator never propagates it — adaptive sweeps fall
+/// back in-process; see `crate::shard`).
+pub(crate) fn vr_env_spec(vr: &VrConfig) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    if vr.antithetic {
+        parts.push("antithetic".to_string());
+    }
+    if vr.strata > 0 {
+        parts.push(format!("stratified:{}", vr.strata));
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(","))
+    }
+}
+
 /// Parses a `PCKPT_VR` value: a comma-separated subset of `antithetic`
 /// and `stratified[:K]` (K defaults to 8). Returns `None` — leaving the
 /// caller's config untouched — when any token is unknown, so a typo
@@ -320,7 +340,7 @@ fn vr_run_rng(master: &SimRng, run: usize, vr: &VrConfig, stratum: u32) -> SimRn
 /// The static (non-adaptive) stratum assignment for run `run`: pairs (or
 /// single runs) round-robin through the strata, so any prefix of the run
 /// sequence is balanced to within one sample per stratum.
-fn fixed_stratum(run: usize, vr: &VrConfig) -> u32 {
+pub(crate) fn fixed_stratum(run: usize, vr: &VrConfig) -> u32 {
     if vr.strata == 0 {
         return 0;
     }
@@ -622,6 +642,7 @@ pub struct GridPlan<'a> {
     groups: Vec<GroupInfo>,
     units: Vec<Unit>,
     lane_base: Vec<usize>,
+    cell_group: Vec<usize>,
     n_lanes: usize,
 }
 
@@ -707,12 +728,19 @@ impl<'a> GridPlan<'a> {
             groups,
             units,
             lane_base,
+            cell_group,
             n_lanes,
         }
     }
 
-    fn lane(&self, cell: usize, model_idx: usize) -> usize {
+    pub(crate) fn lane(&self, cell: usize, model_idx: usize) -> usize {
         self.lane_base[cell] + model_idx
+    }
+
+    /// The trace group of cell `cell` (shard planning keeps each group's
+    /// cells on one shard so cross-cell trace sharing survives the split).
+    pub(crate) fn cell_group(&self, cell: usize) -> usize {
+        self.cell_group[cell]
     }
 
     /// Execution units per run (≤ [`lanes`](Self::lanes); smaller when
@@ -924,6 +952,22 @@ impl ResultSlab {
     }
 }
 
+/// Per-sweep shard/merge accounting, populated by
+/// [`run_grid_sharded`](crate::shard::run_grid_sharded) (`None` for
+/// in-process sweeps; `meta_json` then reports one shard and zero
+/// re-executions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardMeta {
+    /// Shards the planner actually produced (≤ the requested count; 1
+    /// when the coordinator fell back in-process).
+    pub shards: usize,
+    /// Shard re-executions the coordinator performed after child
+    /// failures (non-zero exit, bad frame, timeout).
+    pub reexecutions: usize,
+    /// Total bytes of validated result frames folded into the merge.
+    pub frame_bytes: u64,
+}
+
 /// Results and execution metadata of one [`run_grid`] sweep.
 #[derive(Debug, Clone)]
 pub struct GridResult {
@@ -967,6 +1011,9 @@ pub struct GridResult {
     pub analytic_verdicts: Vec<Option<AnalyticVerdict>>,
     /// Cells answered by the analytic tier instead of simulation.
     pub cells_pruned: usize,
+    /// Shard/merge accounting when the sweep ran through the
+    /// process-sharding coordinator (`None` for in-process sweeps).
+    pub shard_meta: Option<ShardMeta>,
 }
 
 impl GridResult {
@@ -1054,7 +1101,8 @@ impl GridResult {
              \"threads\":{},\"trace_groups\":{},\"trace_generations\":{},\"trace_reuses\":{},\
              \"trace_cache_hit_rate\":{:.4},\"leads_digest\":\"{:016x}\",\
              \"prefilter_pruned\":{},\"prefilter_simulated\":{},\
-             \"total_runs\":{},\"runs_min\":{},\"worst_ci_rel\":{:.6}}}",
+             \"total_runs\":{},\"runs_min\":{},\"worst_ci_rel\":{:.6},\
+             \"shards\":{},\"reexecutions\":{},\"frame_bytes\":{}}}",
             self.cells.len(),
             self.lanes,
             self.units,
@@ -1070,6 +1118,9 @@ impl GridResult {
             self.total_runs(),
             runs_min,
             self.worst_ci_rel(),
+            self.shard_meta.map_or(1, |s| s.shards),
+            self.shard_meta.map_or(0, |s| s.reexecutions),
+            self.shard_meta.map_or(0, |s| s.frame_bytes),
         )
     }
 }
@@ -1136,6 +1187,22 @@ pub fn run_grid_filtered(
     } else {
         Some(run_grid_simulated(&survivors, leads, config))
     };
+    splice_pruned(cells, leads, config, verdicts, simulated)
+}
+
+/// Splices a simulated survivor-grid result back into the full input
+/// cell order: pruned cells get an empty campaign (their answer lives in
+/// `analytic_verdicts`), zero runs, and a zero CI. The shard coordinator
+/// reuses this so a sharded prefiltered sweep splices exactly like an
+/// in-process one.
+pub(crate) fn splice_pruned(
+    cells: &[GridCell],
+    leads: &LeadTimeModel,
+    config: &RunnerConfig,
+    verdicts: Vec<Option<AnalyticVerdict>>,
+    simulated: Option<GridResult>,
+) -> GridResult {
+    let pruned = verdicts.iter().filter(|v| v.is_some()).count();
     let threads = simulated
         .as_ref()
         .map(|g| g.threads)
@@ -1202,12 +1269,13 @@ pub fn run_grid_filtered(
         leads_digest: leads.digest(),
         analytic_verdicts: verdicts,
         cells_pruned: pruned,
+        shard_meta: simulated.as_ref().and_then(|g| g.shard_meta),
     }
 }
 
 /// Relative CI half-width of an aggregate's primary metric (total
 /// overhead hours): `ci_half_width(0.95) / |mean|`, 0 when degenerate.
-fn rel_ci(total_hours: &Summary) -> f64 {
+pub(crate) fn rel_ci(total_hours: &Summary) -> f64 {
     let m = total_hours.mean().abs();
     if m > 0.0 {
         total_hours.ci_half_width(0.95) / m
@@ -1228,57 +1296,12 @@ fn run_grid_simulated(
     }
     let plan = GridPlan::new(cells, leads);
     let runs = config.runs;
-    let n_units = plan.units.len();
-    let total = runs * n_units;
-    let threads = config.effective_threads_for(total);
-    let master = SimRng::seed_from(config.base_seed);
-
-    let slab = ResultSlab::new(plan.n_lanes * runs);
-    let next = AtomicUsize::new(0);
-    let generations = AtomicU64::new(0);
-    let reuses = AtomicU64::new(0);
-    thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let master = master.clone();
-            let plan = &plan;
-            let slab = &slab;
-            let next = &next;
-            let generations = &generations;
-            let reuses = &reuses;
-            let handle = scope.spawn(move || {
-                let mut worker = GridWorker::new(plan);
-                while let Some((start, end)) = claim_chunk(next, total, threads) {
-                    for item in start..end {
-                        // Run-major: consecutive items sweep one run's
-                        // units (group-sorted), maximizing cache hits.
-                        let (run, unit) = (item / n_units, item % n_units);
-                        let result = worker.run_unit(&master, run, unit);
-                        let lanes = &plan.units[unit].lanes;
-                        for &lane in &lanes[1..] {
-                            // SAFETY(slab-claim-partition): this worker
-                            // owns item (run, unit), and with it every
-                            // member lane's (lane, run) slot.
-                            unsafe { slab.put(lane * runs + run, result.clone()) };
-                        }
-                        // SAFETY(slab-claim-partition): as above.
-                        unsafe { slab.put(lanes[0] * runs + run, result) };
-                    }
-                }
-                generations.fetch_add(worker.trace_generations, Ordering::Relaxed);
-                reuses.fetch_add(worker.trace_reuses, Ordering::Relaxed);
-            });
-            handles.push(handle);
-        }
-        for handle in handles {
-            // A worker panic is already fatal; re-raise it here. simlint: allow(no-unwrap-in-lib)
-            handle.join().expect("worker panicked");
-        }
-    });
+    let pool = run_pool_range(&plan, config, 0, runs);
+    let threads = pool.threads;
 
     // Deterministic main-thread fold: per lane, ascending run order —
     // the exact push sequence a standalone run_models performs.
-    let slots = slab.into_results();
+    let slots = pool.slots;
     let mut results = Vec::with_capacity(cells.len());
     for (c, cell) in cells.iter().enumerate() {
         let mut aggregates: Vec<Aggregate> =
@@ -1318,11 +1341,101 @@ fn run_grid_simulated(
         trace_groups: plan.trace_groups(),
         lanes: plan.lanes(),
         units: plan.units(),
-        trace_generations: generations.into_inner(),
-        trace_reuses: reuses.into_inner(),
+        trace_generations: pool.trace_generations,
+        trace_reuses: pool.trace_reuses,
         leads_digest: leads.digest(),
         analytic_verdicts: vec![None; cells.len()],
         cells_pruned: 0,
+        shard_meta: None,
+    }
+}
+
+/// Results of one [`run_pool_range`] sweep: `lane * span + (run - r0)`
+/// indexed per-run results plus the pool's execution accounting.
+pub(crate) struct PoolRange {
+    /// One slot per `(lane, run)` pair in the executed range.
+    pub slots: Vec<Option<RunResult>>,
+    /// Trace generations performed across all workers.
+    pub trace_generations: u64,
+    /// Unit executions served from a worker's per-run trace cache.
+    pub trace_reuses: u64,
+    /// Worker threads the pool actually ran on.
+    pub threads: usize,
+}
+
+/// Executes every unit of `plan` for the contiguous global-run range
+/// `[r0, r1)` through one work-stealing pool.
+///
+/// Each `(lane, run)` result is deterministic in `(config.base_seed,
+/// config.vr, run, unit)` alone — worker caches and chunk interleaving
+/// never reach the results — so executing a sub-range reproduces exactly
+/// the slots the same runs would fill inside a full `[0, runs)` sweep.
+/// That sub-range exactness is what makes process-sharding bit-identical
+/// (see `crate::shard`). Workers derive per-run RNG streams under
+/// `config.vr` with the static stratum schedule; adaptive allocation
+/// (which needs sequential feedback) must use [`run_grid`]'s VR pool
+/// instead.
+pub(crate) fn run_pool_range(
+    plan: &GridPlan,
+    config: &RunnerConfig,
+    r0: usize,
+    r1: usize,
+) -> PoolRange {
+    assert!(r0 < r1, "non-empty run range required");
+    let span = r1 - r0;
+    let n_units = plan.units.len();
+    let total = span * n_units;
+    let threads = config.effective_threads_for(total);
+    let master = SimRng::seed_from(config.base_seed);
+    let vr = config.vr;
+
+    let slab = ResultSlab::new(plan.n_lanes * span);
+    let next = AtomicUsize::new(0);
+    let generations = AtomicU64::new(0);
+    let reuses = AtomicU64::new(0);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let master = master.clone();
+            let slab = &slab;
+            let next = &next;
+            let generations = &generations;
+            let reuses = &reuses;
+            let handle = scope.spawn(move || {
+                let mut worker = GridWorker::with_vr(plan, vr);
+                while let Some((start, end)) = claim_chunk(next, total, threads) {
+                    for item in start..end {
+                        // Run-major: consecutive items sweep one run's
+                        // units (group-sorted), maximizing cache hits.
+                        let (off, unit) = (item / n_units, item % n_units);
+                        let result = worker.run_unit(&master, r0 + off, unit);
+                        let lanes = &plan.units[unit].lanes;
+                        for &lane in &lanes[1..] {
+                            // SAFETY(slab-claim-partition): this worker
+                            // owns item (run, unit), and with it every
+                            // member lane's (lane, run) slot.
+                            unsafe { slab.put(lane * span + off, result.clone()) };
+                        }
+                        // SAFETY(slab-claim-partition): as above.
+                        unsafe { slab.put(lanes[0] * span + off, result) };
+                    }
+                }
+                generations.fetch_add(worker.trace_generations, Ordering::Relaxed);
+                reuses.fetch_add(worker.trace_reuses, Ordering::Relaxed);
+            });
+            handles.push(handle);
+        }
+        for handle in handles {
+            // A worker panic is already fatal; re-raise it here. simlint: allow(no-unwrap-in-lib)
+            handle.join().expect("worker panicked");
+        }
+    });
+
+    PoolRange {
+        slots: slab.into_results(),
+        trace_generations: generations.into_inner(),
+        trace_reuses: reuses.into_inner(),
+        threads,
     }
 }
 
@@ -1334,7 +1447,7 @@ fn run_grid_simulated(
 /// stratum-weighted fold. Using the crude per-run variance in those modes
 /// would overstate (antithetic) or understate (stratified) the CI and
 /// corrupt the stopping rule.
-enum CiTracker {
+pub(crate) enum CiTracker {
     /// Crude per-run variance (no VR).
     Plain(Summary),
     /// Variance over antithetic pair means.
@@ -1347,7 +1460,7 @@ enum CiTracker {
 }
 
 impl CiTracker {
-    fn new(vr: &VrConfig) -> Self {
+    pub(crate) fn new(vr: &VrConfig) -> Self {
         match (vr.antithetic, vr.strata) {
             (false, 0) => Self::Plain(Summary::new()),
             (true, 0) => Self::Paired(PairedSummary::new()),
@@ -1359,7 +1472,7 @@ impl CiTracker {
     /// Adds one per-run observation. Callers push in ascending run order
     /// (the fold order), which is what makes consecutive pushes of one
     /// stratum form antithetic pairs.
-    fn push(&mut self, stratum: u32, x: f64) {
+    pub(crate) fn push(&mut self, stratum: u32, x: f64) {
         match self {
             Self::Plain(s) => s.push(x),
             Self::Paired(p) => p.push(x),
@@ -1407,7 +1520,7 @@ impl CiTracker {
 
     /// Relative CI half-width (`half_width / |mean|`), 0 when not yet
     /// statable or degenerate.
-    fn rel_ci(&self, confidence: f64) -> f64 {
+    pub(crate) fn rel_ci(&self, confidence: f64) -> f64 {
         let m = self.mean().abs();
         match self.half_width(confidence) {
             Some(hw) if m > 0.0 => hw / m,
@@ -1661,6 +1774,7 @@ fn run_grid_vr(cells: &[GridCell], leads: &LeadTimeModel, config: &RunnerConfig)
         leads_digest: leads.digest(),
         analytic_verdicts: vec![None; cells.len()],
         cells_pruned: 0,
+        shard_meta: None,
     }
 }
 

@@ -50,6 +50,25 @@ impl FailureDistribution {
     /// All three evaluation distributions, in the paper's order.
     pub const ALL: [Self; 3] = [Self::LANL_SYSTEM_8, Self::LANL_SYSTEM_18, Self::OLCF_TITAN];
 
+    /// The distribution selected by CLI short key `key` (`titan`,
+    /// `lanl8`, `lanl18`; case-insensitive) — the inverse of
+    /// [`Self::short_key`].
+    pub fn by_name(key: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|d| d.short_key().eq_ignore_ascii_case(key.trim()))
+    }
+
+    /// Stable CLI short key for this distribution, suitable for
+    /// re-serializing a parsed `--dist` into a child process's argv.
+    pub fn short_key(&self) -> &'static str {
+        match self.name {
+            "LANL System 8" => "lanl8",
+            "LANL System 18" => "lanl18",
+            _ => "titan",
+        }
+    }
+
     /// System-wide Weibull inter-arrival distribution (hours).
     pub fn system_weibull(&self) -> Weibull {
         Weibull::new(self.shape, self.scale_hours)

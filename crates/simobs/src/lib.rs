@@ -599,6 +599,63 @@ impl FixedHist {
         self.sum += other.sum;
     }
 
+    /// Appends the histogram's wire encoding to `out`: a one-byte count
+    /// of non-empty buckets, then strictly ascending `(index u8,
+    /// count u64 LE)` pairs, then the `u128` LE sum. Sparse because the
+    /// shard result frames carry four of these per run and most runs
+    /// populate a handful of buckets.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let n = self.buckets.iter().filter(|&&b| b != 0).count() as u8;
+        out.push(n);
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b != 0 {
+                out.push(i as u8);
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.sum.to_le_bytes());
+    }
+
+    /// Decodes an [`encode_into`](Self::encode_into) encoding starting at
+    /// `bytes[*pos]`, advancing `*pos` past it. Rejects truncated input
+    /// and non-canonical bucket lists (out-of-range or non-ascending
+    /// indices), so a decoded histogram re-encodes to identical bytes.
+    pub fn decode_from(bytes: &[u8], pos: &mut usize) -> Result<Self, String> {
+        let take = |pos: &mut usize, n: usize| -> Result<usize, String> {
+            let at = *pos;
+            if bytes.len() - at.min(bytes.len()) < n {
+                return Err(format!("histogram truncated at byte {at}"));
+            }
+            *pos = at + n;
+            Ok(at)
+        };
+        let mut hist = FixedHist::new();
+        let at = take(pos, 1)?;
+        let n = bytes[at] as usize;
+        let mut prev: Option<usize> = None;
+        for _ in 0..n {
+            let at = take(pos, 1)?;
+            let idx = bytes[at] as usize;
+            if idx >= 64 || prev.is_some_and(|p| idx <= p) {
+                return Err(format!("non-canonical histogram bucket index {idx}"));
+            }
+            prev = Some(idx);
+            let at = take(pos, 8)?;
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[at..at + 8]);
+            let count = u64::from_le_bytes(raw);
+            if count == 0 {
+                return Err(format!("empty bucket {idx} in sparse histogram"));
+            }
+            hist.buckets[idx] = count;
+        }
+        let at = take(pos, 16)?;
+        let mut raw = [0u8; 16];
+        raw.copy_from_slice(&bytes[at..at + 16]);
+        hist.sum = u128::from_le_bytes(raw);
+        Ok(hist)
+    }
+
     /// Appends `{"count":..,"mean":..,"buckets":[[i,n],..]}` (sparse:
     /// only non-empty buckets) to `out`.
     fn json_into(&self, out: &mut String) {
@@ -647,6 +704,43 @@ impl RunObs {
     /// Zeroes every counter and histogram in place (arena reuse).
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+
+    /// Appends the snapshot's wire encoding to `out`: the three counters
+    /// as `u64` LE, then the four histograms via
+    /// [`FixedHist::encode_into`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.events_handled.to_le_bytes());
+        out.extend_from_slice(&self.events_scheduled.to_le_bytes());
+        out.extend_from_slice(&self.queue_depth_hwm.to_le_bytes());
+        self.lat_bb.encode_into(out);
+        self.lat_phase1.encode_into(out);
+        self.lat_pfs_full.encode_into(out);
+        self.recomp.encode_into(out);
+    }
+
+    /// Decodes an [`encode_into`](Self::encode_into) encoding starting at
+    /// `bytes[*pos]`, advancing `*pos` past it. Errors on truncation.
+    pub fn decode_from(bytes: &[u8], pos: &mut usize) -> Result<Self, String> {
+        let word = |pos: &mut usize| -> Result<u64, String> {
+            let at = *pos;
+            if bytes.len() - at.min(bytes.len()) < 8 {
+                return Err(format!("run snapshot truncated at byte {at}"));
+            }
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[at..at + 8]);
+            *pos = at + 8;
+            Ok(u64::from_le_bytes(raw))
+        };
+        Ok(RunObs {
+            events_handled: word(pos)?,
+            events_scheduled: word(pos)?,
+            queue_depth_hwm: word(pos)?,
+            lat_bb: FixedHist::decode_from(bytes, pos)?,
+            lat_phase1: FixedHist::decode_from(bytes, pos)?,
+            lat_pfs_full: FixedHist::decode_from(bytes, pos)?,
+            recomp: FixedHist::decode_from(bytes, pos)?,
+        })
     }
 }
 
@@ -1045,5 +1139,62 @@ mod tests {
         assert_eq!(kind::name(kind::POP), "pop");
         assert_eq!(kind::name(kind::PHASE1_COMMIT), "phase1_commit");
         assert_eq!(kind::name(999), "unknown");
+    }
+
+    #[test]
+    fn hist_wire_roundtrip_is_identity() {
+        let mut h = FixedHist::new();
+        for v in [0u64, 1, 7, 1 << 20, u64::MAX, 1 << 20] {
+            h.record(v);
+        }
+        let mut bytes = Vec::new();
+        h.encode_into(&mut bytes);
+        let mut pos = 0;
+        let back = FixedHist::decode_from(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back, h);
+        // Canonical: a decode re-encodes to identical bytes.
+        let mut again = Vec::new();
+        back.encode_into(&mut again);
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn hist_wire_rejects_every_truncation() {
+        let mut h = FixedHist::new();
+        h.record(3);
+        h.record(1 << 33);
+        let mut bytes = Vec::new();
+        h.encode_into(&mut bytes);
+        for cut in 0..bytes.len() {
+            let mut pos = 0;
+            assert!(
+                FixedHist::decode_from(&bytes[..cut], &mut pos).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn run_obs_wire_roundtrip_is_identity() {
+        let mut o = RunObs {
+            events_handled: 12,
+            events_scheduled: 15,
+            queue_depth_hwm: 4,
+            ..RunObs::default()
+        };
+        o.lat_bb.record(9_000_000);
+        o.recomp.record(123);
+        o.recomp.record(1 << 40);
+        let mut bytes = Vec::new();
+        o.encode_into(&mut bytes);
+        let mut pos = 0;
+        let back = RunObs::decode_from(&bytes, &mut pos).unwrap();
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back, o);
+        for cut in 0..bytes.len() {
+            let mut pos = 0;
+            assert!(RunObs::decode_from(&bytes[..cut], &mut pos).is_err());
+        }
     }
 }

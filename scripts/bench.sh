@@ -6,7 +6,7 @@
 # sweep vs serial cells, scalar vs SoA analytic evaluation) and the
 # end-to-end campaign + grid-sweep timers, then folds the
 # machine-parsable CRITERION_JSON / CAMPAIGN_JSON / GRID_JSON /
-# METRICS_JSON lines into one snapshot (default BENCH_pr8.json; earlier
+# METRICS_JSON lines into one snapshot (default BENCH_pr9.json; earlier
 # BENCH_pr<N>.json files are kept as the perf trajectory across the PR
 # sequence):
 #
@@ -35,6 +35,14 @@
 #   vr_ci_rel_*                    attained relative CI per strategy
 #                                  (plain / antithetic / stratified /
 #                                  both) at one fixed POP budget
+#   shard_speedup                  Fig.-4 sweep, one single-threaded
+#                                  process vs 2 single-threaded shard
+#                                  subprocesses with a bit-identical
+#                                  coordinator merge (≤ 1x on a
+#                                  single-core host — see bench_grid)
+#   shard_reexecutions             shard children re-executed by the
+#                                  coordinator's failure recovery (0 on
+#                                  a healthy run)
 #
 # Usage: scripts/bench.sh [output.json]
 # Env:   PCKPT_RUNS (campaign size, default 1000), PCKPT_SEED,
@@ -44,7 +52,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr8.json}
+OUT=${1:-BENCH_pr9.json}
 BENCH_LOG=$(mktemp)
 CAMPAIGN_LOG=$(mktemp)
 trap 'rm -f "$BENCH_LOG" "$CAMPAIGN_LOG"' EXIT
@@ -149,6 +157,15 @@ if vr:
                      "antithetic_stratified"):
         doc[f"vr_ci_rel_{strategy}"] = vr[f"ci_rel_{strategy}"]
 
+# Shard scale-out: the Fig.-4 sweep fanned across 2 subprocesses with a
+# bit-identical coordinator merge (digest_match is asserted inside
+# bench_grid before the line is even printed).
+shard = grids.get("shard_scaleout_fig4")
+if shard:
+    doc["shard_speedup"] = shard["shard_speedup"]
+    doc["shard_reexecutions"] = shard["reexecutions"]
+    doc["shard_frame_bytes"] = shard["frame_bytes"]
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
@@ -175,6 +192,8 @@ for key in (
     "vr_ci_rel_antithetic",
     "vr_ci_rel_stratified",
     "vr_ci_rel_antithetic_stratified",
+    "shard_speedup",
+    "shard_reexecutions",
 ):
     if key in doc:
         print(f"  {key}: {doc[key]}")

@@ -29,41 +29,53 @@
 #                             consistency, VR/adaptive thread-count
 #                             invariance, the adaptive-grid golden
 #                             digest, and the VR-on zero-allocation gate
+#   8. shard scale-out        cross-process equivalence (sharded merges
+#                             bit-identical to single-process sweeps,
+#                             incl. VR and prefilter modes), the sharded
+#                             golden grid, and the fault-injection suite
+#                             (killed / truncated / corrupted / hung
+#                             children recover to the same digest)
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==== [1/7] tier-1 gate (scripts/lint.sh) ===="
+echo "==== [1/8] tier-1 gate (scripts/lint.sh) ===="
 scripts/lint.sh
 
 echo
-echo "==== [2/7] workspace tests ===="
+echo "==== [2/8] workspace tests ===="
 cargo test -q --workspace
 
 echo
-echo "==== [3/7] examples build ===="
+echo "==== [3/8] examples build ===="
 cargo build -q --examples
 
 echo
-echo "==== [4/7] trace-feature tests ===="
+echo "==== [4/8] trace-feature tests ===="
 cargo test -q --features trace
 
 echo
-echo "==== [5/7] analytic tier: batch + prefilter equivalence ===="
+echo "==== [5/8] analytic tier: batch + prefilter equivalence ===="
 cargo test -q -p pckpt-analysis --test batch_equivalence
 cargo test -q --test grid_equivalence
 
 echo
-echo "==== [6/7] schedcheck exhaustive + simlint fixtures ===="
+echo "==== [6/8] schedcheck exhaustive + simlint fixtures ===="
 cargo test -q -p schedcheck
 cargo test -q -p simlint
 
 echo
-echo "==== [7/7] variance reduction: marginals, folds, determinism ===="
+echo "==== [7/8] variance reduction: marginals, folds, determinism ===="
 cargo test -q --test variance_reduction
 cargo test -q --test trace_determinism adaptive_grid
 cargo test -q -p pckpt-core --test alloc_free
+
+echo
+echo "==== [8/8] shard scale-out: equivalence + fault injection ===="
+cargo test -q --test grid_equivalence sharded
+cargo test -q --test trace_determinism sharded_grid
+cargo test -q --test shard_faults
 
 echo
 echo "ci.sh: all stages passed"

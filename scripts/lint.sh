@@ -47,20 +47,30 @@ for tag, n in seen.items():
 print("bench smoke ok (2 campaigns, 2 metrics blocks)")
 '
 
-echo "== bench smoke (1-run grid + prefilter + VR headline) =="
+echo "== bench smoke (1-run grid + prefilter + VR + shard headline) =="
 # One-run grid sweep: the grid METRICS_JSON must carry the analytic
-# pre-filter accounting (pruned + simulated == cells on every grid), the
-# POP crossover sweep must actually prune at least half its cells, and
-# the variance-reduction headline (which runs at its own fixed budgets,
-# independent of PCKPT_RUNS) must beat fixed provisioning.
+# pre-filter accounting (pruned + simulated == cells on every grid) and
+# consistent shard accounting (shards >= 1; an unsharded grid reports
+# zero re-executions and frame bytes, a sharded one carries real
+# frames), the POP crossover sweep must actually prune at least half its
+# cells, the variance-reduction headline (which runs at its own fixed
+# budgets, independent of PCKPT_RUNS) must beat fixed provisioning, and
+# the shard scale-out headline must report a bit-identical 2-shard
+# merge. No speedup floor on sharding: on a single-core host parallel
+# shards timeslice and the ratio measures coordination overhead only.
 PCKPT_RUNS=1 cargo run --release -q -p pckpt-bench --bin bench_grid \
     | python3 -c '
 import json, sys
-grids = prefilter = vr = 0
+grids = prefilter = vr = shard = 0
 for line in sys.stdin:
     if line.startswith("METRICS_JSON ") and "\"prefilter_pruned\"" in line:
         rec = json.loads(line[len("METRICS_JSON "):])
         assert rec["prefilter_pruned"] + rec["prefilter_simulated"] == rec["cells"], rec
+        assert rec["shards"] >= 1 and rec["reexecutions"] >= 0, rec
+        if rec["shards"] == 1:
+            assert rec["reexecutions"] == 0 and rec["frame_bytes"] == 0, rec
+        else:
+            assert rec["frame_bytes"] > 0, rec
         grids += 1
     if line.startswith("GRID_JSON "):
         rec = json.loads(line[len("GRID_JSON "):])
@@ -72,10 +82,17 @@ for line in sys.stdin:
             assert rec["variance_reduction_speedup"] > 1.5, rec
             assert 0.0 < rec["adaptive_runs_saved_pct"] < 100.0, rec
             vr += 1
-assert grids == 5, f"expected 5 grid METRICS_JSON lines, saw {grids}"
+        if rec["name"] == "shard_scaleout_fig4":
+            assert rec["shards"] == 2 and rec["digest_match"] is True, rec
+            assert rec["reexecutions"] == 0 and rec["frame_bytes"] > 0, rec
+            assert rec["shard_speedup"] > 0.0, rec
+            shard += 1
+assert grids == 6, f"expected 6 grid METRICS_JSON lines, saw {grids}"
 assert prefilter == 1, "missing grid_prefilter_pop GRID_JSON line"
 assert vr == 1, "missing variance_reduction_fig4 GRID_JSON line"
-print("grid smoke ok (5 grids, prefilter prunes >= 50%, VR speedup > 1.5x)")
+assert shard == 1, "missing shard_scaleout_fig4 GRID_JSON line"
+print("grid smoke ok (6 grids, prefilter prunes >= 50%, VR speedup > 1.5x, "
+      "2-shard merge bit-identical)")
 '
 
 echo "lint.sh: all gates passed"
