@@ -239,10 +239,22 @@ fn shard_scaleout_headline(leads: &LeadTimeModel) {
     }
     let meta = sharded.shard_meta.expect("sharded runs report shard_meta");
     let speedup = single_wall / sharded_wall;
+    // A bare speedup number is ambiguous: on a host with fewer free
+    // cores than shards, parallel single-threaded processes merely
+    // timeslice one core, and the ratio measures *coordination
+    // overhead* (spawn + frame I/O + merge), not scale-out. Report the
+    // regime alongside the number so downstream consumers never read a
+    // 0.9x on a starved CI box as a parallelism regression.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let regime = if host_cores >= SHARDS {
+        "parallel"
+    } else {
+        "coordination_overhead"
+    };
     println!(
         "  shard scale-out fig4 ({} cells x {SHARD_BUDGET} runs): single {single_wall:.3} s, \
-         {SHARDS} shards {sharded_wall:.3} s  ({speedup:.2}x, {} re-execution(s), \
-         {} frame bytes, digests bit-identical)",
+         {SHARDS} shards {sharded_wall:.3} s  ({speedup:.2}x {regime} on {host_cores} core(s), \
+         {} re-execution(s), {} frame bytes, digests bit-identical)",
         cells.len(),
         meta.reexecutions,
         meta.frame_bytes,
@@ -251,6 +263,7 @@ fn shard_scaleout_headline(leads: &LeadTimeModel) {
         "GRID_JSON {{\"name\":\"shard_scaleout_fig4\",\"cells\":{n},\"runs_per_cell\":{SHARD_BUDGET},\
          \"shards\":{shards},\"single_wall_secs\":{single_wall:.6},\
          \"sharded_wall_secs\":{sharded_wall:.6},\"shard_speedup\":{speedup:.3},\
+         \"host_cores\":{host_cores},\"shard_speedup_regime\":\"{regime}\",\
          \"reexecutions\":{reexec},\"frame_bytes\":{fb},\"digest_match\":true}}",
         n = cells.len(),
         shards = meta.shards,

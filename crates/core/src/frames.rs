@@ -1,0 +1,229 @@
+//! The binary result-frame codec shared by shard children and the
+//! campaign service.
+//!
+//! PR 9's shard frames established the wire discipline this module
+//! extracts: little-endian fixed-width fields, raw [`RunResult`]s (every
+//! `f64` travels by bit pattern, so decode ∘ encode is the identity on
+//! results), and a trailing FNV-1a digest over everything before it —
+//! truncation at any prefix length and any corrupted byte are detected
+//! before a single field is trusted. The shard codec
+//! ([`crate::shard::encode_frame`]), the service's cell cache entries,
+//! and the sweep journal all compose these primitives, so there is
+//! exactly one implementation of the byte layout.
+
+use crate::metrics::{OverheadLedger, RunResult};
+
+/// Frame format version shared by every frame-shaped artifact (shard
+/// frames, cache cells, journal records). Bump on any layout change.
+pub const FRAME_VERSION: u16 = 1;
+
+// ---------------------------------------------------------------------
+// Little-endian primitives
+// ---------------------------------------------------------------------
+
+/// Appends a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` by bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Takes the next `n` bytes or reports the truncation offset.
+pub fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], String> {
+    let at = *pos;
+    if bytes.len().saturating_sub(at) < n {
+        return Err(format!("frame truncated at byte {at}"));
+    }
+    *pos = at + n;
+    Ok(&bytes[at..at + n])
+}
+
+/// Reads a little-endian `u16`.
+pub fn get_u16(bytes: &[u8], pos: &mut usize) -> Result<u16, String> {
+    let mut raw = [0u8; 2];
+    raw.copy_from_slice(take(bytes, pos, 2)?);
+    Ok(u16::from_le_bytes(raw))
+}
+
+/// Reads a little-endian `u32`.
+pub fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(take(bytes, pos, 4)?);
+    Ok(u32::from_le_bytes(raw))
+}
+
+/// Reads a little-endian `u64`.
+pub fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(take(bytes, pos, 8)?);
+    Ok(u64::from_le_bytes(raw))
+}
+
+/// Reads an `f64` by bit pattern.
+pub fn get_f64(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    Ok(f64::from_bits(get_u64(bytes, pos)?))
+}
+
+// ---------------------------------------------------------------------
+// RunResult codec
+// ---------------------------------------------------------------------
+
+/// Serializes one raw per-run result (ledger, wall/ideal/OCI seconds,
+/// observability counters) — the exact stream the deterministic fold
+/// replays, so every `f64` travels by bit pattern.
+pub fn encode_run_result(out: &mut Vec<u8>, r: &RunResult) {
+    let l = &r.ledger;
+    put_f64(out, l.ckpt_secs);
+    put_f64(out, l.lm_slowdown_secs);
+    put_f64(out, l.recomp_secs);
+    put_f64(out, l.recovery_secs);
+    for c in [
+        l.failures_total,
+        l.failures_predicted,
+        l.mitigated_by_lm,
+        l.mitigated_by_pckpt,
+        l.mitigated_by_safeguard,
+        l.false_positive_actions,
+        l.pckpt_rounds,
+        l.safeguard_ckpts,
+        l.lm_started,
+        l.lm_aborted,
+        l.periodic_ckpts,
+    ] {
+        put_u64(out, c);
+    }
+    put_f64(out, r.wall_secs);
+    put_f64(out, r.ideal_secs);
+    put_f64(out, r.final_oci_secs);
+    r.obs.encode_into(out);
+}
+
+/// Inverse of [`encode_run_result`].
+pub fn decode_run_result(bytes: &[u8], pos: &mut usize) -> Result<RunResult, String> {
+    let mut r = RunResult::default();
+    decode_run_result_into(bytes, pos, &mut r)?;
+    Ok(r)
+}
+
+/// [`decode_run_result`] into a caller-owned result, overwriting its
+/// previous contents. A `RunResult` is ~2 KiB (four fixed histograms),
+/// so a loop decoding thousands of them reuses one scratch value
+/// instead of moving a fresh one out per call. On error the contents
+/// are unspecified.
+pub fn decode_run_result_into(
+    bytes: &[u8],
+    pos: &mut usize,
+    out: &mut RunResult,
+) -> Result<(), String> {
+    out.ledger = OverheadLedger {
+        ckpt_secs: get_f64(bytes, pos)?,
+        lm_slowdown_secs: get_f64(bytes, pos)?,
+        recomp_secs: get_f64(bytes, pos)?,
+        recovery_secs: get_f64(bytes, pos)?,
+        failures_total: get_u64(bytes, pos)?,
+        failures_predicted: get_u64(bytes, pos)?,
+        mitigated_by_lm: get_u64(bytes, pos)?,
+        mitigated_by_pckpt: get_u64(bytes, pos)?,
+        mitigated_by_safeguard: get_u64(bytes, pos)?,
+        false_positive_actions: get_u64(bytes, pos)?,
+        pckpt_rounds: get_u64(bytes, pos)?,
+        safeguard_ckpts: get_u64(bytes, pos)?,
+        lm_started: get_u64(bytes, pos)?,
+        lm_aborted: get_u64(bytes, pos)?,
+        periodic_ckpts: get_u64(bytes, pos)?,
+    };
+    out.wall_secs = get_f64(bytes, pos)?;
+    out.ideal_secs = get_f64(bytes, pos)?;
+    out.final_oci_secs = get_f64(bytes, pos)?;
+    out.obs.decode_into(bytes, pos)
+}
+
+// ---------------------------------------------------------------------
+// Digest seal
+// ---------------------------------------------------------------------
+
+/// Appends the trailing FNV-1a digest that closes every frame-shaped
+/// artifact, returning the sealed bytes.
+pub fn seal(mut bytes: Vec<u8>) -> Vec<u8> {
+    let digest = crate::fingerprint::fnv1a(&bytes);
+    put_u64(&mut bytes, digest);
+    bytes
+}
+
+/// Verifies a sealed artifact's trailing digest and returns the body it
+/// covers. Truncation at any prefix length and any corrupted byte fail
+/// here, before any field is decoded.
+pub fn check_seal(bytes: &[u8]) -> Result<&[u8], String> {
+    if bytes.len() < 8 {
+        return Err(format!("frame too short ({} bytes)", bytes.len()));
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let mut dpos = bytes.len() - 8;
+    let stated = get_u64(bytes, &mut dpos)?;
+    let actual = crate::fingerprint::fnv1a(body);
+    if stated != actual {
+        return Err(format!(
+            "frame digest mismatch (stated {stated:016x}, computed {actual:016x})"
+        ));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pckpt_simobs::RunObs;
+
+    #[test]
+    fn run_result_roundtrip_is_exact() {
+        let r = RunResult {
+            ledger: OverheadLedger {
+                ckpt_secs: 1.5e-3,
+                lm_slowdown_secs: -0.0,
+                recomp_secs: f64::MIN_POSITIVE,
+                recovery_secs: 1.0 / 3.0,
+                failures_total: u64::MAX,
+                failures_predicted: 7,
+                ..OverheadLedger::default()
+            },
+            wall_secs: 7200.0,
+            ideal_secs: 7000.25,
+            final_oci_secs: 600.125,
+            obs: RunObs::default(),
+        };
+        let mut buf = Vec::new();
+        encode_run_result(&mut buf, &r);
+        let mut pos = 0;
+        let back = decode_run_result(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "no trailing bytes");
+        assert_eq!(back, r);
+        assert_eq!(back.ledger.lm_slowdown_secs.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn seal_detects_truncation_and_corruption() {
+        let sealed = seal(b"canonical payload".to_vec());
+        assert_eq!(check_seal(&sealed).unwrap(), b"canonical payload");
+        for cut in 0..sealed.len() {
+            assert!(check_seal(&sealed[..cut]).is_err(), "prefix {cut} passed");
+        }
+        for at in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[at] ^= 0x40;
+            assert!(check_seal(&bad).is_err(), "corrupt byte {at} passed");
+        }
+    }
+}

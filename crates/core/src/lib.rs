@@ -34,6 +34,8 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod fingerprint;
+pub mod frames;
 pub mod iosim;
 pub mod metrics;
 pub mod oci;
@@ -45,12 +47,17 @@ pub mod sim;
 pub mod tracer;
 
 pub use config::{ModelKind, SimParams};
+pub use fingerprint::{
+    campaign_fingerprint, campaign_fingerprints, cell_fingerprint, Canon, Fingerprint,
+};
 pub use metrics::{Aggregate, OverheadLedger, RunResult};
 pub use prefilter::{AnalyticVerdict, Prefilter, DEFAULT_MARGIN};
 pub use runner::{
-    parse_runs_spec, parse_vr_spec, record_run, run_grid, run_grid_filtered, run_many, run_models,
-    AdaptiveConfig, CampaignResult, GridCell, GridPlan, GridResult, GridWorker, RunArena,
-    RunnerConfig, RunsSpec, ShardMeta, VrConfig,
+    fold_cell_results, fold_cell_results_with, parse_runs_spec, parse_vr_spec, record_run,
+    run_grid, run_grid_filtered,
+    run_grid_with_cell_sink, run_many, run_models, splice_pruned, AdaptiveConfig, CampaignResult,
+    CellFold, CellResults, GridCell, GridPlan, GridResult, GridWorker, RunArena, RunnerConfig,
+    RunsSpec, ShardMeta, VrConfig,
 };
 pub use shard::{
     decode_frame, encode_frame, run_grid_sharded, run_grid_sharded_opts, run_shard_child,

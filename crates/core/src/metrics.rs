@@ -81,7 +81,7 @@ impl OverheadLedger {
 }
 
 /// Result of one simulated run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunResult {
     /// The overhead ledger.
     pub ledger: OverheadLedger,

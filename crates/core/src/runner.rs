@@ -254,11 +254,12 @@ impl RunnerConfig {
 
     /// Worker count for an item space of `items` independent work units
     /// (a lone campaign has one item per run; a grid has
-    /// `runs × execution units`).
+    /// `runs × execution units`). Public so the campaign service can
+    /// report a thread count for fully cache-served sweeps.
     // simlint: config — PCKPT_THREADS is a sanctioned execution-config
     // read: it sizes the worker pool and never reaches a result digest
     // (fold order is lane-major regardless of thread count).
-    fn effective_threads_for(&self, items: usize) -> usize {
+    pub fn effective_threads_for(&self, items: usize) -> usize {
         let t = if self.threads == 0 {
             // `PCKPT_THREADS` overrides auto-detection (containers and CI
             // runners often report the host's core count, not the cgroup
@@ -1193,9 +1194,9 @@ pub fn run_grid_filtered(
 /// Splices a simulated survivor-grid result back into the full input
 /// cell order: pruned cells get an empty campaign (their answer lives in
 /// `analytic_verdicts`), zero runs, and a zero CI. The shard coordinator
-/// reuses this so a sharded prefiltered sweep splices exactly like an
-/// in-process one.
-pub(crate) fn splice_pruned(
+/// and the campaign service reuse this so a sharded or cache-served
+/// prefiltered sweep splices exactly like an in-process one.
+pub fn splice_pruned(
     cells: &[GridCell],
     leads: &LeadTimeModel,
     config: &RunnerConfig,
@@ -1273,6 +1274,138 @@ pub(crate) fn splice_pruned(
     }
 }
 
+/// Folds one cell's raw lane-major per-run results in the canonical
+/// single-process order — per model lane, ascending run — returning the
+/// cell's campaign result and attained relative CI (worst lane).
+///
+/// This is the exact fold [`run_grid`] performs and the exact fold the
+/// shard coordinator replays over frames, so feeding it a cell's
+/// decoded frame reproduces the in-process aggregate bit for bit — the
+/// service cache's equivalence argument. `results[m * config.runs + r]`
+/// must hold lane `m`'s run `r` (the [`CellResults`] iteration order).
+/// Fixed run counts only; adaptive campaigns are never frame-addressed
+/// (see [`run_grid_with_cell_sink`]).
+pub fn fold_cell_results(
+    cell: &GridCell,
+    config: &RunnerConfig,
+    results: &[RunResult],
+    threads: usize,
+) -> (CampaignResult, f64) {
+    assert_eq!(
+        results.len(),
+        cell.models.len() * config.runs,
+        "lane-major results: one slot per (model, run)"
+    );
+    let mut it = results.iter();
+    let folded: Result<_, std::convert::Infallible> =
+        fold_cell_results_with(cell, config, threads, || {
+            // simlint: allow(no-unwrap-in-lib) — assert pins results.len() to the polls made
+            Ok(it.next().expect("length checked above"))
+        });
+    // simlint: allow(no-unwrap-in-lib) — E is Infallible; no error value can exist
+    folded.expect("infallible source")
+}
+
+/// [`fold_cell_results`] over a pull source instead of a slice: the
+/// source is polled `models × runs` times in the canonical lane-major
+/// order, and its first error aborts the fold. This lets a caller fold
+/// a serialized frame straight from its bytes — one decoded result live
+/// at a time — without materializing the whole result vector.
+pub fn fold_cell_results_with<R: std::borrow::Borrow<RunResult>, E>(
+    cell: &GridCell,
+    config: &RunnerConfig,
+    threads: usize,
+    mut next_result: impl FnMut() -> Result<R, E>,
+) -> Result<(CampaignResult, f64), E> {
+    let mut fold = CellFold::new(cell, config, threads);
+    for _ in 0..cell.models.len() * config.runs {
+        fold.push(next_result()?.borrow());
+    }
+    Ok(fold.finish())
+}
+
+/// Incremental (push) form of [`fold_cell_results`]: feed the cell's
+/// results one at a time in the canonical lane-major order, then
+/// [`finish`](Self::finish). Borrowing each result keeps exactly one
+/// `RunResult` live however the caller produces them — a decode loop
+/// can reuse one scratch value for the whole frame.
+pub struct CellFold<'a> {
+    cell: &'a GridCell,
+    vr: VrConfig,
+    runs: usize,
+    threads: usize,
+    aggregates: Vec<Aggregate>,
+    agg: Aggregate,
+    tracker: Option<CiTracker>,
+    run_in_lane: usize,
+    ci: f64,
+}
+
+impl<'a> CellFold<'a> {
+    /// An empty fold for `cell` under `config`. Fixed run counts only.
+    pub fn new(cell: &'a GridCell, config: &RunnerConfig, threads: usize) -> Self {
+        assert!(config.vr.adaptive.is_none(), "fixed run counts only");
+        let vr = config.vr;
+        CellFold {
+            cell,
+            vr,
+            runs: config.runs,
+            threads,
+            aggregates: Vec::with_capacity(cell.models.len()),
+            agg: Aggregate::new(),
+            tracker: vr.is_active().then(|| CiTracker::new(&vr)),
+            run_in_lane: 0,
+            ci: 0.0,
+        }
+    }
+
+    /// Folds the next result in (lane-major order: lane `m`'s runs
+    /// `0..runs`, then lane `m+1`'s). Panics past `models × runs`.
+    pub fn push(&mut self, r: &RunResult) {
+        assert!(
+            self.aggregates.len() < self.cell.models.len(),
+            "more results than models × runs"
+        );
+        self.agg.push(r);
+        if let Some(t) = self.tracker.as_mut() {
+            t.push(
+                fixed_stratum(self.run_in_lane, &self.vr),
+                r.ledger.total_overhead_secs() / 3600.0,
+            );
+        }
+        self.run_in_lane += 1;
+        if self.run_in_lane == self.runs {
+            let lane_ci = match &self.tracker {
+                Some(t) => t.rel_ci(0.95),
+                None => rel_ci(&self.agg.total_hours),
+            };
+            self.ci = self.ci.max(lane_ci);
+            self.aggregates.push(std::mem::replace(&mut self.agg, Aggregate::new()));
+            self.tracker = self.vr.is_active().then(|| CiTracker::new(&self.vr));
+            self.run_in_lane = 0;
+        }
+    }
+
+    /// The folded campaign result and attained relative CI (worst
+    /// lane). Panics unless exactly `models × runs` results were
+    /// pushed.
+    pub fn finish(self) -> (CampaignResult, f64) {
+        assert_eq!(
+            (self.aggregates.len(), self.run_in_lane),
+            (self.cell.models.len(), 0),
+            "fold incomplete: expected models × runs results"
+        );
+        (
+            CampaignResult {
+                models: self.cell.models.clone(),
+                aggregates: self.aggregates,
+                threads: self.threads,
+            },
+            self.ci,
+        )
+    }
+}
+
 /// Relative CI half-width of an aggregate's primary metric (total
 /// overhead hours): `ci_half_width(0.95) / |mean|`, 0 when degenerate.
 pub(crate) fn rel_ci(total_hours: &Summary) -> f64 {
@@ -1284,6 +1417,72 @@ pub(crate) fn rel_ci(total_hours: &Summary) -> f64 {
     }
 }
 
+/// One simulated cell's raw per-run results, handed to a grid sink as
+/// the deterministic main-thread fold completes the cell.
+///
+/// `slots` is the cell's lane-major slice of the pool slab: lane `m`'s
+/// run `r` sits at `m * runs + r`, the exact order the shard frame codec
+/// serializes (`frames::encode_run_result` per slot) — so a sink can
+/// stream the cell straight into a frame without reordering.
+pub struct CellResults<'a> {
+    /// Index of the cell among the simulated cells the pool ran (the
+    /// caller owns any prefilter splicing back to input order).
+    pub cell: usize,
+    /// Runs per lane.
+    pub runs: usize,
+    /// Model lanes of this cell.
+    pub lanes: usize,
+    slots: &'a [Option<RunResult>],
+}
+
+impl CellResults<'_> {
+    /// The `(lane, run)` result.
+    pub fn result(&self, lane: usize, run: usize) -> &RunResult {
+        self.slots[lane * self.runs + run]
+            .as_ref()
+            // The fold only reaches a cell once every slot is filled.
+            // simlint: allow(no-unwrap-in-lib)
+            .expect("every unit produced a result")
+    }
+
+    /// Lane-major, ascending-run iterator — the canonical frame order.
+    pub fn iter(&self) -> impl Iterator<Item = &RunResult> {
+        (0..self.lanes).flat_map(move |m| (0..self.runs).map(move |r| self.result(m, r)))
+    }
+}
+
+/// A per-cell completion callback for [`run_grid_with_cell_sink`].
+pub type CellSink<'a> = dyn FnMut(&CellResults<'_>) + 'a;
+
+/// [`run_grid`] over exactly `cells` (no prefilter), invoking `sink`
+/// with each cell's raw lane-major results as the main-thread fold
+/// completes it — the service layer's journaling/caching hook. Sink
+/// order is deterministic (ascending cell index). The returned grid is
+/// bit-identical to `run_grid_filtered(cells, leads, config, None)`.
+///
+/// Requires a fixed run count: under adaptive allocation
+/// (`config.vr.adaptive`) a cell's results depend on grid-pooled pilot
+/// variances, so per-cell results are not independently addressable and
+/// this function panics rather than hand a sink context-dependent data.
+pub fn run_grid_with_cell_sink(
+    cells: &[GridCell],
+    leads: &LeadTimeModel,
+    config: &RunnerConfig,
+    sink: &mut CellSink<'_>,
+) -> GridResult {
+    assert!(
+        config.vr.adaptive.is_none(),
+        "per-cell sinks require a fixed run count: adaptive allocation's \
+         grid-pooled feedback makes cell results depend on pool composition"
+    );
+    assert!(config.runs > 0, "at least one run required");
+    if config.vr.is_active() {
+        run_grid_vr(cells, leads, config, Some(sink))
+    } else {
+        run_grid_fixed(cells, leads, config, Some(sink))
+    }
+}
+
 /// The simulation pool proper: every input cell is executed.
 fn run_grid_simulated(
     cells: &[GridCell],
@@ -1292,8 +1491,19 @@ fn run_grid_simulated(
 ) -> GridResult {
     assert!(config.runs > 0, "at least one run required");
     if config.vr.is_active() {
-        return run_grid_vr(cells, leads, config);
+        run_grid_vr(cells, leads, config, None)
+    } else {
+        run_grid_fixed(cells, leads, config, None)
     }
+}
+
+/// The fixed-run simulation pool (no VR batching).
+fn run_grid_fixed(
+    cells: &[GridCell],
+    leads: &LeadTimeModel,
+    config: &RunnerConfig,
+    mut sink: Option<&mut CellSink<'_>>,
+) -> GridResult {
     let plan = GridPlan::new(cells, leads);
     let runs = config.runs;
     let pool = run_pool_range(&plan, config, 0, runs);
@@ -1313,6 +1523,15 @@ fn run_grid_simulated(
                 // Every (run, unit) item is claimed exactly once. simlint: allow(no-unwrap-in-lib)
                 agg.push(slot.expect("every unit produced a result"));
             }
+        }
+        if let Some(sink) = sink.as_mut() {
+            let lane0 = plan.lane(c, 0);
+            sink(&CellResults {
+                cell: c,
+                runs,
+                lanes: cell.models.len(),
+                slots: &slots[lane0 * runs..(lane0 + cell.models.len()) * runs],
+            });
         }
         results.push(CampaignResult {
             models: cell.models.clone(),
@@ -1593,7 +1812,15 @@ fn batch_schedule(
 /// A stopped cell's lanes stop folding; its execution units keep running
 /// only while a still-active cell shares them (unit activity is the OR
 /// of its member lanes' cells).
-fn run_grid_vr(cells: &[GridCell], leads: &LeadTimeModel, config: &RunnerConfig) -> GridResult {
+fn run_grid_vr(
+    cells: &[GridCell],
+    leads: &LeadTimeModel,
+    config: &RunnerConfig,
+    mut sink: Option<&mut CellSink<'_>>,
+) -> GridResult {
+    // Sinks are only sound when the whole sweep is one batch (see
+    // run_grid_with_cell_sink); adaptive mode re-batches.
+    debug_assert!(sink.is_none() || config.vr.adaptive.is_none());
     let vr = config.vr;
     let plan = GridPlan::new(cells, leads);
     let n_units = plan.units.len();
@@ -1711,6 +1938,18 @@ fn run_grid_vr(cells: &[GridCell], leads: &LeadTimeModel, config: &RunnerConfig)
                         p.push(schedule[off] as usize, x);
                     }
                 }
+            }
+            if let Some(sink) = sink.as_mut() {
+                // Fixed-count VR is a single batch covering every run,
+                // so the cell is complete here (the debug_assert above
+                // rules out adaptive re-batching).
+                let lane0 = plan.lane(c, 0);
+                sink(&CellResults {
+                    cell: c,
+                    runs: n_batch,
+                    lanes: cells[c].models.len(),
+                    slots: &slots[lane0 * n_batch..(lane0 + cells[c].models.len()) * n_batch],
+                });
             }
             cell_runs[c] += n_batch;
         }

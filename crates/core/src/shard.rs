@@ -42,9 +42,13 @@ use std::thread;
 use std::time::Duration;
 
 use pckpt_failure::LeadTimeModel;
-use pckpt_simobs::RunObs;
 
-use crate::metrics::{Aggregate, OverheadLedger, RunResult};
+use crate::fingerprint::Canon;
+use crate::frames::{
+    check_seal, decode_run_result, encode_run_result, get_u16, get_u32, get_u64, put_u16, put_u32,
+    put_u64, seal, FRAME_VERSION,
+};
+use crate::metrics::{Aggregate, RunResult};
 use crate::prefilter::Prefilter;
 use crate::runner::{
     fixed_stratum, rel_ci, run_pool_range, splice_pruned, vr_env_spec, CampaignResult, CiTracker,
@@ -53,8 +57,6 @@ use crate::runner::{
 
 /// Frame magic: `"PKFR"` little-endian.
 const FRAME_MAGIC: u32 = 0x5246_4b50;
-/// Frame format version.
-const FRAME_VERSION: u16 = 1;
 /// Coordinator poll interval, milliseconds (counted polls substitute for
 /// wall-clock timeouts, keeping the simulator free of clock reads).
 const POLL_MS: u64 = 5;
@@ -253,117 +255,6 @@ pub struct ShardFrame {
     pub trace_reuses: u64,
 }
 
-/// FNV-1a over `bytes` (the frame and binding digest primitive).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f64(out: &mut Vec<u8>, v: f64) {
-    out.extend_from_slice(&v.to_bits().to_le_bytes());
-}
-
-fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], String> {
-    let at = *pos;
-    if bytes.len().saturating_sub(at) < n {
-        return Err(format!("frame truncated at byte {at}"));
-    }
-    *pos = at + n;
-    Ok(&bytes[at..at + n])
-}
-
-fn get_u16(bytes: &[u8], pos: &mut usize) -> Result<u16, String> {
-    let mut raw = [0u8; 2];
-    raw.copy_from_slice(take(bytes, pos, 2)?);
-    Ok(u16::from_le_bytes(raw))
-}
-
-fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
-    let mut raw = [0u8; 4];
-    raw.copy_from_slice(take(bytes, pos, 4)?);
-    Ok(u32::from_le_bytes(raw))
-}
-
-fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
-    let mut raw = [0u8; 8];
-    raw.copy_from_slice(take(bytes, pos, 8)?);
-    Ok(u64::from_le_bytes(raw))
-}
-
-fn get_f64(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
-    Ok(f64::from_bits(get_u64(bytes, pos)?))
-}
-
-fn encode_run_result(out: &mut Vec<u8>, r: &RunResult) {
-    let l = &r.ledger;
-    put_f64(out, l.ckpt_secs);
-    put_f64(out, l.lm_slowdown_secs);
-    put_f64(out, l.recomp_secs);
-    put_f64(out, l.recovery_secs);
-    for c in [
-        l.failures_total,
-        l.failures_predicted,
-        l.mitigated_by_lm,
-        l.mitigated_by_pckpt,
-        l.mitigated_by_safeguard,
-        l.false_positive_actions,
-        l.pckpt_rounds,
-        l.safeguard_ckpts,
-        l.lm_started,
-        l.lm_aborted,
-        l.periodic_ckpts,
-    ] {
-        put_u64(out, c);
-    }
-    put_f64(out, r.wall_secs);
-    put_f64(out, r.ideal_secs);
-    put_f64(out, r.final_oci_secs);
-    r.obs.encode_into(out);
-}
-
-fn decode_run_result(bytes: &[u8], pos: &mut usize) -> Result<RunResult, String> {
-    let ledger = OverheadLedger {
-        ckpt_secs: get_f64(bytes, pos)?,
-        lm_slowdown_secs: get_f64(bytes, pos)?,
-        recomp_secs: get_f64(bytes, pos)?,
-        recovery_secs: get_f64(bytes, pos)?,
-        failures_total: get_u64(bytes, pos)?,
-        failures_predicted: get_u64(bytes, pos)?,
-        mitigated_by_lm: get_u64(bytes, pos)?,
-        mitigated_by_pckpt: get_u64(bytes, pos)?,
-        mitigated_by_safeguard: get_u64(bytes, pos)?,
-        false_positive_actions: get_u64(bytes, pos)?,
-        pckpt_rounds: get_u64(bytes, pos)?,
-        safeguard_ckpts: get_u64(bytes, pos)?,
-        lm_started: get_u64(bytes, pos)?,
-        lm_aborted: get_u64(bytes, pos)?,
-        periodic_ckpts: get_u64(bytes, pos)?,
-    };
-    Ok(RunResult {
-        ledger,
-        wall_secs: get_f64(bytes, pos)?,
-        ideal_secs: get_f64(bytes, pos)?,
-        final_oci_secs: get_f64(bytes, pos)?,
-        obs: RunObs::decode_from(bytes, pos)?,
-    })
-}
-
 /// Serializes a frame: header, results, accounting, trailing FNV-1a
 /// digest. [`decode_frame`] of the output is the identity (pinned by the
 /// round-trip proptest in `tests/shard_faults.rs`).
@@ -387,9 +278,7 @@ pub fn encode_frame(frame: &ShardFrame) -> Vec<u8> {
     put_u32(&mut out, frame.threads);
     put_u64(&mut out, frame.trace_generations);
     put_u64(&mut out, frame.trace_reuses);
-    let digest = fnv1a(&out);
-    put_u64(&mut out, digest);
-    out
+    seal(out)
 }
 
 /// Parses and validates a frame: magic, version, structural consistency
@@ -397,18 +286,7 @@ pub fn encode_frame(frame: &ShardFrame) -> Vec<u8> {
 /// trailing FNV-1a digest — truncation at any prefix length and any
 /// corrupted byte are detected.
 pub fn decode_frame(bytes: &[u8]) -> Result<ShardFrame, String> {
-    if bytes.len() < 8 {
-        return Err(format!("frame too short ({} bytes)", bytes.len()));
-    }
-    let body = &bytes[..bytes.len() - 8];
-    let mut dpos = bytes.len() - 8;
-    let stated = get_u64(bytes, &mut dpos)?;
-    let actual = fnv1a(body);
-    if stated != actual {
-        return Err(format!(
-            "frame digest mismatch (stated {stated:016x}, computed {actual:016x})"
-        ));
-    }
+    let body = check_seal(bytes)?;
     let pos = &mut 0usize;
     let magic = get_u32(body, pos)?;
     if magic != FRAME_MAGIC {
@@ -468,18 +346,15 @@ pub fn decode_frame(bytes: &[u8]) -> Result<ShardFrame, String> {
 // Binding digest
 // ---------------------------------------------------------------------
 
-fn push_len_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
-    put_u64(buf, bytes.len() as u64);
-    buf.extend_from_slice(bytes);
-}
-
 /// Digest binding a frame to one exact campaign slice: seed, runs, VR
 /// selection, prefilter spec, leads digest, every survivor cell's
 /// identity (label, models, full `Debug` parameter rendering — stable
 /// within one binary, and coordinator and children are the same binary),
 /// the shard geometry, and the shard's own assignment. Coordinator and
 /// child compute it independently from their own reconstruction; a
-/// mismatch means the child simulated a different campaign.
+/// mismatch means the child simulated a different campaign. Built on the
+/// shared [`Canon`] normal form — the same rendering the service's cell
+/// and campaign fingerprints use (`crate::fingerprint`).
 fn binding_digest(
     config: &RunnerConfig,
     leads_digest: u64,
@@ -488,33 +363,28 @@ fn binding_digest(
     plan: &ShardPlan,
     asg: &ShardAssignment,
 ) -> u64 {
-    let mut buf = Vec::new();
-    put_u16(&mut buf, FRAME_VERSION);
-    put_u64(&mut buf, config.base_seed);
-    put_u64(&mut buf, config.runs as u64);
-    buf.push(u8::from(config.vr.antithetic));
-    put_u32(&mut buf, config.vr.strata);
-    put_u64(&mut buf, leads_digest);
-    push_len_bytes(&mut buf, prefilter_spec.as_bytes());
-    put_u64(&mut buf, survivors.len() as u64);
+    let mut canon = Canon::new();
+    canon.push_u16(FRAME_VERSION);
+    canon.push_u64(config.base_seed);
+    canon.push_u64(config.runs as u64);
+    canon.push_u8(u8::from(config.vr.antithetic));
+    canon.push_u32(config.vr.strata);
+    canon.push_u64(leads_digest);
+    canon.push_str(prefilter_spec);
+    canon.push_u64(survivors.len() as u64);
     for cell in survivors {
-        push_len_bytes(&mut buf, cell.label.as_bytes());
-        put_u64(&mut buf, cell.models.len() as u64);
-        for m in &cell.models {
-            push_len_bytes(&mut buf, m.name().as_bytes());
-        }
-        push_len_bytes(&mut buf, format!("{:?}", cell.params).as_bytes());
+        canon.push_cell(cell);
     }
-    put_u64(&mut buf, plan.run_splits as u64);
-    put_u64(&mut buf, plan.group_splits as u64);
-    put_u64(&mut buf, asg.index as u64);
-    put_u64(&mut buf, asg.run_start as u64);
-    put_u64(&mut buf, asg.run_end as u64);
-    put_u64(&mut buf, asg.cells.len() as u64);
+    canon.push_u64(plan.run_splits as u64);
+    canon.push_u64(plan.group_splits as u64);
+    canon.push_u64(asg.index as u64);
+    canon.push_u64(asg.run_start as u64);
+    canon.push_u64(asg.run_end as u64);
+    canon.push_u64(asg.cells.len() as u64);
     for &c in &asg.cells {
-        put_u64(&mut buf, c as u64);
+        canon.push_u64(c as u64);
     }
-    fnv1a(&buf)
+    canon.digest()
 }
 
 // ---------------------------------------------------------------------
@@ -1225,6 +1095,8 @@ fn fold_frames(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::OverheadLedger;
+    use pckpt_simobs::RunObs;
 
     #[test]
     fn balanced_bounds_cover_and_balance() {

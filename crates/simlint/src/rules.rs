@@ -18,9 +18,12 @@
 //! | `determinism-taint`  | sim crates + `simobs`/`simrng` ([`crate::wsrules`]) |
 //! | `unsafe-audit`       | sim crates + `simobs`/`simrng` ([`crate::wsrules`]) |
 //!
-//! "Sim-semantic crates" are the five crates whose behaviour defines a
+//! "Sim-semantic crates" are the six crates whose behaviour defines a
 //! simulated campaign: `desim`, `core`, `failure`, `workloads`,
-//! `analysis`. "Library code" excludes `tests/`, `benches/`,
+//! `analysis`, and `service` (the campaign service decides which
+//! results are reused verbatim, so its admission and recovery logic is
+//! as digest-relevant as the simulator itself). "Library code"
+//! excludes `tests/`, `benches/`,
 //! `examples/`, `src/bin/`, `main.rs`, and `#[cfg(test)]` /
 //! `#[test]`-gated items inside a file (brace-matched).
 //!
@@ -33,8 +36,9 @@
 use crate::lexer::{Token, TokenKind};
 use crate::SourceFile;
 
-/// The five crates whose code determines simulated behaviour.
-pub const SIM_CRATES: [&str; 5] = ["desim", "core", "failure", "workloads", "analysis"];
+/// The six crates whose code determines simulated behaviour.
+pub const SIM_CRATES: [&str; 6] =
+    ["desim", "core", "failure", "workloads", "analysis", "service"];
 
 /// Crates exempt from `no-wall-clock` (benchmarking must read the real
 /// clock — that is its job).

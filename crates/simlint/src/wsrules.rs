@@ -9,7 +9,7 @@
 //! | `determinism-taint`    | nondeterminism sources must not reach digest/fold/result-construction sinks except through `// simlint: config` entry points |
 //! | `unsafe-audit`         | every `unsafe` block/impl carries a `// SAFETY:` comment; `SAFETY(tag)` tags resolve to declared invariants; `UnsafeCell` types declare invariants |
 //!
-//! Scoping: hot-path allocation stays inside the five sim-semantic
+//! Scoping: hot-path allocation stays inside the six sim-semantic
 //! crates ([`crate::rules::SIM_CRATES`]); taint and unsafe-audit extend
 //! to `simobs` and `simrng`, whose output feeds digests and whose state
 //! sits on the hot path.

@@ -621,6 +621,16 @@ impl FixedHist {
     /// and non-canonical bucket lists (out-of-range or non-ascending
     /// indices), so a decoded histogram re-encodes to identical bytes.
     pub fn decode_from(bytes: &[u8], pos: &mut usize) -> Result<Self, String> {
+        let mut hist = FixedHist::new();
+        hist.decode_into(bytes, pos)?;
+        Ok(hist)
+    }
+
+    /// [`decode_from`](Self::decode_from) into `self`, overwriting its
+    /// previous contents — lets a hot decode loop reuse one histogram
+    /// instead of moving a fresh one out per call. On error the
+    /// contents are unspecified.
+    pub fn decode_into(&mut self, bytes: &[u8], pos: &mut usize) -> Result<(), String> {
         let take = |pos: &mut usize, n: usize| -> Result<usize, String> {
             let at = *pos;
             if bytes.len() - at.min(bytes.len()) < n {
@@ -629,7 +639,7 @@ impl FixedHist {
             *pos = at + n;
             Ok(at)
         };
-        let mut hist = FixedHist::new();
+        self.buckets = [0; 64];
         let at = take(pos, 1)?;
         let n = bytes[at] as usize;
         let mut prev: Option<usize> = None;
@@ -647,13 +657,13 @@ impl FixedHist {
             if count == 0 {
                 return Err(format!("empty bucket {idx} in sparse histogram"));
             }
-            hist.buckets[idx] = count;
+            self.buckets[idx] = count;
         }
         let at = take(pos, 16)?;
         let mut raw = [0u8; 16];
         raw.copy_from_slice(&bytes[at..at + 16]);
-        hist.sum = u128::from_le_bytes(raw);
-        Ok(hist)
+        self.sum = u128::from_le_bytes(raw);
+        Ok(())
     }
 
     /// Appends `{"count":..,"mean":..,"buckets":[[i,n],..]}` (sparse:
@@ -741,6 +751,30 @@ impl RunObs {
             lat_pfs_full: FixedHist::decode_from(bytes, pos)?,
             recomp: FixedHist::decode_from(bytes, pos)?,
         })
+    }
+
+    /// [`decode_from`](Self::decode_from) into `self`, overwriting its
+    /// previous contents (reusable-buffer form; see
+    /// [`FixedHist::decode_into`]). On error the contents are
+    /// unspecified.
+    pub fn decode_into(&mut self, bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+        let word = |pos: &mut usize| -> Result<u64, String> {
+            let at = *pos;
+            if bytes.len() - at.min(bytes.len()) < 8 {
+                return Err(format!("run snapshot truncated at byte {at}"));
+            }
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[at..at + 8]);
+            *pos = at + 8;
+            Ok(u64::from_le_bytes(raw))
+        };
+        self.events_handled = word(pos)?;
+        self.events_scheduled = word(pos)?;
+        self.queue_depth_hwm = word(pos)?;
+        self.lat_bb.decode_into(bytes, pos)?;
+        self.lat_phase1.decode_into(bytes, pos)?;
+        self.lat_pfs_full.decode_into(bytes, pos)?;
+        self.recomp.decode_into(bytes, pos)
     }
 }
 

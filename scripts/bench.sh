@@ -43,6 +43,14 @@
 #   shard_reexecutions             shard children re-executed by the
 #                                  coordinator's failure recovery (0 on
 #                                  a healthy run)
+#   cache_hit_speedup              Fig.-4 sweep through the campaign
+#                                  service: cold compute vs warm
+#                                  content-addressed cache replay
+#                                  (bit-identical, digest-asserted)
+#   cache_hit_rate                 share of warm-pass cells served
+#                                  without simulating
+#   journal_resume_overhead_pct    full-journal crash-replay wall time
+#                                  as a percentage of cold compute
 #
 # Usage: scripts/bench.sh [output.json]
 # Env:   PCKPT_RUNS (campaign size, default 1000), PCKPT_SEED,
@@ -52,7 +60,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_pr9.json}
+OUT=${1:-BENCH_pr10.json}
 BENCH_LOG=$(mktemp)
 CAMPAIGN_LOG=$(mktemp)
 trap 'rm -f "$BENCH_LOG" "$CAMPAIGN_LOG"' EXIT
@@ -67,6 +75,10 @@ cargo run --release -q -p pckpt-bench --bin bench_campaign 2>&1 | tee "$CAMPAIGN
 echo
 echo "== grid sweep vs serial cells =="
 cargo run --release -q -p pckpt-bench --bin bench_grid 2>&1 | tee -a "$CAMPAIGN_LOG"
+
+echo
+echo "== campaign service: cache replay + journal resume =="
+cargo run --release -q -p pckpt-bench --bin bench_service 2>&1 | tee -a "$CAMPAIGN_LOG"
 
 python3 - "$BENCH_LOG" "$CAMPAIGN_LOG" "$OUT" <<'PYEOF'
 import json
@@ -166,6 +178,19 @@ if shard:
     doc["shard_reexecutions"] = shard["reexecutions"]
     doc["shard_frame_bytes"] = shard["frame_bytes"]
 
+# Campaign service: warm content-addressed replay vs cold compute, and
+# crash-recovery cost through the sweep journal (both digest-asserted
+# bit-identical inside bench_service before the lines are printed).
+svc_cache = grids.get("service_cache_fig4")
+if svc_cache:
+    doc["cache_hit_speedup"] = svc_cache["cache_hit_speedup"]
+    doc["cache_hit_rate"] = svc_cache["cache_hit_rate"]
+svc_journal = grids.get("service_journal_fig4")
+if svc_journal:
+    doc["journal_resume_overhead_pct"] = svc_journal[
+        "journal_resume_overhead_pct"
+    ]
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
     f.write("\n")
@@ -194,6 +219,9 @@ for key in (
     "vr_ci_rel_antithetic_stratified",
     "shard_speedup",
     "shard_reexecutions",
+    "cache_hit_speedup",
+    "cache_hit_rate",
+    "journal_resume_overhead_pct",
 ):
     if key in doc:
         print(f"  {key}: {doc[key]}")

@@ -35,47 +35,58 @@
 #                             golden grid, and the fault-injection suite
 #                             (killed / truncated / corrupted / hung
 #                             children recover to the same digest)
+#   9. campaign service       pckptd end-to-end suite (cache replay
+#                             digest oracle, single-flight admission,
+#                             torn-journal crash/resume property test)
+#                             plus the service crate's unit tests
+#                             (cell-frame codec, journal, cache,
+#                             single-flight primitives)
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==== [1/8] tier-1 gate (scripts/lint.sh) ===="
+echo "==== [1/9] tier-1 gate (scripts/lint.sh) ===="
 scripts/lint.sh
 
 echo
-echo "==== [2/8] workspace tests ===="
+echo "==== [2/9] workspace tests ===="
 cargo test -q --workspace
 
 echo
-echo "==== [3/8] examples build ===="
+echo "==== [3/9] examples build ===="
 cargo build -q --examples
 
 echo
-echo "==== [4/8] trace-feature tests ===="
+echo "==== [4/9] trace-feature tests ===="
 cargo test -q --features trace
 
 echo
-echo "==== [5/8] analytic tier: batch + prefilter equivalence ===="
+echo "==== [5/9] analytic tier: batch + prefilter equivalence ===="
 cargo test -q -p pckpt-analysis --test batch_equivalence
 cargo test -q --test grid_equivalence
 
 echo
-echo "==== [6/8] schedcheck exhaustive + simlint fixtures ===="
+echo "==== [6/9] schedcheck exhaustive + simlint fixtures ===="
 cargo test -q -p schedcheck
 cargo test -q -p simlint
 
 echo
-echo "==== [7/8] variance reduction: marginals, folds, determinism ===="
+echo "==== [7/9] variance reduction: marginals, folds, determinism ===="
 cargo test -q --test variance_reduction
 cargo test -q --test trace_determinism adaptive_grid
 cargo test -q -p pckpt-core --test alloc_free
 
 echo
-echo "==== [8/8] shard scale-out: equivalence + fault injection ===="
+echo "==== [8/9] shard scale-out: equivalence + fault injection ===="
 cargo test -q --test grid_equivalence sharded
 cargo test -q --test trace_determinism sharded_grid
 cargo test -q --test shard_faults
+
+echo
+echo "==== [9/9] campaign service: cache, single-flight, crash/resume ===="
+cargo test -q --test service_suite
+cargo test -q -p pckpt-service
 
 echo
 echo "ci.sh: all stages passed"

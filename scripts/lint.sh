@@ -95,4 +95,41 @@ print("grid smoke ok (6 grids, prefilter prunes >= 50%, VR speedup > 1.5x, "
       "2-shard merge bit-identical)")
 '
 
+echo "== bench smoke (1-run campaign service: cache + journal) =="
+# One-run pass through the campaign service bench: cold compute, warm
+# content-addressed replay, torn-journal resume, full-journal replay.
+# Asserts the cache accounting reaches meta_json (cache_hits covers the
+# whole warm sweep, zero cells simulated, uncached=false) and that both
+# GRID_JSON lines report digest-identical replays. No speedup floor at
+# smoke budgets — bench_service only asserts >= 50x at real budgets.
+PCKPT_RUNS=1 cargo run --release -q -p pckpt-bench --bin bench_service \
+    | python3 -c '
+import json, sys
+cache = journal = metrics = 0
+for line in sys.stdin:
+    if line.startswith("METRICS_JSON "):
+        rec = json.loads(line[len("METRICS_JSON "):])
+        assert rec["name"] == "service_fig4_grid", rec
+        assert rec["cache_hits"] + rec["journal_recovered"] == rec["cells"], rec
+        assert rec["computed_cells"] == 0 and rec["uncached"] is False, rec
+        metrics += 1
+    if line.startswith("GRID_JSON "):
+        rec = json.loads(line[len("GRID_JSON "):])
+        if rec["name"] == "service_cache_fig4":
+            assert rec["digest_match"] is True, rec
+            assert rec["cache_hit_rate"] == 1.0, rec
+            assert rec["cache_hit_speedup"] > 0.0, rec
+            cache += 1
+        if rec["name"] == "service_journal_fig4":
+            assert rec["digest_match"] is True, rec
+            assert rec["resume_recovered"] + rec["resume_computed"] == rec["cells"], rec
+            assert rec["journal_resume_overhead_pct"] > 0.0, rec
+            journal += 1
+assert metrics == 1, "missing warm-pass METRICS_JSON line"
+assert cache == 1, "missing service_cache_fig4 GRID_JSON line"
+assert journal == 1, "missing service_journal_fig4 GRID_JSON line"
+print("service smoke ok (warm pass fully cache-served, crash resume "
+      "digest-identical)")
+'
+
 echo "lint.sh: all gates passed"
